@@ -1,0 +1,67 @@
+//! Application-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from running a beeping-network application.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AppError {
+    /// The simulation layer failed.
+    Sim(beep_core::SimError),
+    /// The network layer failed.
+    Net(beep_net::NetError),
+    /// The produced output failed validation — the w.h.p. guarantee lost
+    /// its "h.p." this run (possible under heavy noise; rerun with another
+    /// seed or a larger expansion constant).
+    InvalidOutput {
+        /// Human-readable description of the violations.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Sim(e) => write!(f, "simulation: {e}"),
+            AppError::Net(e) => write!(f, "network: {e}"),
+            AppError::InvalidOutput { detail } => write!(f, "output failed validation: {detail}"),
+        }
+    }
+}
+
+impl Error for AppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AppError::Sim(e) => Some(e),
+            AppError::Net(e) => Some(e),
+            AppError::InvalidOutput { .. } => None,
+        }
+    }
+}
+
+impl From<beep_core::SimError> for AppError {
+    fn from(e: beep_core::SimError) -> Self {
+        AppError::Sim(e)
+    }
+}
+
+impl From<beep_net::NetError> for AppError {
+    fn from(e: beep_net::NetError) -> Self {
+        AppError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AppError::InvalidOutput { detail: "asymmetric pair".into() };
+        assert!(e.to_string().contains("asymmetric"));
+        let e: AppError = beep_net::NetError::RoundBudgetExhausted { budget: 9 }.into();
+        assert!(e.to_string().contains('9'));
+        assert!(Error::source(&e).is_some());
+    }
+}

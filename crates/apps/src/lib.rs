@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Turn-key beeping-network applications.
+//!
+//! This crate is the "what you actually call" layer: one function per task,
+//! each wiring a reference algorithm from `beep-congest` through the
+//! paper's simulation (`beep-core`) onto a beeping network (`beep-net`) —
+//! plus two *native* beeping primitives (beep-wave broadcast and
+//! wave-based leader election) that work directly in the beeping model
+//! without simulation, for contrast and for the sensor-network examples.
+//!
+//! | Task | Function | Model | Rounds |
+//! |------|----------|-------|--------|
+//! | Maximal matching | [`maximal_matching`] | noisy beeps (Thm 21) | `O(Δ log² n)` |
+//! | Maximal independent set | [`maximal_independent_set`] | noisy beeps | `O(Δ log² n)` |
+//! | (Δ+1)-coloring | [`coloring`] | noisy beeps | `O(Δ log² n)` |
+//! | Single-source broadcast | [`beep_wave_broadcast`] | noiseless beeps | `O(D + b)` |
+//! | Multi-source broadcast | [`multi_source_broadcast`] | noiseless beeps | `O(q²·D)` (superimposed codes, [6]) |
+//! | Leader election | [`beep_leader_election`] | noiseless beeps | `O(D log n)` |
+
+mod broadcast_wave;
+mod error;
+mod leader;
+mod multicast;
+mod tasks;
+
+pub use broadcast_wave::{beep_wave_broadcast, BeepWaveReport};
+pub use error::AppError;
+pub use leader::{beep_leader_election, LeaderReport};
+pub use multicast::{multi_source_broadcast, MulticastReport};
+pub use tasks::{coloring, maximal_independent_set, maximal_matching, TaskReport};

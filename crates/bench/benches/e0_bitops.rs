@@ -1,0 +1,47 @@
+//! Microbenchmarks of the hot inner loop: bulk bit-string operations at
+//! the sizes Algorithm 1 actually uses (codeword length `c³(Δ+1)B` ≈
+//! 3k–40k bits).
+
+use beep_bits::{superimpose, BitVec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bitops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitvec");
+    let mut rng = StdRng::seed_from_u64(1);
+    for bits in [3_024usize, 44_064] {
+        let a = BitVec::random_uniform(bits, &mut rng);
+        let b = BitVec::random_uniform(bits, &mut rng);
+        group.bench_function(format!("and_not_count {bits}b"), |bch| {
+            bch.iter(|| black_box(a.and_not_count(black_box(&b))));
+        });
+        group.bench_function(format!("hamming {bits}b"), |bch| {
+            bch.iter(|| black_box(a.hamming_distance(black_box(&b))));
+        });
+        group.bench_function(format!("or {bits}b"), |bch| {
+            bch.iter(|| black_box(&a | &b));
+        });
+        let weight = bits / 20;
+        group.bench_function(format!("sample weight={weight} of {bits}b"), |bch| {
+            bch.iter(|| black_box(BitVec::random_with_weight(bits, weight, &mut rng)));
+        });
+        group.bench_function(format!("noise ε=0.1 {bits}b"), |bch| {
+            bch.iter(|| black_box(a.flipped_with_noise(0.1, &mut rng)));
+        });
+    }
+    // Superimposition of a full neighborhood (Δ+1 = 9 codewords).
+    let words: Vec<BitVec> = (0..9).map(|_| BitVec::random_uniform(7_776, &mut rng)).collect();
+    group.bench_function("superimpose 9 × 7776b", |bch| {
+        bch.iter(|| black_box(superimpose(&words).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_bitops
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Wall-clock cost of the Theorem 21 pipeline (companion to table E7):
+//! complete maximal matching runs, native Broadcast CONGEST versus the
+//! noisy beeping simulation.
+
+use beep_congest::algorithms::MaximalMatching;
+use beep_congest::BroadcastRunner;
+use beep_net::topology;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_matching");
+    group.sample_size(10);
+
+    // Native Broadcast CONGEST (the algorithm itself, no beeping).
+    for n in [32usize, 128] {
+        let graph = topology::cycle(n).unwrap();
+        let bits = MaximalMatching::required_message_bits(n);
+        let iters = MaximalMatching::suggested_iterations(n);
+        group.bench_function(format!("native_bc cycle n={n}"), |b| {
+            b.iter(|| {
+                let runner = BroadcastRunner::new(&graph, bits, 5);
+                let mut algos: Vec<Box<MaximalMatching>> =
+                    (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+                runner
+                    .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
+                    .unwrap();
+                black_box(algos.iter().map(|a| a.output()).collect::<Vec<_>>())
+            });
+        });
+    }
+
+    // The full noisy-beeps pipeline (Theorem 21).
+    for (n, eps) in [(16usize, 0.0), (16, 0.05)] {
+        let graph = topology::cycle(n).unwrap();
+        group.bench_function(format!("noisy_beeps cycle n={n} ε={eps}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(beep_apps::maximal_matching(&graph, eps, seed).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

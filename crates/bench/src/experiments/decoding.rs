@@ -1,0 +1,146 @@
+//! E3, E4: the Section 4 decoding lemmas under noise.
+
+use super::fmt_f;
+use crate::Table;
+use beep_bits::{superimpose, BitVec};
+use beep_codes::SetDecoder;
+use beep_congest::{Message, MessageWriter};
+use beep_core::{BroadcastSimulator, SimulationParams};
+use beep_net::{topology, BeepNetwork, Noise};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS_SWEEP: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4];
+
+/// E3 — Lemmas 8–9: phase-1 set decoding under channel noise.
+///
+/// For each noise rate, builds the calibrated beep code for `(B = 16,
+/// Δ = 6)`, superimposes `Δ+1` random codewords (a full inclusive
+/// neighborhood), pushes the result through the binary symmetric channel,
+/// and measures false-negative / false-positive rates of the threshold
+/// decoder. The paper's claim: both vanish w.h.p. for every `ε < ½`.
+#[must_use]
+pub fn e3_phase1_decoding(seed: u64) -> Table {
+    let message_bits = 16;
+    let delta = 6;
+    let trials = 300;
+    let outsiders = 20;
+    let mut t = Table::new(
+        "E3 (Lemmas 8-9): phase-1 set decoding, B = 16, Δ = 6, calibrated c_ε",
+        &["ε", "c_ε", "code len", "threshold", "FN rate", "FP rate"],
+    );
+    for eps in EPS_SWEEP {
+        let params = SimulationParams::calibrated(eps);
+        let codes = params.codes_for(message_bits, delta).expect("valid");
+        let decoder = SetDecoder::new(&codes.beep, eps);
+        let a = codes.beep.params().input_bits();
+        let mut rng = StdRng::seed_from_u64(seed ^ (eps * 1000.0) as u64);
+        let (mut fn_events, mut fn_total) = (0usize, 0usize);
+        let (mut fp_events, mut fp_total) = (0usize, 0usize);
+        for _ in 0..trials {
+            let members: Vec<BitVec> =
+                (0..=delta).map(|_| BitVec::random_uniform(a, &mut rng)).collect();
+            let clean = superimpose(
+                members.iter().map(|r| codes.beep.encode(r)).collect::<Vec<_>>().iter(),
+            )
+            .expect("non-empty");
+            let heard = clean.flipped_with_noise(eps, &mut rng);
+            for r in &members {
+                fn_total += 1;
+                if !decoder.accepts(r, &heard) {
+                    fn_events += 1;
+                }
+            }
+            for _ in 0..outsiders {
+                fp_total += 1;
+                if decoder.accepts(&BitVec::random_uniform(a, &mut rng), &heard) {
+                    fp_events += 1;
+                }
+            }
+        }
+        t.push(vec![
+            format!("{eps:.2}"),
+            params.expansion.to_string(),
+            codes.beep.params().length().to_string(),
+            decoder.threshold().to_string(),
+            fmt_f(fn_events as f64 / fn_total as f64),
+            fmt_f(fp_events as f64 / fp_total as f64),
+        ]);
+    }
+    t.set_note(
+        "FN = transmitted codeword rejected, FP = fresh random codeword accepted — the two bad \
+events of Lemma 9. Both stay ≈ 0 across the whole noise range once c_ε is sized for ε, \
+reproducing the paper's claim that noise costs no asymptotic overhead.",
+    );
+    t
+}
+
+/// E4 — Lemma 10: end-to-end message decoding through both phases.
+///
+/// Runs the full Algorithm 1 round on a star `K_{1,Δ}` (the center decodes
+/// `Δ` simultaneous messages) over the real noisy engine, and measures
+/// per-round perfection and message-error rates.
+#[must_use]
+pub fn e4_phase2_decoding(seed: u64) -> Table {
+    let message_bits = 16;
+    let delta = 6;
+    let trials = 30;
+    let mut t = Table::new(
+        "E4 (Lemma 10): full two-phase round on K_{1,Δ}, B = 16, Δ = 6",
+        &["ε", "beep rounds", "msg errors", "FN", "FP(decoy)", "perfect rounds"],
+    );
+    for eps in EPS_SWEEP {
+        let params = SimulationParams::calibrated(eps).with_decoys(8);
+        let graph = topology::star(delta + 1).expect("valid star");
+        let sim = BroadcastSimulator::new(params, message_bits, delta).expect("valid");
+        let noise = if eps == 0.0 { Noise::Noiseless } else { Noise::bernoulli(eps) };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE4 ^ (eps * 1000.0) as u64);
+        let mut stats = beep_core::RoundStats::default();
+        for trial in 0..trials {
+            let mut net = BeepNetwork::new(graph.clone(), noise, seed + trial);
+            let outgoing: Vec<Option<Message>> = (0..=delta as u64)
+                .map(|v| Some(MessageWriter::new().push_uint(v * 31 + 1, 16).finish(message_bits)))
+                .collect();
+            let outcome = sim.simulate_round(&mut net, &outgoing, &mut rng).expect("round");
+            stats.merge(&outcome.stats);
+        }
+        t.push(vec![
+            format!("{eps:.2}"),
+            sim.rounds_per_congest_round().to_string(),
+            stats.message_errors.to_string(),
+            stats.false_negatives.to_string(),
+            format!("{}/{}", stats.decoy_acceptances, stats.decoys_scored),
+            format!("{}/{}", stats.rounds - stats.imperfect_rounds, stats.rounds),
+        ]);
+    }
+    t.set_note(
+        "Every row runs 30 complete Algorithm 1 rounds through the bit-level noisy engine. \
+Perfect rounds deliver exactly what direct Broadcast CONGEST would — the Theorem 11 guarantee.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_rates_are_low_everywhere() {
+        let t = e3_phase1_decoding(3);
+        for row in &t.rows {
+            let fn_rate: f64 = row[4].parse().unwrap();
+            let fp_rate: f64 = row[5].parse().unwrap();
+            assert!(fn_rate < 0.05, "ε = {}: FN {fn_rate}", row[0]);
+            assert!(fp_rate < 0.05, "ε = {}: FP {fp_rate}", row[0]);
+        }
+    }
+
+    #[test]
+    fn e4_mostly_perfect_at_low_noise() {
+        let t = e4_phase2_decoding(4);
+        // ε = 0 row must be fully perfect.
+        let first = &t.rows[0];
+        assert_eq!(first[5], "30/30");
+        assert_eq!(first[2], "0");
+    }
+}

@@ -1,0 +1,68 @@
+//! E8: the Lemma 14 / Corollary 16 lower-bound census.
+
+use super::fmt_f;
+use crate::Table;
+use beep_core::lower_bound::transcript::tdma_local_broadcast_census;
+
+/// E8 — Lemma 14: the `2^{T−Δ²B}` success ceiling, measured.
+///
+/// Runs the rate-optimal TDMA reference protocol on `K_{Δ,Δ}` through the
+/// real engine with shrinking round budgets, recording the right part's
+/// OR-transcript, and compares the measured full-recovery rate to the
+/// information-theoretic ceiling.
+#[must_use]
+pub fn e8_lower_bound_census(seed: u64) -> Table {
+    let delta = 2;
+    let message_bits = 4;
+    let input_bits = delta * delta * message_bits;
+    let trials = 600;
+    let mut t = Table::new(
+        "E8 (Lemma 14): transcript counting on K_{2,2}, B = 4 (Δ²B = 16 input bits)",
+        &["T (rounds)", "conveyed bits", "distinct transcripts", "ceiling 2^(T−Δ²B)", "measured success"],
+    );
+    for budget in [input_bits + 4, input_bits, input_bits - 1, input_bits - 2, input_bits - 3, input_bits - 6, input_bits / 2] {
+        let report = tdma_local_broadcast_census(delta, message_bits, budget, trials, seed);
+        let ceiling = if report.ceiling_log2 >= 0 {
+            1.0
+        } else {
+            2f64.powi(i32::try_from(report.ceiling_log2).expect("small exponent"))
+        };
+        t.push(vec![
+            report.rounds_budget.to_string(),
+            report.recovered_bits.to_string(),
+            report.distinct_transcripts.to_string(),
+            fmt_f(ceiling),
+            fmt_f(report.success_rate),
+        ]);
+    }
+    t.set_note(
+        "each missing round halves the best achievable success probability, exactly matching \
+the 2^(T−Δ²B) counting bound; with T ≥ Δ²B recovery is total. Hence Ω(Δ²B) rounds are \
+necessary (Lemma 14) and Corollary 12's O(Δ²·log n) simulation is optimal (Corollary 16).",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_full_budget_row_is_perfect() {
+        let t = e8_lower_bound_census(9);
+        // Row with T = Δ²B (second row) must be fully successful.
+        assert_eq!(t.rows[1][4], "1.00");
+        assert_eq!(t.rows[1][1], "16");
+    }
+
+    #[test]
+    fn e8_truncated_rows_track_ceiling() {
+        let t = e8_lower_bound_census(10);
+        // T = Δ²B − 2 row: ceiling 0.25, measured within binomial noise.
+        let row = &t.rows[3];
+        let ceiling: f64 = row[3].parse().unwrap();
+        let measured: f64 = row[4].parse().unwrap();
+        assert!((ceiling - 0.25).abs() < 1e-9);
+        assert!((measured - ceiling).abs() < 0.1, "{measured} vs {ceiling}");
+    }
+}

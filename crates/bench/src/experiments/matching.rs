@@ -1,0 +1,149 @@
+//! E7, E11: the maximal matching application (Section 6).
+
+use super::fmt_f;
+use crate::Table;
+use beep_apps::maximal_matching;
+use beep_core::baseline::{log_star, matching_beeps_ours, matching_beeps_prior};
+use beep_net::topology;
+
+/// E7 — Lemma 20 + Theorem 21: matching scales as `O(log n)` Broadcast
+/// CONGEST rounds and `O(Δ log² n)` noisy beep rounds.
+///
+/// Runs the complete pipeline (Algorithm 3 → Algorithm 1 → noisy engine)
+/// on cycles of doubling size at ε = 0.05; every output is validated for
+/// symmetry and maximality before the row is emitted.
+#[must_use]
+pub fn e7_matching_scaling(seed: u64) -> Table {
+    let eps = 0.05;
+    let mut t = Table::new(
+        "E7 (Thm 21): maximal matching over noisy beeps (ε = 0.05), cycles",
+        &["n", "Δ", "BC rounds", "BC/log₂n", "beep/BC", "total beeps rounds", "valid"],
+    );
+    for n in [8usize, 16, 32, 64] {
+        let graph = topology::cycle(n).expect("valid cycle");
+        let result = maximal_matching(&graph, eps, seed + n as u64)
+            .expect("matching succeeds w.h.p.");
+        let log_n = (n as f64).log2();
+        t.push(vec![
+            n.to_string(),
+            graph.max_degree().to_string(),
+            result.report.congest_rounds.to_string(),
+            fmt_f(result.report.congest_rounds as f64 / log_n),
+            result.report.beep_rounds_per_congest_round.to_string(),
+            result.report.beep_rounds.to_string(),
+            "true".into(), // validation already enforced by maximal_matching
+        ]);
+    }
+    t.set_note(
+        "BC/log₂n stays bounded (Lemma 20's O(log n) iterations, 4 communication rounds \
+each); beep/BC is the Θ(Δ log n) Theorem 11 overhead (message width B = Θ(log n) grows \
+with n). Total = product: the Θ(Δ log² n) of Theorem 21.",
+    );
+    t
+}
+
+/// E7b — Theorem 22: matching needs `Ω(Δ log n)` beep rounds, and our
+/// pipeline sits within an `O(c³ log n)` factor of that bound.
+///
+/// Runs the full matching pipeline on the theorem's hard topology
+/// `K_{Δ,Δ}` and compares measured beep rounds to the `Δ·log₂ n` bound.
+#[must_use]
+pub fn e7b_matching_lower_bound(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E7b (Thm 22): matching on K_{Δ,Δ} vs the Ω(Δ log n) lower bound (ε = 0)",
+        &["Δ", "n", "measured beep rounds", "Δ·log₂n bound", "ratio", "ratio/(c³·log₂n)"],
+    );
+    for delta in [2usize, 3, 4, 6] {
+        let graph = topology::complete_bipartite(delta, delta).expect("valid");
+        let n = graph.node_count();
+        let result = maximal_matching(&graph, 0.0, seed + delta as u64)
+            .expect("matching succeeds");
+        let log_n = (n as f64).log2();
+        let bound = delta as f64 * log_n;
+        let ratio = result.report.beep_rounds as f64 / bound;
+        // The calibrated profile uses c = 3 at ε = 0 ⇒ c³ = 27.
+        let normalized = ratio / (27.0 * log_n);
+        t.push(vec![
+            delta.to_string(),
+            n.to_string(),
+            result.report.beep_rounds.to_string(),
+            fmt_f(bound),
+            fmt_f(ratio),
+            fmt_f(normalized),
+        ]);
+    }
+    t.set_note(
+        "Theorem 22 proves Ω(Δ log n) rounds are necessary for matching even without noise; \
+Theorem 21 achieves O(Δ log² n). The measured ratio over the lower bound, normalized by the \
+implementation constant c³ and the extra log n, stays bounded — the upper and lower bounds \
+sandwich the pipeline to within the paper's log n gap.",
+    );
+    t
+}
+
+/// E11 — Section 6's improvement claim: `≈ Δ³/log n` over the prior
+/// state of the art (the `O(Δ + log* n)` CONGEST matching of [26] under
+/// [4]'s simulation), in the closed-form cost models.
+#[must_use]
+pub fn e11_matching_cost_crossover() -> Table {
+    let n = 1 << 16;
+    let mut t = Table::new(
+        "E11 (§6): matching cost models, n = 2^16 (unit constants; shapes only)",
+        &["Δ", "prior [4]+[26]", "ours (Thm 21)", "improvement", "≈ Δ³/log n"],
+    );
+    for delta in [2usize, 4, 8, 16, 32, 64, 128] {
+        let prior = matching_beeps_prior(delta, n);
+        let ours = matching_beeps_ours(delta, n);
+        let predicted = (delta as f64).powi(3) / (n as f64).log2();
+        t.push(vec![
+            delta.to_string(),
+            fmt_f(prior),
+            fmt_f(ours),
+            fmt_f(prior / ours),
+            fmt_f(predicted),
+        ]);
+    }
+    t.set_note(&format!(
+        "improvement tracks the paper's ≈ Δ³/log n factor as Δ grows (log* n = {} here); \
+absolute values are unit-constant models, only the shape is meaningful.",
+        log_star(n as f64)
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_bc_rounds_grow_sublinearly() {
+        let t = e7_matching_scaling(8);
+        let rounds: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let ns: Vec<f64> = t.rows.iter().map(|r| r[0].parse().unwrap()).collect();
+        // 8× growth in n must not produce 8× growth in BC rounds.
+        let growth = rounds.last().unwrap() / rounds.first().unwrap();
+        let n_growth = ns.last().unwrap() / ns.first().unwrap();
+        assert!(growth < n_growth / 2.0, "rounds grew {growth}× for {n_growth}× nodes");
+    }
+
+    #[test]
+    fn e7b_normalized_ratio_is_bounded() {
+        let t = e7b_matching_lower_bound(21);
+        let normalized: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        let max = normalized.iter().cloned().fold(0.0, f64::max);
+        let min = normalized.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 8.0, "normalized ratios {normalized:?} not bounded");
+    }
+
+    #[test]
+    fn e11_improvement_is_monotone_in_delta() {
+        let t = e11_matching_cost_crossover();
+        let improvements: Vec<f64> = t.rows.iter().map(|r| r[3].parse::<f64>().unwrap_or_else(|_| {
+            // fmt_f may have used scientific notation
+            r[3].parse::<f64>().unwrap()
+        })).collect();
+        for pair in improvements.windows(2) {
+            assert!(pair[1] > pair[0], "{improvements:?}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! E5, E6, E10: the overhead claims (Theorem 11, Corollary 12, §1.3).
+
+use super::fmt_f;
+use crate::Table;
+use beep_core::baseline::{
+    agl_broadcast_overhead, beauquier_per_round, distance2_coloring, num_colors, TdmaSimulator,
+};
+use beep_core::lower_bound::{lemma14_round_lower_bound, CongestLocalBroadcast, LocalBroadcastInstance};
+use beep_core::{SimulatedCongestRunner, SimulationParams};
+use beep_net::{topology, Noise};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E5 — Theorem 11: Broadcast CONGEST overhead is `Θ(Δ·B)`, versus the
+/// `Θ(min{n, Δ²}·B)` of the G²-coloring baselines.
+///
+/// Sweeps Δ on sparse random graphs (`n = 256`, expected degree Δ), where
+/// distance-2 neighborhoods genuinely reach `Θ(Δ²)`: our overhead grows
+/// linearly in Δ while the TDMA slot count grows quadratically.
+#[must_use]
+pub fn e5_broadcast_overhead(seed: u64) -> Table {
+    let n = 256;
+    let message_bits = 16;
+    let params = SimulationParams::calibrated(0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eps = 0.1;
+    let noisy_params = SimulationParams::calibrated(eps);
+    let mut t = Table::new(
+        "E5 (Thm 11): Broadcast CONGEST overhead per round, n = 256, B = 16",
+        &["target Δ", "measured Δ", "G² colors", "ours ε=0", "TDMA ε=0", "ratio", "ours ε=.1", "TDMA ε=.1", "ratio", "AGL model", "[7] model"],
+    );
+    for target_delta in [4usize, 8, 16, 32] {
+        let p = target_delta as f64 / (n as f64 - 1.0);
+        let graph = topology::gnp(n, p, &mut rng).expect("valid p");
+        let delta = graph.max_degree();
+        let ours0 = params.rounds_per_broadcast_round(message_bits, delta);
+        let colors = num_colors(&distance2_coloring(&graph));
+        let tdma0 = TdmaSimulator::new(&graph, message_bits, 0.0).rounds_per_congest_round();
+        let ours_n = noisy_params.rounds_per_broadcast_round(message_bits, delta);
+        let tdma_n = TdmaSimulator::new(&graph, message_bits, eps).rounds_per_congest_round();
+        t.push(vec![
+            target_delta.to_string(),
+            delta.to_string(),
+            colors.to_string(),
+            ours0.to_string(),
+            tdma0.to_string(),
+            fmt_f(tdma0 as f64 / ours0 as f64),
+            ours_n.to_string(),
+            tdma_n.to_string(),
+            fmt_f(tdma_n as f64 / ours_n as f64),
+            fmt_f(agl_broadcast_overhead(delta, n)),
+            fmt_f(beauquier_per_round(delta, n)),
+        ]);
+    }
+    t.set_note(
+        "ours = 2·c³·(Δ+1)·B grows linearly in Δ; the TDMA baseline needs one slot per G² \
+color (→ Θ(Δ²) on sparse graphs), so the TDMA/ours ratio grows ≈ linearly in Δ — the \
+paper's Θ(min{n/Δ, Δ}) improvement. At ε = 0 our constant c³ dominates at small Δ \
+(ratio < 1); under noise (ε = 0.1) the baseline also pays ρ = Θ(log n) repetition and \
+ours wins outright, with the gap still growing in Δ. Model columns use unit constants.",
+    );
+    t
+}
+
+/// E5b — the setup-phase gap: Algorithm 1 needs **zero** setup, while the
+/// TDMA baselines must first distance-2-color `G²` distributedly.
+///
+/// Runs the workspace's distributed `Distance2Coloring` (CONGEST) on
+/// random-regular graphs, measures its round count, and converts it to
+/// beep rounds at the Corollary 12 rate — the *cheapest conceivable*
+/// distributed setup, already orders of magnitude above our zero (the
+/// real [7]/[4] protocols pay the model columns).
+#[must_use]
+pub fn e5b_setup_cost(seed: u64) -> Table {
+    use beep_congest::algorithms::Distance2Coloring;
+    use beep_congest::CongestRunner;
+    use beep_core::baseline::{agl_setup, beauquier_setup};
+    let n = 48;
+    let params = SimulationParams::calibrated(0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        "E5b: baseline setup cost (distributed G² coloring), n = 48 random-regular",
+        &["Δ", "CONGEST rounds", "beep rounds via Cor 12", "[4] setup model", "[7] setup model", "ours"],
+    );
+    for delta in [3usize, 4, 6, 8] {
+        let graph = topology::random_regular(n, delta, &mut rng).expect("valid degree");
+        let bits = Distance2Coloring::required_message_bits(delta);
+        let iters = Distance2Coloring::suggested_iterations(n);
+        let runner = CongestRunner::new(&graph, bits, seed + delta as u64);
+        let mut algos: Vec<Box<Distance2Coloring>> = (0..n)
+            .map(|v| {
+                Box::new(Distance2Coloring::new(delta, graph.neighbors(v).to_vec(), iters))
+            })
+            .collect();
+        let report = runner
+            .run_to_completion(&mut algos, Distance2Coloring::rounds_for(iters))
+            .expect("coloring converges");
+        let per_congest_round =
+            delta * params.rounds_per_broadcast_round(2 * beep_congest::id_bits_for(n) + bits, delta);
+        t.push(vec![
+            delta.to_string(),
+            report.rounds.to_string(),
+            (report.rounds * per_congest_round).to_string(),
+            fmt_f(agl_setup(delta, n)),
+            fmt_f(beauquier_setup(delta)),
+            "0".into(),
+        ]);
+    }
+    t.set_note(
+        "the baseline cannot transmit a single message before its G² schedule exists; even our \
+generously efficient distributed coloring costs tens of thousands of beep rounds via \
+Corollary 12, and the real [7]/[4] setup protocols are worse (models shown). Algorithm 1 \
+needs no schedule at all — the paper's 'no setup cost' claim.",
+    );
+    t
+}
+
+/// E6 — Corollary 12 + Lemma 14 optimality: CONGEST simulation measured
+/// against the `Ω(Δ²B)` lower bound.
+///
+/// Solves B-bit Local Broadcast on `K_{Δ,Δ}` end-to-end (CONGEST solver →
+/// Corollary 12 wrapper → Algorithm 1 → noiseless beeping engine) and
+/// divides the measured beep rounds by the Lemma 14 bound: the ratio is a
+/// constant, i.e. the simulation is optimal up to constants.
+#[must_use]
+pub fn e6_congest_overhead(seed: u64) -> Table {
+    let message_bits = 8;
+    let params = SimulationParams::calibrated(0.0);
+    let mut t = Table::new(
+        "E6 (Cor 12): CONGEST local broadcast on K_{Δ,Δ}, B = 8, measured on the engine",
+        &["Δ", "beep rounds", "Ω(Δ²B/2) bound", "ratio", "all decoded"],
+    );
+    for delta in [2usize, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(seed + delta as u64);
+        let inst = LocalBroadcastInstance::random(delta, 2 * delta, message_bits, &mut rng);
+        let algos: Vec<CongestLocalBroadcast> = (0..inst.graph.node_count())
+            .map(|v| {
+                let outgoing = inst
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| (u, inst.inputs[&(v, u)].clone()))
+                    .collect();
+                CongestLocalBroadcast::new(message_bits, outgoing)
+            })
+            .collect();
+        let runner = SimulatedCongestRunner::new(
+            &inst.graph,
+            message_bits,
+            seed,
+            params,
+            Noise::Noiseless,
+        );
+        let (solved, report) = runner.run_to_completion(algos, 4).expect("run completes");
+        let all_ok = (0..inst.graph.node_count()).all(|v| {
+            solved[v]
+                .output()
+                .iter()
+                .all(|(sender, msg)| msg == &inst.inputs[&(*sender, v)])
+        });
+        let bound = lemma14_round_lower_bound(delta, message_bits).max(1);
+        t.push(vec![
+            delta.to_string(),
+            report.beep_rounds.to_string(),
+            bound.to_string(),
+            fmt_f(report.beep_rounds as f64 / bound as f64),
+            all_ok.to_string(),
+        ]);
+    }
+    t.set_note(
+        "ratio = measured beep rounds / information-theoretic lower bound. It stays bounded \
+as Δ grows (the calibrated constant c³ and the id-field overhead make up the constant), \
+witnessing Corollary 12's optimality (Corollary 16).",
+    );
+    t
+}
+
+/// E10 — §1.3: noise does not asymptotically increase the overhead.
+///
+/// At fixed `(n, Δ, B)`, our per-round cost changes only through the
+/// calibrated constant `c_ε` (bounded for bounded ε), while the
+/// repetition-based TDMA baseline pays an extra `Θ(log n)` factor that
+/// *grows* with ε.
+#[must_use]
+pub fn e10_noise_independence(seed: u64) -> Table {
+    let message_bits = 16;
+    let graph = topology::cycle(12).expect("valid cycle");
+    let delta = graph.max_degree();
+    let mut t = Table::new(
+        "E10 (§1.3): overhead vs noise at fixed n = 12 cycle, B = 16",
+        &["ε", "ours/round", "vs ε=0", "TDMA ρ", "TDMA/round", "vs ε=0"],
+    );
+    let ours0 = SimulationParams::calibrated(0.0).rounds_per_broadcast_round(message_bits, delta);
+    let tdma0 = TdmaSimulator::new(&graph, message_bits, 0.0).rounds_per_congest_round();
+    for eps in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let params = SimulationParams::calibrated(eps);
+        let ours = params.rounds_per_broadcast_round(message_bits, delta);
+        let tdma = TdmaSimulator::new(&graph, message_bits, eps);
+        t.push(vec![
+            format!("{eps:.2}"),
+            ours.to_string(),
+            fmt_f(ours as f64 / ours0 as f64),
+            tdma.repetition().to_string(),
+            tdma.rounds_per_congest_round().to_string(),
+            fmt_f(tdma.rounds_per_congest_round() as f64 / tdma0 as f64),
+        ]);
+    }
+    let _ = seed;
+    t.set_note(
+        "ours grows only through the bounded calibrated constant c_ε (the paper: noise does \
+not change the asymptotics at all); the TDMA baseline must repeat every bit ρ = Θ(log n) \
+times and ρ diverges as ε → ½.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_gap_grows_with_delta() {
+        let t = e5_broadcast_overhead(5);
+        // Noiseless ratio (col 5) and noisy ratio (col 8) both grow with Δ.
+        for col in [5usize, 8] {
+            let first: f64 = t.rows.first().unwrap()[col].parse().unwrap();
+            let last: f64 = t.rows.last().unwrap()[col].parse().unwrap();
+            assert!(last > first, "col {col}: TDMA/ours should grow with Δ: {first} → {last}");
+        }
+        // Under noise the simulation beats the baseline outright at scale.
+        let noisy_last: f64 = t.rows.last().unwrap()[8].parse().unwrap();
+        assert!(noisy_last > 1.0, "noisy ratio {noisy_last}");
+    }
+
+    #[test]
+    fn e5b_setup_costs_are_nonzero_and_ours_is_zero() {
+        let t = e5b_setup_cost(11);
+        for row in &t.rows {
+            let congest_rounds: usize = row[1].parse().unwrap();
+            assert!(congest_rounds > 0);
+            assert_eq!(row[5], "0");
+        }
+    }
+
+    #[test]
+    fn e6_all_decoded_and_ratio_bounded() {
+        let t = e6_congest_overhead(6);
+        for row in &t.rows {
+            assert_eq!(row[4], "true", "Δ = {}", row[0]);
+        }
+        // Ratios stay within a constant band (no Δ-growth).
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 6.0, "ratios {ratios:?} drift too much");
+    }
+
+    #[test]
+    fn e10_ours_flat_tdma_grows() {
+        let t = e10_noise_independence(7);
+        let ours_growth: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        let tdma_growth: f64 = t.rows.last().unwrap()[5].parse().unwrap();
+        assert!(ours_growth < tdma_growth, "ours {ours_growth} vs TDMA {tdma_growth}");
+    }
+}

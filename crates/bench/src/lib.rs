@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the `noisy-beeps` reproduction.
+//!
+//! One function per experiment in DESIGN.md §5 / EXPERIMENTS.md, each
+//! returning a printable [`Table`] whose rows regenerate the corresponding
+//! quantitative claim of the paper. The `tables` binary prints them:
+//!
+//! ```sh
+//! cargo run --release -p beep-bench --bin tables -- all
+//! cargo run --release -p beep-bench --bin tables -- e5
+//! ```
+//!
+//! Wall-clock performance (encode/decode/simulation throughput) lives in
+//! the Criterion benches (`cargo bench`).
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;

@@ -1,0 +1,99 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled table with a header row and string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text reading guide printed under the table.
+    pub note: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Sets the reading note.
+    pub fn set_note(&mut self, note: &str) {
+        self.note = note.to_string();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:>w$} ", w = w)?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.header)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        if !self.note.is_empty() {
+            writeln!(f, "note: {}", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["100".into(), "x".into()]);
+        t.set_note("reading guide");
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("long_header"));
+        assert!(s.contains("note: reading guide"));
+        // Alignment: every rendered row has the same width.
+        let lines: Vec<&str> = s.lines().skip(1).take(4).collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(vec!["only one".into()]);
+    }
+}

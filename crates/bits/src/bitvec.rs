@@ -1,0 +1,348 @@
+//! The [`BitVec`] type: a fixed-length, heap-allocated bit string.
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bit string `s ∈ {0,1}^len`, packed into `u64` words.
+///
+/// Unlike `Vec<bool>`, all bulk operations (OR, AND, popcount, Hamming
+/// distance) run a word at a time, which matters because the paper's codes
+/// have length `Θ(Δ log n)` and decoding scores many candidate codewords
+/// against a received string.
+///
+/// Bit `i` of the string is stored in bit `i % 64` of word `i / 64`. Unused
+/// high bits of the last word are always kept zero (an internal invariant
+/// every mutating method maintains), so popcount and equality never need to
+/// mask.
+///
+/// # Length discipline
+///
+/// Binary operations between two `BitVec`s require equal lengths and panic
+/// otherwise, mirroring how slice indexing panics: a length mismatch is a
+/// programming error in code-construction logic, never a data-dependent
+/// condition.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    pub(crate) words: Vec<u64>,
+    pub(crate) len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit string of length `len`.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates an all-one bit string of length `len`.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            words: vec![!0u64; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a bit string from a predicate on positions.
+    #[must_use]
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = BitVec::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a bit string of length `len` with 1s exactly at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    #[must_use]
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = BitVec::zeros(len);
+        for i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Builds a bit string from a slice of booleans (`bools[i]` is bit `i`).
+    #[must_use]
+    pub fn from_bools(bools: &[bool]) -> Self {
+        BitVec::from_fn(bools.len(), |i| bools[i])
+    }
+
+    /// Encodes the low `len` bits of `value`, least-significant bit first.
+    ///
+    /// This is the canonical way the workspace turns small integers (node
+    /// IDs, sampled values) into fixed-width message payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 64` and `value` does not fit in `len` bits.
+    #[must_use]
+    pub fn from_u64_lsb(value: u64, len: usize) -> Self {
+        if len < 64 {
+            assert!(
+                value < (1u64 << len),
+                "value {value} does not fit in {len} bits"
+            );
+        }
+        let mut v = BitVec::zeros(len);
+        for i in 0..len.min(64) {
+            if value & (1u64 << i) != 0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Decodes the first `min(len, 64)` bits as a little-endian integer.
+    #[must_use]
+    pub fn to_u64_lsb(&self) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.len.min(64) {
+            if self.get(i) {
+                out |= 1u64 << i;
+            }
+        }
+        out
+    }
+
+    /// The length of the bit string in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the string has length zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let new = !self.get(i);
+        self.set(i, new);
+        new
+    }
+
+    /// The number of 1s in the string — the paper's `1(s)` (Definition 2).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The number of 0s in the string.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Position of the `i`-th one (1-indexed) — the paper's `1_i(s)`
+    /// (Notation 7). Returns `None` ("Null" in the paper) if the string
+    /// contains fewer than `i` ones, or if `i == 0`.
+    #[must_use]
+    pub fn position_of_nth_one(&self, i: usize) -> Option<usize> {
+        if i == 0 {
+            return None;
+        }
+        let mut remaining = i;
+        for (wi, &w) in self.words.iter().enumerate() {
+            let ones = w.count_ones() as usize;
+            if remaining <= ones {
+                // The answer is inside this word; scan its set bits.
+                let mut w = w;
+                for _ in 0..remaining - 1 {
+                    w &= w - 1; // clear lowest set bit
+                }
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+            remaining -= ones;
+        }
+        None
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (internal invariant).
+    pub(crate) fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    pub(crate) fn assert_same_len(&self, other: &Self, op: &str) {
+        assert_eq!(
+            self.len, other.len,
+            "length mismatch in BitVec::{op}: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.count_zeros(), 100);
+        let o = BitVec::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(o.count_zeros(), 0);
+        assert!(!z.is_empty());
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn ones_masks_tail_word() {
+        // 65 bits: second word must have exactly one set bit.
+        let o = BitVec::ones(65);
+        assert_eq!(o.words.len(), 2);
+        assert_eq!(o.words[1], 1);
+        assert_eq!(o.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(130);
+        assert!(!v.get(0));
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert_eq!(v.count_ones(), 3);
+        assert!(!v.flip(0));
+        assert!(v.flip(1));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitVec::zeros(10).set(10, true);
+    }
+
+    #[test]
+    fn from_fn_and_from_indices_agree() {
+        let a = BitVec::from_fn(50, |i| i % 7 == 0);
+        let b = BitVec::from_indices(50, (0..50).filter(|i| i % 7 == 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools: Vec<bool> = (0..77).map(|i| i % 3 == 1).collect();
+        let v = BitVec::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(v.get(i), b);
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for value in [0u64, 1, 0b1011, u32::MAX as u64, 0xDEAD_BEEF] {
+            let v = BitVec::from_u64_lsb(value, 64);
+            assert_eq!(v.to_u64_lsb(), value);
+        }
+        let v = BitVec::from_u64_lsb(0b101, 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.to_u64_lsb(), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn u64_too_wide_panics() {
+        let _ = BitVec::from_u64_lsb(8, 3);
+    }
+
+    #[test]
+    fn u64_in_wide_string() {
+        let v = BitVec::from_u64_lsb(0xFFFF_FFFF_FFFF_FFFF, 200);
+        assert_eq!(v.count_ones(), 64);
+        assert_eq!(v.to_u64_lsb(), 0xFFFF_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn nth_one_positions() {
+        let v = BitVec::from_indices(200, [3, 64, 65, 130, 199]);
+        assert_eq!(v.position_of_nth_one(0), None);
+        assert_eq!(v.position_of_nth_one(1), Some(3));
+        assert_eq!(v.position_of_nth_one(2), Some(64));
+        assert_eq!(v.position_of_nth_one(3), Some(65));
+        assert_eq!(v.position_of_nth_one(4), Some(130));
+        assert_eq!(v.position_of_nth_one(5), Some(199));
+        assert_eq!(v.position_of_nth_one(6), None);
+    }
+
+    #[test]
+    fn nth_one_dense() {
+        let v = BitVec::ones(70);
+        for i in 1..=70 {
+            assert_eq!(v.position_of_nth_one(i), Some(i - 1));
+        }
+    }
+
+    #[test]
+    fn eq_and_hash_are_content_based() {
+        use std::collections::HashSet;
+        let a = BitVec::from_indices(100, [1, 50, 99]);
+        let b = BitVec::from_indices(100, [1, 50, 99]);
+        let c = BitVec::from_indices(100, [1, 50]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+}

@@ -1,0 +1,117 @@
+//! Textual representations: `Display`/`Debug` as 0/1 strings and parsing.
+
+use crate::BitVec;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a `BitVec` from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVecError {
+    position: usize,
+    found: char,
+}
+
+impl fmt::Display for ParseBitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid character {:?} at position {} (expected '0' or '1')",
+            self.found, self.position
+        )
+    }
+}
+
+impl Error for ParseBitVecError {}
+
+impl BitVec {
+    /// Parses a string of `'0'`/`'1'` characters; character `i` becomes bit
+    /// `i`. Equivalent to the `FromStr` impl but usable without type
+    /// annotations.
+    pub fn from_str_01(s: &str) -> Result<Self, ParseBitVecError> {
+        let mut v = BitVec::zeros(s.chars().count());
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => v.set(i, true),
+                found => return Err(ParseBitVecError { position: i, found }),
+            }
+        }
+        Ok(v)
+    }
+}
+
+impl FromStr for BitVec {
+    type Err = ParseBitVecError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BitVec::from_str_01(s)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Long strings abbreviate to keep assertion diffs readable.
+        const MAX: usize = 96;
+        if self.len <= MAX {
+            write!(f, "BitVec({self})")
+        } else {
+            let head: String = (0..MAX).map(|i| if self.get(i) { '1' } else { '0' }).collect();
+            write!(
+                f,
+                "BitVec({head}… len={} ones={})",
+                self.len,
+                self.count_ones()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let s = "10110011101";
+        let v: BitVec = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = BitVec::from_str_01("10a1").unwrap_err();
+        assert_eq!(err, ParseBitVecError { position: 2, found: 'a' });
+        assert!(err.to_string().contains("position 2"));
+    }
+
+    #[test]
+    fn parse_empty() {
+        let v = BitVec::from_str_01("").unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.to_string(), "");
+    }
+
+    #[test]
+    fn debug_abbreviates_long_strings() {
+        let v = BitVec::ones(500);
+        let dbg = format!("{v:?}");
+        assert!(dbg.contains("len=500"));
+        assert!(dbg.contains("ones=500"));
+        assert!(dbg.len() < 200);
+    }
+
+    #[test]
+    fn debug_shows_short_strings_fully() {
+        let v = BitVec::from_str_01("0101").unwrap();
+        assert_eq!(format!("{v:?}"), "BitVec(0101)");
+    }
+}

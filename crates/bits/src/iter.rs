@@ -1,0 +1,109 @@
+//! Iteration over set bits.
+
+use crate::BitVec;
+
+impl BitVec {
+    /// Iterates over the positions of 1s in increasing order.
+    ///
+    /// The combined-code construction (paper Notation 7) and the phase-2
+    /// projection both walk the 1-positions of a beep codeword; this iterator
+    /// does so a word at a time.
+    #[must_use]
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            bv: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the positions of 1s into a vector.
+    #[must_use]
+    pub fn one_positions(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// Iterates over all bits as booleans, in position order.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+/// Iterator over set-bit positions of a [`BitVec`], created by
+/// [`BitVec::iter_ones`].
+pub struct Ones<'a> {
+    bv: &'a BitVec,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.bv.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let in_current = self.current.count_ones() as usize;
+        let rest: usize = self.bv.words[(self.word_index + 1).min(self.bv.words.len())..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let exact = in_current + rest;
+        (exact, Some(exact))
+    }
+}
+
+impl ExactSizeIterator for Ones<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let v = BitVec::from_indices(300, [0, 63, 64, 128, 200, 299]);
+        assert_eq!(v.one_positions(), vec![0, 63, 64, 128, 200, 299]);
+    }
+
+    #[test]
+    fn ones_empty_and_full() {
+        assert_eq!(BitVec::zeros(100).one_positions(), Vec::<usize>::new());
+        assert_eq!(
+            BitVec::ones(67).one_positions(),
+            (0..67).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ones_exact_size() {
+        let v = BitVec::from_indices(130, [1, 2, 3, 100, 129]);
+        let it = v.iter_ones();
+        assert_eq!(it.len(), 5);
+        let mut it = v.iter_ones();
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn ones_consistent_with_nth_one() {
+        let v = BitVec::from_indices(500, (0..500).filter(|i| i % 13 == 5));
+        for (idx, pos) in v.iter_ones().enumerate() {
+            assert_eq!(v.position_of_nth_one(idx + 1), Some(pos));
+        }
+    }
+
+    #[test]
+    fn iter_bits_roundtrip() {
+        let v = BitVec::from_indices(70, [0, 5, 69]);
+        let bits: Vec<bool> = v.iter_bits().collect();
+        assert_eq!(BitVec::from_bools(&bits), v);
+    }
+}

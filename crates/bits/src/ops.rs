@@ -1,0 +1,283 @@
+//! Bulk logical operations: the paper's `∧`, `∨`, `¬`, `d`-intersection and
+//! Hamming distance (Definitions 2 and 5, Section 1.5).
+
+use crate::BitVec;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+impl BitVec {
+    /// In-place bitwise OR (`self ∨= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other, "or_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise AND (`self ∧= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other, "and_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        self.assert_same_len(other, "xor_assign");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place bitwise complement (`¬self`).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// `1(self ∧ other)` without allocating — the size of the intersection
+    /// of the two strings' 1-positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn intersection_count(&self, other: &BitVec) -> usize {
+        self.assert_same_len(other, "intersection_count");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `1(self ∧ ¬other)` without allocating: how many 1s of `self` fall in
+    /// positions where `other` has a 0. This is exactly the quantity the
+    /// paper's phase-1 decoder thresholds (Lemma 9 tests whether `C(r)`
+    /// `d`-intersects `¬x̃ᵥ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn and_not_count(&self, other: &BitVec) -> usize {
+        self.assert_same_len(other, "and_not_count");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self` `d`-intersects `other`: `1(self ∧ other) ≥ d`
+    /// (Definition 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn d_intersects(&self, other: &BitVec, d: usize) -> bool {
+        self.intersection_count(other) >= d
+    }
+
+    /// Hamming distance `d_H(self, other)` (used by distance codes,
+    /// Definition 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        self.assert_same_len(other, "hamming_distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ∧ other == self`, i.e. every 1 of `self` is also a 1 of
+    /// `other`. A codeword is subsumed by a superimposition containing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        self.assert_same_len(other, "is_subset_of");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Extracts the subsequence of `self` at the given positions, in order.
+    ///
+    /// The paper's phase-2 decoder reads `y_{v,w}`, the subsequence of the
+    /// heard string at the 1-positions of a neighbor's beep codeword
+    /// (Lemma 10); this method is that projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    #[must_use]
+    pub fn extract(&self, positions: impl IntoIterator<Item = usize>) -> BitVec {
+        let bits: Vec<bool> = positions.into_iter().map(|p| self.get(p)).collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+/// Superimposition `∨(S)` of a non-empty collection of equal-length strings
+/// (the paper's Definition 2 shorthand).
+///
+/// Returns `None` for an empty iterator (there is no length to give the
+/// identity element).
+///
+/// # Panics
+///
+/// Panics if the strings have unequal lengths.
+pub fn superimpose<'a>(strings: impl IntoIterator<Item = &'a BitVec>) -> Option<BitVec> {
+    let mut iter = strings.into_iter();
+    let mut acc = iter.next()?.clone();
+    for s in iter {
+        acc.or_assign(s);
+    }
+    Some(acc)
+}
+
+macro_rules! owned_binop {
+    ($trait:ident, $method:ident, $assign:ident) => {
+        impl $trait for &BitVec {
+            type Output = BitVec;
+            fn $method(self, rhs: &BitVec) -> BitVec {
+                let mut out = self.clone();
+                out.$assign(rhs);
+                out
+            }
+        }
+        impl $trait for BitVec {
+            type Output = BitVec;
+            fn $method(mut self, rhs: BitVec) -> BitVec {
+                self.$assign(&rhs);
+                self
+            }
+        }
+    };
+}
+
+owned_binop!(BitOr, bitor, or_assign);
+owned_binop!(BitAnd, bitand, and_assign);
+owned_binop!(BitXor, bitxor, xor_assign);
+
+impl Not for &BitVec {
+    type Output = BitVec;
+    fn not(self) -> BitVec {
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+}
+
+impl Not for BitVec {
+    type Output = BitVec;
+    fn not(mut self) -> BitVec {
+        self.not_assign();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_str_01(s).unwrap()
+    }
+
+    #[test]
+    fn or_and_xor_not() {
+        let a = bv("1100");
+        let b = bv("1010");
+        assert_eq!(&a | &b, bv("1110"));
+        assert_eq!(&a & &b, bv("1000"));
+        assert_eq!(&a ^ &b, bv("0110"));
+        assert_eq!(!&a, bv("0011"));
+    }
+
+    #[test]
+    fn not_preserves_tail_invariant() {
+        let a = BitVec::zeros(70);
+        let n = !&a;
+        assert_eq!(n.count_ones(), 70);
+        // Double complement is identity.
+        assert_eq!(!&n, a);
+    }
+
+    #[test]
+    fn counting_matches_materialized_ops() {
+        let a = bv("110101110010");
+        let b = bv("011100101011");
+        assert_eq!(a.intersection_count(&b), (&a & &b).count_ones());
+        assert_eq!(a.and_not_count(&b), (&a & &!&b).count_ones());
+        assert_eq!(a.hamming_distance(&b), (&a ^ &b).count_ones());
+    }
+
+    #[test]
+    fn d_intersects_threshold() {
+        let a = bv("1110");
+        let b = bv("0111");
+        // intersection = 2
+        assert!(a.d_intersects(&b, 0));
+        assert!(a.d_intersects(&b, 2));
+        assert!(!a.d_intersects(&b, 3));
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let small = bv("0100_0010".replace('_', "").as_str());
+        let big = bv("0110_0011".replace('_', "").as_str());
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn extract_projection() {
+        let y = bv("10110100");
+        let sub = y.extract([0, 2, 3, 7]);
+        assert_eq!(sub, bv("1110"));
+        let empty = y.extract(std::iter::empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn superimpose_matches_fold() {
+        let strings = [bv("1000"), bv("0100"), bv("0101")];
+        assert_eq!(superimpose(&strings), Some(bv("1101")));
+        assert_eq!(superimpose(std::iter::empty()), None);
+        assert_eq!(superimpose([&strings[0]]), Some(strings[0].clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_or_panics() {
+        let _ = &bv("10") | &bv("100");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_hamming_panics() {
+        let _ = bv("10").hamming_distance(&bv("100"));
+    }
+}

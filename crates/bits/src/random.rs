@@ -1,0 +1,155 @@
+//! Random bit strings and noise: the sampling primitives behind the paper's
+//! probabilistic code constructions and the noisy beeping channel.
+
+use crate::BitVec;
+use rand::{Rng, RngExt};
+
+impl BitVec {
+    /// Samples a uniformly random string from `{0,1}^len`.
+    ///
+    /// Used by the distance-code construction (Lemma 6), which chooses every
+    /// codeword entry independently uniformly at random.
+    #[must_use]
+    pub fn random_uniform<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut v = BitVec::zeros(len);
+        for w in &mut v.words {
+            *w = rng.random();
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Samples a uniformly random string of length `len` with *exactly*
+    /// `weight` ones.
+    ///
+    /// The beep-code construction (Theorem 4) chooses each codeword uniformly
+    /// at random from the set of all `b`-bit strings with `b/(ck)` ones; this
+    /// is that sampler. Uses Floyd's algorithm: O(weight) expected work,
+    /// no allocation proportional to `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight > len`.
+    #[must_use]
+    pub fn random_with_weight<R: Rng + ?Sized>(len: usize, weight: usize, rng: &mut R) -> Self {
+        assert!(
+            weight <= len,
+            "weight {weight} exceeds length {len} in random_with_weight"
+        );
+        let mut v = BitVec::zeros(len);
+        // Floyd's algorithm for sampling `weight` distinct values in [0, len).
+        for j in len - weight..len {
+            let t = rng.random_range(0..=j);
+            if v.get(t) {
+                v.set(j, true);
+            } else {
+                v.set(t, true);
+            }
+        }
+        debug_assert_eq!(v.count_ones(), weight);
+        v
+    }
+
+    /// Returns a copy with each bit independently flipped with probability
+    /// `p` — the noisy beeping channel of Ashkenazi–Gelles–Leshem applied to
+    /// a whole frame (each listening round's bit is flipped i.i.d. with
+    /// probability `ε`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn flipped_with_noise<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&p), "noise probability {p} not in [0,1]");
+        let mut out = self.clone();
+        if p == 0.0 {
+            return out;
+        }
+        for i in 0..out.len {
+            if rng.random_bool(p) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_uniform_has_correct_length_and_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 63, 64, 65, 500] {
+            let v = BitVec::random_uniform(len, &mut rng);
+            assert_eq!(v.len(), len);
+            // Tail invariant: complementing twice is identity implies masked.
+            assert_eq!(!&!&v, v);
+        }
+    }
+
+    #[test]
+    fn random_uniform_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = BitVec::random_uniform(10_000, &mut rng);
+        let ones = v.count_ones();
+        assert!((4500..=5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn random_with_weight_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (len, w) in [(10, 0), (10, 10), (100, 1), (1000, 37), (64, 64), (65, 1)] {
+            let v = BitVec::random_with_weight(len, w, &mut rng);
+            assert_eq!(v.len(), len);
+            assert_eq!(v.count_ones(), w, "len={len} w={w}");
+        }
+    }
+
+    #[test]
+    fn random_with_weight_covers_all_positions() {
+        // Over many draws of weight-1 strings, every position should appear.
+        let mut rng = StdRng::seed_from_u64(4);
+        let len = 16;
+        let mut seen = vec![false; len];
+        for _ in 0..2000 {
+            let v = BitVec::random_with_weight(len, 1, &mut rng);
+            seen[v.position_of_nth_one(1).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "positions seen: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn random_with_weight_too_heavy_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = BitVec::random_with_weight(4, 5, &mut rng);
+    }
+
+    #[test]
+    fn noise_zero_and_one_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = BitVec::random_uniform(300, &mut rng);
+        assert_eq!(v.flipped_with_noise(0.0, &mut rng), v);
+        assert_eq!(v.flipped_with_noise(1.0, &mut rng), !&v);
+    }
+
+    #[test]
+    fn noise_flips_expected_fraction() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = BitVec::zeros(20_000);
+        let noisy = v.flipped_with_noise(0.1, &mut rng);
+        let flips = noisy.count_ones();
+        assert!((1600..=2400).contains(&flips), "flips = {flips}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn invalid_noise_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = BitVec::zeros(10).flipped_with_noise(1.5, &mut rng);
+    }
+}

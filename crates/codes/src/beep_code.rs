@@ -1,0 +1,310 @@
+//! The paper's novel beep codes (Definition 3, Theorem 4).
+
+use crate::error::CodeError;
+use crate::prf;
+use beep_bits::BitVec;
+
+/// Parameters of an `(a, k, 1/c)`-beep code in the paper's Theorem 4
+/// instantiation: length `b = c²·k·a`, codeword weight `δb/k = c·a`.
+///
+/// * `a` = [`input_bits`](Self::input_bits): the number of input bits each
+///   codeword encodes (the paper uses `a = c_ε·γ·log n`).
+/// * `k` = [`max_overlap`](Self::max_overlap): the largest number of
+///   codewords whose superimposition must remain decodable (the paper uses
+///   `k = Δ + 1`, a node's inclusive neighborhood size).
+/// * `c` = [`expansion`](Self::expansion): the paper's constant `c_ε`,
+///   trading length for decoding slack. Theorem 4 is non-trivial only for
+///   `c ≥ 3`, and the noiseless decoding argument needs `c ≥ 7` (so that
+///   out-of-set codewords keep `(c−5)a > c·a/4` ones outside the heard
+///   superimposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BeepCodeParams {
+    input_bits: usize,
+    max_overlap: usize,
+    expansion: usize,
+}
+
+impl BeepCodeParams {
+    /// Creates beep-code parameters `(a, k, c)` after validating them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if any parameter is zero, or if
+    /// the implied code length `c²·k·a` would overflow `usize`.
+    pub fn new(input_bits: usize, max_overlap: usize, expansion: usize) -> Result<Self, CodeError> {
+        if input_bits == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "input_bits",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if max_overlap == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "max_overlap",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if expansion == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "expansion",
+                detail: "must be at least 1".into(),
+            });
+        }
+        expansion
+            .checked_mul(expansion)
+            .and_then(|c2| c2.checked_mul(max_overlap))
+            .and_then(|c2k| c2k.checked_mul(input_bits))
+            .ok_or_else(|| CodeError::InvalidParams {
+                what: "length",
+                detail: format!(
+                    "c²·k·a overflows usize (c={expansion}, k={max_overlap}, a={input_bits})"
+                ),
+            })?;
+        Ok(BeepCodeParams {
+            input_bits,
+            max_overlap,
+            expansion,
+        })
+    }
+
+    /// `a`: input length in bits.
+    #[must_use]
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// `k`: the superimposition size the code is designed for.
+    #[must_use]
+    pub fn max_overlap(&self) -> usize {
+        self.max_overlap
+    }
+
+    /// `c`: the expansion constant (the paper's `c_ε`).
+    #[must_use]
+    pub fn expansion(&self) -> usize {
+        self.expansion
+    }
+
+    /// Code length `b = c²·k·a` (Theorem 4). One bit of codeword = one round
+    /// of beeping, so this is also the round cost of transmitting a codeword.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.expansion * self.expansion * self.max_overlap * self.input_bits
+    }
+
+    /// Codeword weight `δb/k = c·a`: every codeword has exactly this many 1s.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.expansion * self.input_bits
+    }
+
+    /// The Definition 3 "bad intersection" threshold `5δ²b/k = 5a`:
+    /// a superimposition of `k` codewords that intersects another codeword
+    /// in at least this many positions counts as a decoding failure.
+    #[must_use]
+    pub fn bad_intersection_threshold(&self) -> usize {
+        5 * self.input_bits
+    }
+
+    /// The Lemma 9 decoding threshold `(2ε+1)/4 · weight` for noise rate
+    /// `ε`: a candidate codeword is accepted iff fewer than this many of its
+    /// 1s fall where the (noisy) heard string has 0s.
+    ///
+    /// At `ε = 0` this is `weight/4`, strictly between the `0` out-of-`x_v`
+    /// ones of a transmitted codeword and the `≥ (c−5)a` of a non-transmitted
+    /// one (for `c ≥ 7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `[0, 0.5)`.
+    #[must_use]
+    pub fn decode_threshold(&self, epsilon: f64) -> usize {
+        assert!(
+            (0.0..0.5).contains(&epsilon),
+            "noise rate {epsilon} outside [0, 0.5)"
+        );
+        ((2.0 * epsilon + 1.0) / 4.0 * self.weight() as f64).ceil() as usize
+    }
+}
+
+/// An `(a, k, 1/c)`-beep code: a deterministic map from `{0,1}^a` to
+/// constant-weight codewords in `{0,1}^{c²ka}` (Theorem 4).
+///
+/// Theorem 4 samples each codeword independently, uniformly at random from
+/// all length-`b` strings of weight `c·a`, and shows the result is a beep
+/// code with probability `≥ 1 − 2⁻ᵃ`. We implement exactly that sampler,
+/// derandomized through a PRF keyed by [`seed`](Self::seed) so that all
+/// nodes sharing a seed share the code (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct BeepCode {
+    params: BeepCodeParams,
+    seed: u64,
+}
+
+/// Domain-separation tag for beep-code codeword derivation.
+const BEEP_TAG: u64 = 0xBEE9_C0DE;
+
+impl BeepCode {
+    /// Creates the code with a fixed default seed. All parties calling
+    /// `BeepCode::new` with equal parameters obtain the same code.
+    #[must_use]
+    pub fn new(params: BeepCodeParams) -> Self {
+        Self::with_seed(params, 0)
+    }
+
+    /// Creates the code with an explicit seed (one seed = one concrete code
+    /// drawn from the Theorem 4 ensemble).
+    #[must_use]
+    pub fn with_seed(params: BeepCodeParams, seed: u64) -> Self {
+        BeepCode { params, seed }
+    }
+
+    /// The code's parameters.
+    #[must_use]
+    pub fn params(&self) -> BeepCodeParams {
+        self.params
+    }
+
+    /// The seed identifying this concrete code within the ensemble.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Encodes an `a`-bit input into its codeword `C(r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != params.input_bits()`; use
+    /// [`try_encode`](Self::try_encode) for a fallible variant.
+    #[must_use]
+    pub fn encode(&self, input: &BitVec) -> BitVec {
+        self.try_encode(input).unwrap_or_else(|e| panic!("BeepCode::encode: {e}"))
+    }
+
+    /// Encodes an `a`-bit input into its codeword, or reports a length error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InputLength`] if the input is not exactly
+    /// `a` bits.
+    pub fn try_encode(&self, input: &BitVec) -> Result<BitVec, CodeError> {
+        if input.len() != self.params.input_bits {
+            return Err(CodeError::InputLength {
+                expected: self.params.input_bits,
+                actual: input.len(),
+            });
+        }
+        let mut rng = prf::derive_rng(self.seed, BEEP_TAG, input);
+        Ok(BitVec::random_with_weight(
+            self.params.length(),
+            self.params.weight(),
+            &mut rng,
+        ))
+    }
+
+    /// Convenience: encodes the low `a` bits of an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `a` bits.
+    #[must_use]
+    pub fn encode_u64(&self, value: u64) -> BitVec {
+        self.encode(&BitVec::from_u64_lsb(value, self.params.input_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BeepCode {
+        BeepCode::with_seed(BeepCodeParams::new(8, 4, 7).unwrap(), 1)
+    }
+
+    #[test]
+    fn params_formulas_match_theorem_4() {
+        let p = BeepCodeParams::new(10, 5, 7).unwrap();
+        assert_eq!(p.length(), 7 * 7 * 5 * 10); // c²ka
+        assert_eq!(p.weight(), 7 * 10); // ca
+        assert_eq!(p.bad_intersection_threshold(), 50); // 5a
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        assert!(BeepCodeParams::new(0, 1, 1).is_err());
+        assert!(BeepCodeParams::new(1, 0, 1).is_err());
+        assert!(BeepCodeParams::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let huge = usize::MAX / 2;
+        assert!(matches!(
+            BeepCodeParams::new(huge, huge, 2),
+            Err(CodeError::InvalidParams { what: "length", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_threshold_interpolates() {
+        let p = BeepCodeParams::new(10, 5, 8).unwrap(); // weight 80
+        assert_eq!(p.decode_threshold(0.0), 20); // weight/4
+        assert_eq!(p.decode_threshold(0.25), 30); // 1.5/4 · 80
+        assert!(p.decode_threshold(0.49) < p.weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 0.5)")]
+    fn decode_threshold_rejects_half() {
+        let _ = BeepCodeParams::new(10, 5, 8).unwrap().decode_threshold(0.5);
+    }
+
+    #[test]
+    fn codewords_have_exact_weight_and_length() {
+        let code = small();
+        for v in 0..50u64 {
+            let cw = code.encode_u64(v);
+            assert_eq!(cw.len(), code.params().length());
+            assert_eq!(cw.count_ones(), code.params().weight());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_seed_dependent() {
+        let p = BeepCodeParams::new(8, 4, 7).unwrap();
+        let a = BeepCode::with_seed(p, 1);
+        let b = BeepCode::with_seed(p, 1);
+        let c = BeepCode::with_seed(p, 2);
+        let r = BitVec::from_u64_lsb(0x5A, 8);
+        assert_eq!(a.encode(&r), b.encode(&r));
+        assert_ne!(a.encode(&r), c.encode(&r));
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_codewords() {
+        // Not guaranteed in general, but overwhelmingly likely at these
+        // parameters; a collision would indicate a broken PRF.
+        let code = small();
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..256u64 {
+            assert!(seen.insert(code.encode_u64(v).to_string()), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn try_encode_rejects_wrong_length() {
+        let code = small();
+        let bad = BitVec::zeros(9);
+        assert_eq!(
+            code.try_encode(&bad),
+            Err(CodeError::InputLength { expected: 8, actual: 9 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BeepCode::encode")]
+    fn encode_panics_on_wrong_length() {
+        let _ = small().encode(&BitVec::zeros(9));
+    }
+}

@@ -1,0 +1,205 @@
+//! The combined code `CD(r, m)` (Notation 7, Figure 1): a distance codeword
+//! written into the 1-positions of a beep codeword.
+
+use crate::error::CodeError;
+use crate::{BeepCode, DistanceCode};
+use beep_bits::BitVec;
+
+/// The paper's combined code
+/// `CD : {0,1}^a_beep × {0,1}^a_msg → {0,1}^b_beep`:
+///
+/// ```text
+/// CD(r, m)_j = 1  iff  j = 1_i(C(r)) for some i and D(m)_i = 1
+/// ```
+///
+/// i.e. the `i`-th bit of the distance codeword `D(m)` is placed at the
+/// position of the `i`-th one of the beep codeword `C(r)`; all other
+/// positions are 0 (Figure 1). This requires the beep code's weight to equal
+/// the distance code's length, which the paper arranges by construction
+/// (both are `c_ε²·γ·log n`).
+///
+/// In Algorithm 1's second phase every node beeps `CD(r_v, m_v)`; a neighbor
+/// that learned `C(r_v)` in the first phase projects what it hears onto the
+/// 1-positions of `C(r_v)` ([`CombinedCode::project`]) and decodes the
+/// result against the distance code.
+#[derive(Debug, Clone)]
+pub struct CombinedCode {
+    beep: BeepCode,
+    distance: DistanceCode,
+}
+
+impl CombinedCode {
+    /// Pairs a beep code with a distance code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CarrierPayloadMismatch`] unless
+    /// `beep.params().weight() == distance.params().length()`.
+    pub fn new(beep: BeepCode, distance: DistanceCode) -> Result<Self, CodeError> {
+        if beep.params().weight() != distance.params().length() {
+            return Err(CodeError::CarrierPayloadMismatch {
+                carrier_weight: beep.params().weight(),
+                payload_len: distance.params().length(),
+            });
+        }
+        Ok(CombinedCode { beep, distance })
+    }
+
+    /// The underlying beep code `C`.
+    #[must_use]
+    pub fn beep_code(&self) -> &BeepCode {
+        &self.beep
+    }
+
+    /// The underlying distance code `D`.
+    #[must_use]
+    pub fn distance_code(&self) -> &DistanceCode {
+        &self.distance
+    }
+
+    /// Computes `CD(r, m)`: encodes `r` with the beep code, `m` with the
+    /// distance code, and combines them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `m` has the wrong length for its code.
+    #[must_use]
+    pub fn encode(&self, r: &BitVec, m: &BitVec) -> BitVec {
+        let carrier = self.beep.encode(r);
+        let payload = self.distance.encode(m);
+        Self::combine(&carrier, &payload)
+            .unwrap_or_else(|e| unreachable!("weights checked at construction: {e}"))
+    }
+
+    /// The structural combination step: writes `payload` into the
+    /// 1-positions of `carrier` (Figure 1), independent of any code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CarrierPayloadMismatch`] if
+    /// `carrier.count_ones() != payload.len()`.
+    pub fn combine(carrier: &BitVec, payload: &BitVec) -> Result<BitVec, CodeError> {
+        let weight = carrier.count_ones();
+        if weight != payload.len() {
+            return Err(CodeError::CarrierPayloadMismatch {
+                carrier_weight: weight,
+                payload_len: payload.len(),
+            });
+        }
+        let mut out = BitVec::zeros(carrier.len());
+        for (i, pos) in carrier.iter_ones().enumerate() {
+            if payload.get(i) {
+                out.set(pos, true);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The decoder-side projection: extracts from a received string the
+    /// subsequence at the 1-positions of `carrier` — the paper's `y_{v,w}`
+    /// (Lemma 10). The result has length `carrier.count_ones()` and is what
+    /// gets matched against distance codewords.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::ReceivedLength`] if `received` is not the same
+    /// length as `carrier`.
+    pub fn project(received: &BitVec, carrier: &BitVec) -> Result<BitVec, CodeError> {
+        if received.len() != carrier.len() {
+            return Err(CodeError::ReceivedLength {
+                expected: carrier.len(),
+                actual: received.len(),
+            });
+        }
+        Ok(received.extract(carrier.iter_ones()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BeepCodeParams, DistanceCodeParams};
+
+    fn codes() -> CombinedCode {
+        // beep: a=6, k=3, c=5 → length 450, weight 30.
+        let beep = BeepCode::with_seed(BeepCodeParams::new(6, 3, 5).unwrap(), 3);
+        // distance: 10-bit messages, length 30 == beep weight.
+        let dist = DistanceCode::with_seed(DistanceCodeParams::with_length(10, 30).unwrap(), 3);
+        CombinedCode::new(beep, dist).unwrap()
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        let beep = BeepCode::new(BeepCodeParams::new(6, 3, 5).unwrap()); // weight 30
+        let dist = DistanceCode::new(DistanceCodeParams::with_length(10, 29).unwrap());
+        assert!(matches!(
+            CombinedCode::new(beep, dist),
+            Err(CodeError::CarrierPayloadMismatch { carrier_weight: 30, payload_len: 29 })
+        ));
+    }
+
+    #[test]
+    fn combined_is_subset_of_carrier() {
+        let cc = codes();
+        let r = BitVec::from_u64_lsb(0b10_1101, 6);
+        let m = BitVec::from_u64_lsb(0x17F, 10);
+        let cd = cc.encode(&r, &m);
+        let carrier = cc.beep_code().encode(&r);
+        assert!(cd.is_subset_of(&carrier));
+        assert_eq!(cd.len(), carrier.len());
+    }
+
+    #[test]
+    fn notation7_structure_holds() {
+        // CD(r,m) has a 1 at position 1_i(C(r)) exactly when D(m)_i = 1.
+        let cc = codes();
+        let r = BitVec::from_u64_lsb(0b01_0011, 6);
+        let m = BitVec::from_u64_lsb(0x2A5, 10);
+        let cd = cc.encode(&r, &m);
+        let carrier = cc.beep_code().encode(&r);
+        let payload = cc.distance_code().encode(&m);
+        for (i, pos) in carrier.iter_ones().enumerate() {
+            assert_eq!(cd.get(pos), payload.get(i), "payload bit {i} at carrier pos {pos}");
+        }
+        // And 0 everywhere the carrier is 0.
+        for pos in (!&carrier).iter_ones() {
+            assert!(!cd.get(pos), "position {pos} outside carrier must be 0");
+        }
+    }
+
+    #[test]
+    fn project_inverts_combine_without_noise() {
+        let cc = codes();
+        let r = BitVec::from_u64_lsb(0b11_1000, 6);
+        let m = BitVec::from_u64_lsb(0x0F3, 10);
+        let cd = cc.encode(&r, &m);
+        let carrier = cc.beep_code().encode(&r);
+        let projected = CombinedCode::project(&cd, &carrier).unwrap();
+        assert_eq!(projected, cc.distance_code().encode(&m));
+    }
+
+    #[test]
+    fn combine_rejects_bad_payload_len() {
+        let carrier = BitVec::from_indices(10, [1, 3, 5]);
+        let payload = BitVec::zeros(4);
+        assert!(CombinedCode::combine(&carrier, &payload).is_err());
+    }
+
+    #[test]
+    fn project_rejects_bad_received_len() {
+        let carrier = BitVec::from_indices(10, [1, 3, 5]);
+        let received = BitVec::zeros(11);
+        assert!(matches!(
+            CombinedCode::project(&received, &carrier),
+            Err(CodeError::ReceivedLength { expected: 10, actual: 11 })
+        ));
+    }
+
+    #[test]
+    fn combine_zero_payload_gives_zero_string() {
+        let carrier = BitVec::from_indices(8, [0, 4, 7]);
+        let payload = BitVec::zeros(3);
+        let out = CombinedCode::combine(&carrier, &payload).unwrap();
+        assert_eq!(out.count_ones(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Distance codes (Definition 5, Lemma 6): random binary codes with large
+//! pairwise Hamming distance.
+
+use crate::error::CodeError;
+use crate::prf;
+use beep_bits::BitVec;
+
+/// Parameters of an `(a, δ)`-distance code of length `b = c_δ·a` (Lemma 6).
+///
+/// Lemma 6 shows a uniformly random code achieves pairwise distance `≥ δb`
+/// with probability `≥ 1 − 2⁻²ᵃ` whenever `c_δ ≥ 12(1−2δ)⁻²`. The paper's
+/// simulation instantiates `δ = 1/3` and length `c_ε²·γ·log n` so the
+/// distance codeword fits exactly into the 1-positions of a beep codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistanceCodeParams {
+    message_bits: usize,
+    length: usize,
+}
+
+impl DistanceCodeParams {
+    /// Creates distance-code parameters (`a` message bits, length `c_δ·a`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if either parameter is zero or
+    /// the length overflows.
+    pub fn new(message_bits: usize, expansion: usize) -> Result<Self, CodeError> {
+        if message_bits == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "message_bits",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if expansion == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "expansion",
+                detail: "must be at least 1".into(),
+            });
+        }
+        message_bits
+            .checked_mul(expansion)
+            .ok_or_else(|| CodeError::InvalidParams {
+                what: "length",
+                detail: format!("c_δ·a overflows usize (c_δ={expansion}, a={message_bits})"),
+            })?;
+        let length = message_bits * expansion;
+        Ok(DistanceCodeParams {
+            message_bits,
+            length,
+        })
+    }
+
+    /// Creates parameters with an explicit code length instead of an
+    /// expansion factor; `length` is used exactly as given.
+    ///
+    /// This is needed by the combined code, where the distance-code length
+    /// must equal the beep-code weight exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `length < message_bits` or
+    /// either is zero.
+    pub fn with_length(message_bits: usize, length: usize) -> Result<Self, CodeError> {
+        if message_bits == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "message_bits",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if length < message_bits {
+            return Err(CodeError::InvalidParams {
+                what: "length",
+                detail: format!("length {length} shorter than message ({message_bits} bits)"),
+            });
+        }
+        Ok(DistanceCodeParams {
+            message_bits,
+            length,
+        })
+    }
+
+    /// `a`: the number of message bits encoded.
+    #[must_use]
+    pub fn message_bits(&self) -> usize {
+        self.message_bits
+    }
+
+    /// `c_δ`: the rate expansion factor, rounded down when the length was
+    /// given explicitly.
+    #[must_use]
+    pub fn expansion(&self) -> usize {
+        self.length / self.message_bits
+    }
+
+    /// Code length `b`.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// The Definition 5 distance target `δ·b` for a given `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 0.5)`.
+    #[must_use]
+    pub fn distance_target(&self, delta: f64) -> usize {
+        assert!(
+            delta > 0.0 && delta < 0.5,
+            "δ = {delta} outside (0, 1/2) (Definition 5)"
+        );
+        (delta * self.length() as f64).floor() as usize
+    }
+
+    /// Whether these parameters satisfy Lemma 6's sufficient condition
+    /// `c_δ ≥ 12(1−2δ)⁻²` for the random construction to succeed w.h.p.
+    ///
+    /// The calibrated simulation profile intentionally violates this (the
+    /// constant 12 is a Chernoff artifact); see `beep-core::params`.
+    #[must_use]
+    pub fn meets_lemma6_condition(&self, delta: f64) -> bool {
+        assert!(delta > 0.0 && delta < 0.5);
+        self.expansion() as f64 >= 12.0 / ((1.0 - 2.0 * delta) * (1.0 - 2.0 * delta))
+    }
+}
+
+/// An `(a, δ)`-distance code: a deterministic map from `{0,1}^a` messages to
+/// length-`b` codewords, each drawn uniformly at random (Lemma 6's
+/// construction), derandomized through the shared-seed PRF.
+#[derive(Debug, Clone)]
+pub struct DistanceCode {
+    params: DistanceCodeParams,
+    seed: u64,
+}
+
+/// Domain-separation tag for distance-code codeword derivation.
+const DIST_TAG: u64 = 0xD157_C0DE;
+
+impl DistanceCode {
+    /// Creates the code with the default seed.
+    #[must_use]
+    pub fn new(params: DistanceCodeParams) -> Self {
+        Self::with_seed(params, 0)
+    }
+
+    /// Creates the code with an explicit seed.
+    #[must_use]
+    pub fn with_seed(params: DistanceCodeParams, seed: u64) -> Self {
+        DistanceCode { params, seed }
+    }
+
+    /// The code's parameters.
+    #[must_use]
+    pub fn params(&self) -> DistanceCodeParams {
+        self.params
+    }
+
+    /// The seed identifying this concrete code.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Encodes an `a`-bit message into its codeword `D(m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != params.message_bits()`.
+    #[must_use]
+    pub fn encode(&self, message: &BitVec) -> BitVec {
+        self.try_encode(message)
+            .unwrap_or_else(|e| panic!("DistanceCode::encode: {e}"))
+    }
+
+    /// Encodes an `a`-bit message, or reports a length error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InputLength`] on a length mismatch.
+    pub fn try_encode(&self, message: &BitVec) -> Result<BitVec, CodeError> {
+        if message.len() != self.params.message_bits {
+            return Err(CodeError::InputLength {
+                expected: self.params.message_bits,
+                actual: message.len(),
+            });
+        }
+        let mut rng = prf::derive_rng(self.seed, DIST_TAG, message);
+        Ok(BitVec::random_uniform(self.params.length(), &mut rng))
+    }
+
+    /// Convenience: encodes the low `a` bits of an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `a` bits.
+    #[must_use]
+    pub fn encode_u64(&self, value: u64) -> BitVec {
+        self.encode(&BitVec::from_u64_lsb(value, self.params.message_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_formulas() {
+        let p = DistanceCodeParams::new(20, 9).unwrap();
+        assert_eq!(p.length(), 180);
+        assert_eq!(p.distance_target(1.0 / 3.0), 60);
+        assert!(!p.meets_lemma6_condition(1.0 / 3.0)); // needs c ≥ 108
+        let strict = DistanceCodeParams::new(4, 108).unwrap();
+        assert!(strict.meets_lemma6_condition(1.0 / 3.0));
+    }
+
+    #[test]
+    fn with_length_divides() {
+        let p = DistanceCodeParams::with_length(10, 250).unwrap();
+        assert_eq!(p.length(), 250);
+        assert_eq!(p.expansion(), 25);
+    }
+
+    #[test]
+    fn with_length_too_short_rejected() {
+        assert!(DistanceCodeParams::with_length(10, 9).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(DistanceCodeParams::new(0, 1).is_err());
+        assert!(DistanceCodeParams::new(1, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1/2)")]
+    fn delta_out_of_range_panics() {
+        let _ = DistanceCodeParams::new(4, 10).unwrap().distance_target(0.5);
+    }
+
+    #[test]
+    fn encode_deterministic_and_message_sensitive() {
+        let p = DistanceCodeParams::new(16, 12).unwrap();
+        let code = DistanceCode::with_seed(p, 9);
+        let m1 = BitVec::from_u64_lsb(0x1234, 16);
+        let m2 = BitVec::from_u64_lsb(0x1235, 16);
+        assert_eq!(code.encode(&m1), code.encode(&m1));
+        assert_ne!(code.encode(&m1), code.encode(&m2));
+        assert_eq!(code.encode(&m1).len(), 192);
+    }
+
+    #[test]
+    fn random_codewords_are_far_apart() {
+        // Sanity check on Lemma 6's conclusion at small scale: with
+        // c_δ = 12, random pairs should comfortably exceed distance b/3.
+        let p = DistanceCodeParams::new(16, 12).unwrap();
+        let code = DistanceCode::with_seed(p, 4);
+        let target = p.distance_target(1.0 / 3.0);
+        for v in 0..100u64 {
+            let d = code
+                .encode_u64(v)
+                .hamming_distance(&code.encode_u64(v + 1));
+            assert!(d >= target, "pair ({v},{}) at distance {d} < {target}", v + 1);
+        }
+    }
+
+    #[test]
+    fn try_encode_rejects_wrong_length() {
+        let p = DistanceCodeParams::new(8, 4).unwrap();
+        let code = DistanceCode::new(p);
+        assert!(matches!(
+            code.try_encode(&BitVec::zeros(7)),
+            Err(CodeError::InputLength { expected: 8, actual: 7 })
+        ));
+    }
+}

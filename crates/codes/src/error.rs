@@ -1,0 +1,81 @@
+//! Error type for code construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from invalid code parameters or mismatched inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// A code parameter was outside its valid range.
+    InvalidParams {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// Human-readable description of the constraint that failed.
+        detail: String,
+    },
+    /// An input string had the wrong length for this code.
+    InputLength {
+        /// Expected input length in bits.
+        expected: usize,
+        /// Actual input length in bits.
+        actual: usize,
+    },
+    /// A received string had the wrong length for this decoder.
+    ReceivedLength {
+        /// Expected received length in bits.
+        expected: usize,
+        /// Actual received length in bits.
+        actual: usize,
+    },
+    /// A carrier/payload pair for the combined code was incompatible.
+    CarrierPayloadMismatch {
+        /// Number of 1s in the carrier (beep) codeword.
+        carrier_weight: usize,
+        /// Length of the payload (distance) codeword.
+        payload_len: usize,
+    },
+    /// The decoder was given no candidates to choose between.
+    NoCandidates,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParams { what, detail } => {
+                write!(f, "invalid code parameter `{what}`: {detail}")
+            }
+            CodeError::InputLength { expected, actual } => {
+                write!(f, "input length {actual} bits, code expects {expected}")
+            }
+            CodeError::ReceivedLength { expected, actual } => {
+                write!(f, "received string length {actual} bits, decoder expects {expected}")
+            }
+            CodeError::CarrierPayloadMismatch {
+                carrier_weight,
+                payload_len,
+            } => write!(
+                f,
+                "combined code requires carrier weight ({carrier_weight}) to equal payload length ({payload_len})"
+            ),
+            CodeError::NoCandidates => write!(f, "decoder was given no candidate codewords"),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CodeError::InputLength { expected: 8, actual: 5 };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("8"));
+        let e = CodeError::CarrierPayloadMismatch { carrier_weight: 24, payload_len: 20 };
+        assert!(e.to_string().contains("24"));
+        assert!(e.to_string().contains("20"));
+    }
+}

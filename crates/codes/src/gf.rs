@@ -1,0 +1,217 @@
+//! Minimal prime-field arithmetic for the Kautz–Singleton construction.
+//!
+//! The classical superimposed-code baseline concatenates a Reed–Solomon
+//! outer code over `GF(q)` with a unary inner code. Field sizes stay small
+//! (`q` is a prime a little above `k·(d−1)`), so trial-division primality
+//! and `O(q)`-time helpers are appropriate.
+
+/// A prime field `GF(p)` with `p < 2³²` (all arithmetic stays in `u64`
+/// without overflow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimeField {
+    p: u64,
+}
+
+impl PrimeField {
+    /// Constructs `GF(p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a prime below `2³²`.
+    #[must_use]
+    pub fn new(p: u64) -> Self {
+        assert!(p < (1 << 32), "field modulus {p} too large");
+        assert!(is_prime(p), "{p} is not prime");
+        PrimeField { p }
+    }
+
+    /// The field modulus.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Addition in the field.
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// Subtraction in the field.
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// Multiplication in the field.
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.p && b < self.p);
+        a * b % self.p
+    }
+
+    /// Exponentiation by squaring.
+    #[must_use]
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = 1 % self.p;
+        base %= self.p;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[must_use]
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(!a.is_multiple_of(self.p), "zero has no inverse");
+        self.pow(a, self.p - 2)
+    }
+
+    /// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + …` at `x`
+    /// (Horner's rule). Coefficients must already be reduced mod `p`.
+    #[must_use]
+    pub fn eval_poly(&self, coeffs: &[u64], x: u64) -> u64 {
+        let mut acc = 0;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+}
+
+/// Trial-division primality (fields here are tiny; `O(√p)` is fine).
+#[must_use]
+pub(crate) fn is_prime(p: u64) -> bool {
+    if p < 2 {
+        return false;
+    }
+    if p.is_multiple_of(2) {
+        return p == 2;
+    }
+    let mut d = 3;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `≥ p`.
+///
+/// # Panics
+///
+/// Panics if no prime below `2³²` qualifies (cannot happen for realistic
+/// inputs by Bertrand's postulate).
+#[must_use]
+pub(crate) fn next_prime(mut p: u64) -> u64 {
+    if p <= 2 {
+        return 2;
+    }
+    if p.is_multiple_of(2) {
+        p += 1;
+    }
+    while !is_prime(p) {
+        p += 2;
+        assert!(p < (1 << 32), "prime search escaped supported range");
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_cases() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 101, 65537];
+        let composites = [0u64, 1, 4, 9, 15, 91, 100, 65536];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn next_prime_examples() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(65536), 65537);
+    }
+
+    #[test]
+    fn field_axioms_mod_97() {
+        let f = PrimeField::new(97);
+        for a in 0..97 {
+            assert_eq!(f.add(a, f.sub(0, a)), 0, "additive inverse of {a}");
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a)), 1, "multiplicative inverse of {a}");
+            }
+        }
+        assert_eq!(f.add(96, 1), 0);
+        assert_eq!(f.mul(96, 96), 1); // (-1)² = 1
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = PrimeField::new(101);
+        let mut acc = 1;
+        for e in 0..20 {
+            assert_eq!(f.pow(7, e), acc);
+            acc = f.mul(acc, 7);
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = PrimeField::new(13);
+        // 3 + 2x + x² at x = 5 → 3 + 10 + 25 = 38 ≡ 12 (mod 13)
+        assert_eq!(f.eval_poly(&[3, 2, 1], 5), 12);
+        // Empty polynomial is 0; constant polynomial is itself.
+        assert_eq!(f.eval_poly(&[], 5), 0);
+        assert_eq!(f.eval_poly(&[7], 5), 7);
+    }
+
+    #[test]
+    fn distinct_polys_agree_rarely() {
+        // Two distinct degree-<d polynomials agree on at most d−1 points —
+        // the fact the KS construction rests on.
+        let f = PrimeField::new(31);
+        let p1 = [1u64, 2, 3]; // degree < 3
+        let p2 = [5u64, 0, 3];
+        let agreements = (0..31).filter(|&x| f.eval_poly(&p1, x) == f.eval_poly(&p2, x)).count();
+        assert!(agreements <= 2, "{agreements} agreements exceed d-1 = 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "not prime")]
+    fn composite_modulus_panics() {
+        let _ = PrimeField::new(100);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic codeword derivation.
+//!
+//! The paper fixes one public code known to all nodes. Rather than
+//! materializing `2^a` codewords, we derive the codeword for input `r` on
+//! demand by seeding a PRNG from `(code seed, r)` with a SplitMix64-based
+//! mixer. Two nodes holding the same code seed therefore agree on every
+//! codeword — the shared-code assumption made computable.
+
+use beep_bits::BitVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One step of the SplitMix64 output function (Steele, Lea, Flood 2014).
+/// Used as a mixing primitive; statistical quality is more than sufficient
+/// for deriving simulation randomness (this is not a cryptographic PRF and
+/// the simulator does not model adversarial nodes).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a deterministic RNG from a code seed, a domain-separation tag,
+/// and an input bit string.
+pub(crate) fn derive_rng(seed: u64, tag: u64, input: &BitVec) -> StdRng {
+    let mut state = seed ^ tag.rotate_left(17);
+    let mut acc = splitmix64(&mut state);
+    // Absorb the input length and every word of the payload.
+    state ^= input.len() as u64;
+    acc ^= splitmix64(&mut state);
+    for i in 0.. {
+        // Walk 64-bit chunks of the input via the public API.
+        let lo = i * 64;
+        if lo >= input.len() {
+            break;
+        }
+        let mut word = 0u64;
+        for b in lo..((lo + 64).min(input.len())) {
+            if input.get(b) {
+                word |= 1 << (b - lo);
+            }
+        }
+        state ^= word;
+        acc ^= splitmix64(&mut state).rotate_left((i % 63) as u32);
+    }
+    // Expand the accumulated state into a full 32-byte StdRng seed.
+    let mut seed_bytes = [0u8; 32];
+    let mut s = acc;
+    for chunk in seed_bytes.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&splitmix64(&mut s).to_le_bytes());
+    }
+    StdRng::from_seed(seed_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn draw(seed: u64, tag: u64, input: &BitVec) -> u64 {
+        derive_rng(seed, tag, input).random()
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let input = BitVec::from_u64_lsb(0xABCD, 16);
+        assert_eq!(draw(1, 2, &input), draw(1, 2, &input));
+    }
+
+    #[test]
+    fn sensitive_to_seed_tag_and_input() {
+        let a = BitVec::from_u64_lsb(0xABCD, 16);
+        let b = BitVec::from_u64_lsb(0xABCE, 16);
+        assert_ne!(draw(1, 2, &a), draw(2, 2, &a), "seed must matter");
+        assert_ne!(draw(1, 2, &a), draw(1, 3, &a), "tag must matter");
+        assert_ne!(draw(1, 2, &a), draw(1, 2, &b), "input must matter");
+    }
+
+    #[test]
+    fn sensitive_to_input_length() {
+        let short = BitVec::zeros(16);
+        let long = BitVec::zeros(17);
+        assert_ne!(draw(1, 1, &short), draw(1, 1, &long));
+    }
+
+    #[test]
+    fn distinguishes_high_word_bits() {
+        let a = BitVec::from_indices(130, [129]);
+        let b = BitVec::from_indices(130, [128]);
+        assert_ne!(draw(7, 7, &a), draw(7, 7, &b));
+    }
+}

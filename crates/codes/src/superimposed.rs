@@ -1,0 +1,296 @@
+//! The classical Kautz–Singleton `(a, k)`-superimposed code (Definition 1;
+//! Kautz & Singleton 1964) — the baseline the paper's beep codes beat.
+//!
+//! A classical superimposed code guarantees that the OR of **any** `≤ k`
+//! codewords uniquely determines the set. The price is length
+//! `b = q² = Θ((k·a/log a)²)` here (the best known constructions achieve
+//! `O(k²a)`; the D'yachkov–Rykov lower bound says `Ω(k²a/log k)` is
+//! unavoidable). The paper's relaxation to *random* codeword sets is what
+//! escapes the `k² = Δ²` factor — experiment E1 makes the comparison
+//! concrete.
+//!
+//! Construction: interpret the `a`-bit message as the coefficient vector of
+//! a polynomial of degree `< d` over `GF(q)`, evaluate it at all `q` field
+//! points (an extended Reed–Solomon codeword), and replace each symbol
+//! `s ∈ GF(q)` with the unary indicator string `e_s ∈ {0,1}^q`. Distinct
+//! polynomials agree on `≤ d−1` points, so the OR of `k` codewords can cover
+//! a different codeword on at most `k(d−1) < q` of its `q` blocks.
+
+use crate::error::CodeError;
+use crate::gf::{next_prime, PrimeField};
+use beep_bits::BitVec;
+
+/// Derived parameters of a Kautz–Singleton code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KautzSingletonParams {
+    message_bits: usize,
+    max_overlap: usize,
+    /// Field size (prime).
+    q: u64,
+    /// Number of message symbols (polynomial coefficients), degree < d.
+    d: usize,
+    /// Bits carried per field symbol (`⌊log₂ q⌋`).
+    bits_per_symbol: usize,
+}
+
+impl KautzSingletonParams {
+    /// Derives the smallest field satisfying the `k`-cover-free condition
+    /// `q > k·(d−1)` for `a`-bit messages (iterating because `d` shrinks as
+    /// `q` grows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `message_bits` or
+    /// `max_overlap` is zero.
+    pub fn new(message_bits: usize, max_overlap: usize) -> Result<Self, CodeError> {
+        if message_bits == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "message_bits",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if max_overlap == 0 {
+            return Err(CodeError::InvalidParams {
+                what: "max_overlap",
+                detail: "must be at least 1".into(),
+            });
+        }
+        let k = max_overlap as u64;
+        let mut q = next_prime(3.max(k + 1));
+        loop {
+            let bits_per_symbol = (63 - q.leading_zeros() as usize).max(1);
+            let d = message_bits.div_ceil(bits_per_symbol);
+            if q > k * (d as u64 - 1) {
+                return Ok(KautzSingletonParams {
+                    message_bits,
+                    max_overlap,
+                    q,
+                    d,
+                    bits_per_symbol,
+                });
+            }
+            q = next_prime(q + 1);
+        }
+    }
+
+    /// `a`: message bits per codeword.
+    #[must_use]
+    pub fn message_bits(&self) -> usize {
+        self.message_bits
+    }
+
+    /// `k`: the cover-free order.
+    #[must_use]
+    pub fn max_overlap(&self) -> usize {
+        self.max_overlap
+    }
+
+    /// The Reed–Solomon field size `q`.
+    #[must_use]
+    pub fn field_size(&self) -> u64 {
+        self.q
+    }
+
+    /// The number of polynomial coefficients `d` (degree `< d`).
+    #[must_use]
+    pub fn poly_len(&self) -> usize {
+        self.d
+    }
+
+    /// Binary code length `b = q²` (q blocks of q bits).
+    #[must_use]
+    pub fn length(&self) -> usize {
+        (self.q * self.q) as usize
+    }
+
+    /// Codeword weight: exactly `q` (one 1 per block).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.q as usize
+    }
+}
+
+/// The Kautz–Singleton code itself. Unlike the randomized paper codes, this
+/// construction is fully explicit — no seed.
+#[derive(Debug, Clone)]
+pub struct KautzSingleton {
+    params: KautzSingletonParams,
+    field: PrimeField,
+}
+
+impl KautzSingleton {
+    /// Builds the code for `a`-bit messages with cover-free order `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from [`KautzSingletonParams::new`].
+    pub fn new(message_bits: usize, max_overlap: usize) -> Result<Self, CodeError> {
+        let params = KautzSingletonParams::new(message_bits, max_overlap)?;
+        Ok(KautzSingleton {
+            params,
+            field: PrimeField::new(params.q),
+        })
+    }
+
+    /// The derived parameters.
+    #[must_use]
+    pub fn params(&self) -> KautzSingletonParams {
+        self.params
+    }
+
+    /// Encodes an `a`-bit message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != params.message_bits()`.
+    #[must_use]
+    pub fn encode(&self, message: &BitVec) -> BitVec {
+        self.try_encode(message)
+            .unwrap_or_else(|e| panic!("KautzSingleton::encode: {e}"))
+    }
+
+    /// Encodes an `a`-bit message, or reports a length error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InputLength`] on a mismatch.
+    pub fn try_encode(&self, message: &BitVec) -> Result<BitVec, CodeError> {
+        if message.len() != self.params.message_bits {
+            return Err(CodeError::InputLength {
+                expected: self.params.message_bits,
+                actual: message.len(),
+            });
+        }
+        // Chunk the message into d coefficients of bits_per_symbol bits each
+        // (every coefficient is < 2^bits_per_symbol ≤ q, so already reduced).
+        let mut coeffs = vec![0u64; self.params.d];
+        for bit_idx in message.iter_ones() {
+            coeffs[bit_idx / self.params.bits_per_symbol] |=
+                1 << (bit_idx % self.params.bits_per_symbol);
+        }
+        let q = self.params.q;
+        let mut out = BitVec::zeros(self.params.length());
+        for x in 0..q {
+            let symbol = self.field.eval_poly(&coeffs, x);
+            out.set((x * q + symbol) as usize, true);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: encodes the low `a` bits of an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit.
+    #[must_use]
+    pub fn encode_u64(&self, value: u64) -> BitVec {
+        self.encode(&BitVec::from_u64_lsb(value, self.params.message_bits))
+    }
+
+    /// Classical cover-free decoding: a candidate is declared present iff
+    /// its codeword is a subset of the received superimposition. Exact for
+    /// noiseless superimpositions of `≤ k` codewords.
+    #[must_use]
+    pub fn covered(&self, candidate: &BitVec, received: &BitVec) -> bool {
+        self.encode(candidate).is_subset_of(received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beep_bits::superimpose;
+
+    #[test]
+    fn params_satisfy_cover_free_condition() {
+        for (a, k) in [(8, 2), (16, 4), (32, 8), (20, 16)] {
+            let p = KautzSingletonParams::new(a, k).unwrap();
+            assert!(
+                p.field_size() > (k as u64) * (p.poly_len() as u64 - 1),
+                "a={a} k={k}: q={} d={}",
+                p.field_size(),
+                p.poly_len()
+            );
+            assert_eq!(p.length(), (p.field_size() * p.field_size()) as usize);
+        }
+    }
+
+    #[test]
+    fn codewords_have_weight_q() {
+        let code = KautzSingleton::new(16, 4).unwrap();
+        for v in 0..64u64 {
+            let cw = code.encode_u64(v);
+            assert_eq!(cw.count_ones(), code.params().weight());
+        }
+    }
+
+    #[test]
+    fn one_one_per_block() {
+        let code = KautzSingleton::new(12, 3).unwrap();
+        let q = code.params().field_size() as usize;
+        let cw = code.encode_u64(0xABC & ((1 << 12) - 1));
+        for block in 0..q {
+            let ones = (0..q).filter(|&i| cw.get(block * q + i)).count();
+            assert_eq!(ones, 1, "block {block}");
+        }
+    }
+
+    #[test]
+    fn distinct_messages_distinct_codewords() {
+        let code = KautzSingleton::new(10, 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..1024u64 {
+            assert!(seen.insert(code.encode_u64(v).to_string()), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn cover_free_property_holds_exhaustively_small() {
+        // For a tiny code, verify Definition 1 directly on random subsets.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let code = KautzSingleton::new(8, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let mut set = std::collections::HashSet::new();
+            while set.len() < 3 {
+                set.insert(rng.random_range(0..256u64));
+            }
+            let words: Vec<BitVec> = set.iter().map(|&v| code.encode_u64(v)).collect();
+            let sup = superimpose(&words).unwrap();
+            // Every member is covered…
+            for &v in &set {
+                assert!(code.covered(&BitVec::from_u64_lsb(v, 8), &sup));
+            }
+            // …and no non-member is.
+            for v in 0..256u64 {
+                if !set.contains(&v) {
+                    assert!(
+                        !code.covered(&BitVec::from_u64_lsb(v, 8), &sup),
+                        "non-member {v} covered by {set:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ks_length_is_quadratic_in_k_while_beep_code_is_linear() {
+        // The Section 1.4 comparison: growing k at fixed a, the classical
+        // code's length grows ~k² while the beep code's grows ~k.
+        let a = 16;
+        let ks_small = KautzSingleton::new(a, 4).unwrap().params().length();
+        let ks_big = KautzSingleton::new(a, 16).unwrap().params().length();
+        let ratio_ks = ks_big as f64 / ks_small as f64;
+        let bc_small = crate::BeepCodeParams::new(a, 4, 7).unwrap().length();
+        let bc_big = crate::BeepCodeParams::new(a, 16, 7).unwrap().length();
+        let ratio_bc = bc_big as f64 / bc_small as f64;
+        assert!(ratio_ks > 8.0, "KS ratio {ratio_ks} should be ≈ 16");
+        assert!((ratio_bc - 4.0).abs() < 0.01, "beep ratio {ratio_bc} should be exactly 4");
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let code = KautzSingleton::new(8, 2).unwrap();
+        assert!(code.try_encode(&BitVec::zeros(9)).is_err());
+    }
+}

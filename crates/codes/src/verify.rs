@@ -1,0 +1,292 @@
+//! Statistical verification of code properties — the machinery behind
+//! experiments E1 and E2 and the code-level tests.
+//!
+//! Theorem 4 and Lemma 6 are probabilistic-method existence proofs; these
+//! functions measure the corresponding empirical event frequencies on the
+//! concrete PRF-derived codes, which is how the reproduction checks the
+//! paper's Section 2 claims.
+
+use crate::{BeepCode, DistanceCode, KautzSingleton};
+use beep_bits::{superimpose, BitVec};
+use rand::{Rng, RngExt};
+
+/// Outcome of a beep-code superimposition trial ensemble (Definition 3's
+/// second property, measured on random size-`k` subsets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeepCodeCheck {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials in which the superimposition of `k` random codewords
+    /// `5δ²b/k`-intersected the codeword of a fresh non-member input.
+    pub bad_intersections: usize,
+    /// Largest intersection observed between a superimposition and a
+    /// non-member codeword (compare to the threshold `5a`).
+    pub max_intersection: usize,
+    /// The Definition 3 threshold used (`5a`).
+    pub threshold: usize,
+}
+
+impl BeepCodeCheck {
+    /// Empirical probability of the bad event.
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        self.bad_intersections as f64 / self.trials as f64
+    }
+}
+
+/// Samples `trials` independent experiments: draw `k` distinct random
+/// inputs plus one distinct extra input, superimpose the `k` codewords, and
+/// test whether the extra codeword `5a`-intersects the superimposition.
+///
+/// This is exactly the bad event of Definition 3 restricted to random
+/// subsets — which is the only regime Algorithm 1 relies on, since nodes
+/// pick their inputs `r_v` uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the input space is too small to draw `k+1`
+/// distinct inputs.
+#[must_use]
+pub fn check_beep_code<R: Rng + ?Sized>(
+    code: &BeepCode,
+    trials: usize,
+    rng: &mut R,
+) -> BeepCodeCheck {
+    assert!(trials > 0, "need at least one trial");
+    let params = code.params();
+    let a = params.input_bits();
+    let k = params.max_overlap();
+    assert!(
+        a >= 64 || (k as u64) < (1u64 << a),
+        "input space 2^{a} too small for k = {k} distinct draws"
+    );
+    let threshold = params.bad_intersection_threshold();
+    let mut bad = 0;
+    let mut max_intersection = 0;
+    for _ in 0..trials {
+        let inputs = distinct_random_inputs(a, k + 1, rng);
+        let codewords: Vec<BitVec> = inputs[..k].iter().map(|r| code.encode(r)).collect();
+        let sup = superimpose(&codewords).expect("k >= 1");
+        let outsider = code.encode(&inputs[k]);
+        let inter = outsider.intersection_count(&sup);
+        max_intersection = max_intersection.max(inter);
+        if inter >= threshold {
+            bad += 1;
+        }
+    }
+    BeepCodeCheck {
+        trials,
+        bad_intersections: bad,
+        max_intersection,
+        threshold,
+    }
+}
+
+/// Outcome of a distance-code pairwise-distance trial ensemble (Lemma 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceCodeCheck {
+    /// Number of pairs sampled.
+    pub pairs: usize,
+    /// Minimum pairwise Hamming distance observed.
+    pub min_distance: usize,
+    /// Mean pairwise Hamming distance observed.
+    pub mean_distance: f64,
+    /// Pairs that fell below the `δ·b` target.
+    pub violations: usize,
+    /// The distance target `δ·b` used.
+    pub target: usize,
+}
+
+/// Samples `pairs` random distinct message pairs and measures the Hamming
+/// distance of their codewords against the Definition 5 target `δ·b`.
+///
+/// # Panics
+///
+/// Panics if `pairs == 0` or `delta` is outside `(0, 1/2)`.
+#[must_use]
+pub fn check_distance_code<R: Rng + ?Sized>(
+    code: &DistanceCode,
+    delta: f64,
+    pairs: usize,
+    rng: &mut R,
+) -> DistanceCodeCheck {
+    assert!(pairs > 0, "need at least one pair");
+    let params = code.params();
+    let target = params.distance_target(delta);
+    let a = params.message_bits();
+    let mut min_distance = usize::MAX;
+    let mut total = 0usize;
+    let mut violations = 0;
+    for _ in 0..pairs {
+        let ms = distinct_random_inputs(a, 2, rng);
+        let d = code.encode(&ms[0]).hamming_distance(&code.encode(&ms[1]));
+        min_distance = min_distance.min(d);
+        total += d;
+        if d < target {
+            violations += 1;
+        }
+    }
+    DistanceCodeCheck {
+        pairs,
+        min_distance,
+        mean_distance: total as f64 / pairs as f64,
+        violations,
+        target,
+    }
+}
+
+/// Counts cover-free violations of a Kautz–Singleton code on random size-`k`
+/// subsets: trials in which the OR of `k` codewords covers the codeword of a
+/// non-member. By Definition 1 this must be **zero** for `k` up to the
+/// design order; experiment E1 uses it to confirm the classical baseline is
+/// correct before comparing lengths.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the input space cannot supply `k+1` distinct
+/// inputs.
+#[must_use]
+pub fn check_kautz_singleton<R: Rng + ?Sized>(
+    code: &KautzSingleton,
+    k: usize,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
+    assert!(trials > 0, "need at least one trial");
+    let a = code.params().message_bits();
+    let mut violations = 0;
+    for _ in 0..trials {
+        let inputs = distinct_random_inputs(a, k + 1, rng);
+        let words: Vec<BitVec> = inputs[..k].iter().map(|m| code.encode(m)).collect();
+        let sup = superimpose(&words).expect("k >= 1");
+        if code.covered(&inputs[k], &sup) {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// Draws `count` *distinct* uniformly random `bits`-bit strings.
+fn distinct_random_inputs<R: Rng + ?Sized>(bits: usize, count: usize, rng: &mut R) -> Vec<BitVec> {
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count.saturating_mul(1000) + 1000,
+            "input space 2^{bits} too small to draw {count} distinct strings"
+        );
+        let candidate = if bits <= 63 {
+            BitVec::from_u64_lsb(rng.random_range(0..(1u64 << bits)), bits)
+        } else {
+            BitVec::random_uniform(bits, rng)
+        };
+        if seen.insert(candidate.to_string()) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BeepCodeParams, DistanceCodeParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beep_code_failure_rate_is_low_at_paper_like_params() {
+        // a=10, k=5, c=7: Theorem 4 predicts failure probability ≪ 1.
+        let code = BeepCode::with_seed(BeepCodeParams::new(10, 5, 7).unwrap(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let check = check_beep_code(&code, 300, &mut rng);
+        assert_eq!(check.trials, 300);
+        assert!(
+            check.failure_rate() < 0.02,
+            "failure rate {} too high (max intersection {} / threshold {})",
+            check.failure_rate(),
+            check.max_intersection,
+            check.threshold
+        );
+    }
+
+    #[test]
+    fn beep_code_definition3_is_trivial_below_c3() {
+        // The paper notes Theorem 4 is trivial for c ≤ 2: codewords carry
+        // only b/(ck) = c·a ones, fewer than the 5a threshold, so the bad
+        // event cannot occur *by definition* — even though such codes are
+        // useless for decoding (see decoder false-positive test below).
+        let code = BeepCode::with_seed(BeepCodeParams::new(10, 5, 2).unwrap(), 2);
+        assert!(code.params().weight() < code.params().bad_intersection_threshold());
+        let mut rng = StdRng::seed_from_u64(4);
+        let check = check_beep_code(&code, 100, &mut rng);
+        assert_eq!(check.bad_intersections, 0);
+    }
+
+    #[test]
+    fn decoder_false_positives_explode_when_c_too_small() {
+        // At c = 1 a superimposition of k codewords covers most of the
+        // (short) code, so non-transmitted codewords pass the acceptance
+        // threshold — the expansion factor is what buys decodability.
+        use crate::SetDecoder;
+        let mut rng = StdRng::seed_from_u64(4);
+        let false_positive_rate = |c: usize, rng: &mut StdRng| {
+            let code = BeepCode::with_seed(BeepCodeParams::new(10, 5, c).unwrap(), 2);
+            let decoder = SetDecoder::new(&code, 0.0);
+            let mut fp = 0;
+            let trials = 200;
+            for _ in 0..trials {
+                let inputs = distinct_random_inputs(10, 6, rng);
+                let words: Vec<BitVec> = inputs[..5].iter().map(|r| code.encode(r)).collect();
+                let sup = superimpose(&words).unwrap();
+                if decoder.accepts(&inputs[5], &sup) {
+                    fp += 1;
+                }
+            }
+            fp as f64 / trials as f64
+        };
+        let fp_small = false_positive_rate(1, &mut rng);
+        let fp_paper = false_positive_rate(7, &mut rng);
+        // At these sizes ≈ a third of outsiders pass (Binomial(10, 1/3) ≤ 2)
+        // — catastrophic for set decoding, where *every* outsider must fail.
+        assert!(fp_small > 0.2, "c=1 false-positive rate {fp_small} unexpectedly low");
+        assert!(fp_paper < 0.02, "c=7 false-positive rate {fp_paper} unexpectedly high");
+    }
+
+    #[test]
+    fn distance_code_meets_third_distance_at_lemma6_rate() {
+        let code = DistanceCode::with_seed(DistanceCodeParams::new(12, 108).unwrap(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let check = check_distance_code(&code, 1.0 / 3.0, 300, &mut rng);
+        assert_eq!(check.violations, 0, "min distance {} < target {}", check.min_distance, check.target);
+        // Random codewords concentrate near b/2.
+        let b = code.params().length() as f64;
+        assert!((check.mean_distance - b / 2.0).abs() < b * 0.05);
+    }
+
+    #[test]
+    fn kautz_singleton_has_zero_violations_at_design_order() {
+        let code = KautzSingleton::new(12, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(check_kautz_singleton(&code, 4, 200, &mut rng), 0);
+    }
+
+    #[test]
+    fn distinct_inputs_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inputs = distinct_random_inputs(6, 30, &mut rng);
+        let set: std::collections::HashSet<String> =
+            inputs.iter().map(|b| b.to_string()).collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn distinct_inputs_panics_when_space_exhausted() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // 2^2 = 4 strings cannot supply 5 distinct values.
+        distinct_random_inputs(2, 5, &mut rng);
+    }
+}

@@ -1,0 +1,157 @@
+//! BFS tree construction by wave flooding in Broadcast CONGEST.
+//!
+//! Round `r`'s broadcasters are exactly the nodes at distance `r` from the
+//! root; an undiscovered node hearing the wave joins at distance `r+1`,
+//! taking the smallest heard id as parent. `D+1` rounds on a connected
+//! graph — the classic `O(D)` global primitive, and the message-passing
+//! analogue of the beep waves the paper cites ([19], [9]).
+
+use crate::message::{Message, MessageWriter};
+use crate::model::{BroadcastAlgorithm, NodeCtx};
+use beep_net::NodeId;
+
+/// Per-node state of the BFS wave.
+///
+/// On disconnected graphs, unreachable nodes never finish; run on a
+/// connected component or give the runner a budget of `n` rounds and treat
+/// the budget error as "graph disconnected".
+#[derive(Debug)]
+pub struct BfsTree {
+    ctx: Option<NodeCtx>,
+    root: NodeId,
+    /// Discovered distance from the root.
+    dist: Option<usize>,
+    /// Parent in the tree (None for the root).
+    parent: Option<NodeId>,
+    /// Whether this node has broadcast its wave.
+    broadcast_done: bool,
+}
+
+impl BfsTree {
+    /// Creates a node instance for the tree rooted at `root`.
+    #[must_use]
+    pub fn new(root: NodeId) -> Self {
+        BfsTree {
+            ctx: None,
+            root,
+            dist: None,
+            parent: None,
+            broadcast_done: false,
+        }
+    }
+
+    /// Message width: one id field.
+    #[must_use]
+    pub fn required_message_bits(n: usize) -> usize {
+        crate::model::id_bits_for(n)
+    }
+
+    /// `(distance, parent)` once discovered.
+    #[must_use]
+    pub fn output(&self) -> (Option<usize>, Option<NodeId>) {
+        (self.dist, self.parent)
+    }
+}
+
+impl BroadcastAlgorithm for BfsTree {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.ctx = Some(*ctx);
+        if ctx.node == self.root {
+            self.dist = Some(0);
+        }
+    }
+
+    fn round_message(&mut self, round: usize) -> Option<Message> {
+        let ctx = self.ctx.as_ref().expect("init() must run before rounds");
+        if self.dist == Some(round) {
+            self.broadcast_done = true;
+            Some(
+                MessageWriter::new()
+                    .push_uint(ctx.node as u64, ctx.id_bits())
+                    .finish(ctx.message_bits),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn on_receive(&mut self, round: usize, received: &[Message]) {
+        if self.dist.is_some() || received.is_empty() {
+            return;
+        }
+        let ctx = self.ctx.as_ref().expect("init() must run before rounds");
+        let id_bits = ctx.id_bits();
+        let min_sender = received
+            .iter()
+            .map(|m| m.reader().read_uint(id_bits) as NodeId)
+            .min()
+            .expect("non-empty");
+        self.dist = Some(round + 1);
+        self.parent = Some(min_sender);
+    }
+
+    fn is_done(&self) -> bool {
+        self.broadcast_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BroadcastRunner;
+    use crate::validate::check_bfs_tree;
+    use beep_net::{topology, Graph};
+
+    fn run_bfs(graph: &Graph, root: NodeId, seed: u64) -> (Vec<Option<usize>>, Vec<Option<NodeId>>) {
+        let n = graph.node_count();
+        let bits = BfsTree::required_message_bits(n);
+        let runner = BroadcastRunner::new(graph, bits, seed);
+        let mut algos: Vec<Box<BfsTree>> = (0..n).map(|_| Box::new(BfsTree::new(root))).collect();
+        runner
+            .run_to_completion(&mut algos, n + 1)
+            .unwrap_or_else(|e| panic!("bfs run failed: {e}"));
+        let dist = algos.iter().map(|a| a.output().0).collect();
+        let parent = algos.iter().map(|a| a.output().1).collect();
+        (dist, parent)
+    }
+
+    #[test]
+    fn path_distances_are_exact() {
+        let g = topology::path(6).unwrap();
+        let (dist, parent) = run_bfs(&g, 0, 1);
+        assert_eq!(dist, (0..6).map(Some).collect::<Vec<_>>());
+        assert!(check_bfs_tree(&g, 0, &dist, &parent).is_empty());
+    }
+
+    #[test]
+    fn parent_ties_break_to_min_id() {
+        // Node 3 in K4 rooted at 0 has neighbors 1, 2 also at distance 1…
+        // wait: in K4 everyone is at distance 1 from 0, so parent is 0.
+        let g = topology::complete(4).unwrap();
+        let (dist, parent) = run_bfs(&g, 0, 1);
+        assert_eq!(dist, vec![Some(0), Some(1), Some(1), Some(1)]);
+        assert_eq!(parent, vec![None, Some(0), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn valid_on_assorted_graphs() {
+        for (name, g, root) in [
+            ("cycle", topology::cycle(9).unwrap(), 4),
+            ("grid", topology::grid(4, 4).unwrap(), 5),
+            ("tree", topology::binary_tree(15).unwrap(), 0),
+            ("hypercube", topology::hypercube(4).unwrap(), 7),
+        ] {
+            let (dist, parent) = run_bfs(&g, root, 3);
+            let violations = check_bfs_tree(&g, root, &dist, &parent);
+            assert!(violations.is_empty(), "{name}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_exhausts_budget() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let runner = BroadcastRunner::new(&g, 4, 0);
+        let mut algos: Vec<Box<BfsTree>> = (0..3).map(|_| Box::new(BfsTree::new(0))).collect();
+        assert!(runner.run_to_completion(&mut algos, 5).is_err());
+    }
+}

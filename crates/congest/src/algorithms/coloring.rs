@@ -1,0 +1,247 @@
+//! Randomized (Δ+1)-coloring in Broadcast CONGEST.
+//!
+//! Each uncolored node repeatedly tries a uniformly random color from its
+//! remaining palette (its own degree + 1 colors minus those finalized by
+//! neighbors); a trial succeeds if no neighbor tried the same color in the
+//! same iteration. This folklore algorithm finishes in `O(log n)`
+//! iterations w.h.p. and, like everything in this module, only needs
+//! anonymous broadcast — so it runs over noisy beeps via the paper's
+//! simulation at `O(Δ log² n)` cost.
+
+use crate::message::{Message, MessageWriter};
+use crate::model::{BroadcastAlgorithm, NodeCtx};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+const TAG_TRY: u64 = 0;
+const TAG_FINAL: u64 = 1;
+
+/// Per-node state of the randomized (Δ+1)-coloring.
+#[derive(Debug)]
+pub struct RandomColoring {
+    ctx: Option<NodeCtx>,
+    rng: Option<StdRng>,
+    /// Colors still available: `{0, …, deg}` minus neighbors' finals.
+    palette: Vec<u64>,
+    /// This iteration's attempted color.
+    candidate: Option<u64>,
+    /// Whether the attempt survived (no conflicting trial heard).
+    survived: bool,
+    /// Final color once fixed.
+    color: Option<u64>,
+    /// Set after the Final announcement has been broadcast.
+    announced: bool,
+    max_iterations: usize,
+}
+
+impl RandomColoring {
+    /// Creates a node instance with an iteration budget (use
+    /// [`suggested_iterations`](Self::suggested_iterations)).
+    #[must_use]
+    pub fn new(max_iterations: usize) -> Self {
+        RandomColoring {
+            ctx: None,
+            rng: None,
+            palette: Vec::new(),
+            candidate: None,
+            survived: false,
+            color: None,
+            announced: false,
+            max_iterations,
+        }
+    }
+
+    /// `8·⌈log₂ n⌉ + 8` iterations — far above the w.h.p. bound.
+    #[must_use]
+    pub fn suggested_iterations(n: usize) -> usize {
+        8 * crate::model::id_bits_for(n) + 8
+    }
+
+    /// Message width: 1 tag bit plus one color field (colors fit in an id
+    /// field since palettes have at most `Δ+1 ≤ n` entries).
+    #[must_use]
+    pub fn required_message_bits(n: usize) -> usize {
+        1 + crate::model::id_bits_for(n) + 1
+    }
+
+    /// Total communication rounds for an iteration budget (2 per
+    /// iteration: Try, Final).
+    #[must_use]
+    pub fn rounds_for(iterations: usize) -> usize {
+        2 * iterations
+    }
+
+    /// The final color, or `None` while running.
+    #[must_use]
+    pub fn output(&self) -> Option<u64> {
+        self.color
+    }
+
+    fn color_bits(n: usize) -> usize {
+        crate::model::id_bits_for(n) + 1
+    }
+
+    fn ctx(&self) -> &NodeCtx {
+        self.ctx.as_ref().expect("init() must run before rounds")
+    }
+}
+
+impl BroadcastAlgorithm for RandomColoring {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.rng = Some(StdRng::seed_from_u64(ctx.seed));
+        self.ctx = Some(*ctx);
+        self.palette = (0..=ctx.degree as u64).collect();
+    }
+
+    fn round_message(&mut self, round: usize) -> Option<Message> {
+        let ctx = *self.ctx();
+        if round.is_multiple_of(2) {
+            // Try round.
+            if self.color.is_some() {
+                return None;
+            }
+            let rng = self.rng.as_mut().expect("seeded");
+            let candidate = *self
+                .palette
+                .choose(rng)
+                .expect("palette of size deg+1 cannot empty before coloring");
+            self.candidate = Some(candidate);
+            self.survived = true;
+            Some(
+                MessageWriter::new()
+                    .push_uint(TAG_TRY, 1)
+                    .push_uint(candidate, Self::color_bits(ctx.n))
+                    .finish(ctx.message_bits),
+            )
+        } else {
+            // Final round: announce a surviving trial.
+            match self.color {
+                Some(color) if !self.announced => {
+                    self.announced = true;
+                    Some(
+                        MessageWriter::new()
+                            .push_uint(TAG_FINAL, 1)
+                            .push_uint(color, Self::color_bits(ctx.n))
+                            .finish(ctx.message_bits),
+                    )
+                }
+                _ => None,
+            }
+        }
+    }
+
+    fn on_receive(&mut self, round: usize, received: &[Message]) {
+        let ctx = *self.ctx();
+        let color_bits = Self::color_bits(ctx.n);
+        if round.is_multiple_of(2) {
+            // Conflict detection.
+            if let Some(candidate) = self.candidate {
+                for m in received {
+                    let mut r = m.reader();
+                    if r.read_uint(1) == TAG_TRY && r.read_uint(color_bits) == candidate {
+                        self.survived = false;
+                    }
+                }
+                if self.survived && self.color.is_none() {
+                    self.color = Some(candidate);
+                    // Announced in the next Final round.
+                }
+                self.candidate = None;
+            }
+        } else {
+            // Remove finalized neighbor colors from the palette.
+            for m in received {
+                let mut r = m.reader();
+                if r.read_uint(1) == TAG_FINAL {
+                    let c = r.read_uint(color_bits);
+                    self.palette.retain(|&p| p != c);
+                }
+            }
+            // Budget safety net: fall back to a palette color; conflicts
+            // are possible only in the (w.h.p. unreachable) fallback.
+            if self.color.is_none() && round + 1 >= Self::rounds_for(self.max_iterations) {
+                self.color = self.palette.first().copied();
+                self.announced = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.color.is_some() && self.announced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BroadcastRunner;
+    use crate::validate::check_coloring;
+    use beep_net::{topology, Graph};
+
+    fn run_coloring(graph: &Graph, seed: u64) -> Vec<Option<u64>> {
+        let n = graph.node_count();
+        let bits = RandomColoring::required_message_bits(n);
+        let iters = RandomColoring::suggested_iterations(n);
+        let runner = BroadcastRunner::new(graph, bits, seed);
+        let mut algos: Vec<Box<RandomColoring>> =
+            (0..n).map(|_| Box::new(RandomColoring::new(iters))).collect();
+        runner
+            .run_to_completion(&mut algos, RandomColoring::rounds_for(iters))
+            .unwrap_or_else(|e| panic!("coloring run failed: {e}"));
+        algos.iter().map(|a| a.output()).collect()
+    }
+
+    #[test]
+    fn isolated_node_takes_color_zero() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(run_coloring(&g, 1), vec![Some(0)]);
+    }
+
+    #[test]
+    fn edge_endpoints_differ() {
+        let g = topology::path(2).unwrap();
+        let out = run_coloring(&g, 2);
+        assert_ne!(out[0], out[1]);
+        assert!(check_coloring(&g, &out).is_empty());
+    }
+
+    #[test]
+    fn valid_on_standard_topologies() {
+        for (name, g) in [
+            ("path", topology::path(20).unwrap()),
+            ("cycle", topology::cycle(15).unwrap()),
+            ("complete", topology::complete(8).unwrap()),
+            ("star", topology::star(10).unwrap()),
+            ("grid", topology::grid(4, 6).unwrap()),
+        ] {
+            for seed in 0..5 {
+                let out = run_coloring(&g, seed);
+                let violations = check_coloring(&g, &out);
+                assert!(violations.is_empty(), "{name} seed {seed}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_uses_all_colors() {
+        // On K_n a proper coloring needs all n palette colors.
+        let g = topology::complete(6).unwrap();
+        let out = run_coloring(&g, 9);
+        let mut colors: Vec<u64> = out.iter().map(|c| c.unwrap()).collect();
+        colors.sort_unstable();
+        assert_eq!(colors, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = topology::gnp(35, 0.2, &mut rng).unwrap();
+            let out = run_coloring(&g, seed);
+            let violations = check_coloring(&g, &out);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Single-source message dissemination (flooding) in Broadcast CONGEST.
+//!
+//! The source broadcasts its payload in round 0; every node re-broadcasts
+//! once upon first reception. After `D` rounds every node in the source's
+//! component holds the payload — the message-passing counterpart of the
+//! `O(D + b)` beep-wave broadcast the paper cites from [19]/[9].
+
+use crate::message::{Message, MessageWriter};
+use crate::model::{BroadcastAlgorithm, NodeCtx};
+use beep_net::NodeId;
+
+/// Per-node state of the flood.
+#[derive(Debug)]
+pub struct Flood {
+    ctx: Option<NodeCtx>,
+    source: NodeId,
+    /// The payload value carried by the flood (source's input).
+    input: u64,
+    /// Width of the payload field in bits.
+    payload_bits: usize,
+    /// The received payload, once known.
+    received: Option<u64>,
+    /// Whether this node has re-broadcast.
+    forwarded: bool,
+}
+
+impl Flood {
+    /// Creates a node instance. Only the `source`'s `input` matters; other
+    /// nodes may pass anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not fit in `payload_bits`.
+    #[must_use]
+    pub fn new(source: NodeId, input: u64, payload_bits: usize) -> Self {
+        assert!(
+            payload_bits >= 64 || input < (1u64 << payload_bits),
+            "payload {input} does not fit in {payload_bits} bits"
+        );
+        Flood {
+            ctx: None,
+            source,
+            input,
+            payload_bits,
+            received: None,
+            forwarded: false,
+        }
+    }
+
+    /// The payload this node holds (`None` until the wave arrives).
+    #[must_use]
+    pub fn output(&self) -> Option<u64> {
+        self.received
+    }
+}
+
+impl BroadcastAlgorithm for Flood {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.ctx = Some(*ctx);
+        if ctx.node == self.source {
+            self.received = Some(self.input);
+        }
+    }
+
+    fn round_message(&mut self, _round: usize) -> Option<Message> {
+        let ctx = self.ctx.as_ref().expect("init() must run before rounds");
+        match self.received {
+            Some(payload) if !self.forwarded => {
+                self.forwarded = true;
+                Some(
+                    MessageWriter::new()
+                        .push_uint(payload, self.payload_bits)
+                        .finish(ctx.message_bits),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    fn on_receive(&mut self, _round: usize, received: &[Message]) {
+        if self.received.is_none() {
+            if let Some(m) = received.first() {
+                self.received = Some(m.reader().read_uint(self.payload_bits));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.forwarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BroadcastRunner;
+    use beep_net::topology;
+
+    #[test]
+    fn payload_reaches_everyone() {
+        let g = topology::grid(4, 5).unwrap();
+        let n = g.node_count();
+        let runner = BroadcastRunner::new(&g, 16, 0);
+        let mut algos: Vec<Box<Flood>> =
+            (0..n).map(|_| Box::new(Flood::new(7, 0xBEE, 16))).collect();
+        let report = runner.run_to_completion(&mut algos, n).unwrap();
+        assert!(algos.iter().all(|a| a.output() == Some(0xBEE)));
+        // Wave takes eccentricity(7) + 1 rounds.
+        let ecc = g
+            .bfs_distances(7)
+            .into_iter()
+            .map(|d| d.unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(report.rounds, ecc + 1);
+    }
+
+    #[test]
+    fn non_source_input_is_ignored() {
+        let g = topology::path(3).unwrap();
+        let runner = BroadcastRunner::new(&g, 8, 0);
+        let mut algos: Vec<Box<Flood>> = (0..3)
+            .map(|v| Box::new(Flood::new(0, if v == 0 { 42 } else { 99 }, 8)))
+            .collect();
+        runner.run_to_completion(&mut algos, 5).unwrap();
+        assert!(algos.iter().all(|a| a.output() == Some(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_payload_panics() {
+        let _ = Flood::new(0, 256, 8);
+    }
+}

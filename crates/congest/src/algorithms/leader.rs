@@ -1,0 +1,145 @@
+//! Leader election by max-ID flooding in Broadcast CONGEST.
+//!
+//! Every node tracks the largest id it has seen and re-broadcasts on
+//! improvement; after `D` rounds all nodes agree on the global maximum.
+//! Termination uses an explicit round budget supplied by the caller (a
+//! diameter bound), as is standard for flooding-style election.
+
+use crate::message::{Message, MessageWriter};
+use crate::model::{BroadcastAlgorithm, NodeCtx};
+
+/// Per-node state of max-ID flooding.
+#[derive(Debug)]
+pub struct LeaderElection {
+    ctx: Option<NodeCtx>,
+    /// Largest id seen so far (starts as own id).
+    best: u64,
+    /// Whether `best` improved since our last broadcast.
+    dirty: bool,
+    /// Rounds to run (callers pass a diameter bound, e.g. `n`).
+    rounds: usize,
+    elapsed: usize,
+}
+
+impl LeaderElection {
+    /// Creates a node instance that runs exactly `rounds` communication
+    /// rounds (must be at least the graph diameter for correctness).
+    #[must_use]
+    pub fn new(rounds: usize) -> Self {
+        LeaderElection {
+            ctx: None,
+            best: 0,
+            dirty: true,
+            rounds,
+            elapsed: 0,
+        }
+    }
+
+    /// Message width: one id field.
+    #[must_use]
+    pub fn required_message_bits(n: usize) -> usize {
+        crate::model::id_bits_for(n)
+    }
+
+    /// The elected leader after the run (the largest id this node heard).
+    #[must_use]
+    pub fn output(&self) -> u64 {
+        self.best
+    }
+
+    /// Whether this node considers itself the leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.ctx.as_ref().is_some_and(|c| c.node as u64 == self.best)
+    }
+}
+
+impl BroadcastAlgorithm for LeaderElection {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.ctx = Some(*ctx);
+        self.best = ctx.node as u64;
+        self.dirty = true;
+    }
+
+    fn round_message(&mut self, _round: usize) -> Option<Message> {
+        let ctx = self.ctx.as_ref().expect("init() must run before rounds");
+        if self.dirty {
+            self.dirty = false;
+            Some(
+                MessageWriter::new()
+                    .push_uint(self.best, ctx.id_bits())
+                    .finish(ctx.message_bits),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn on_receive(&mut self, _round: usize, received: &[Message]) {
+        let ctx = self.ctx.as_ref().expect("init() must run before rounds");
+        let id_bits = ctx.id_bits();
+        for m in received {
+            let id = m.reader().read_uint(id_bits);
+            if id > self.best {
+                self.best = id;
+                self.dirty = true;
+            }
+        }
+        self.elapsed += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.elapsed >= self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BroadcastRunner;
+    use beep_net::{topology, Graph};
+
+    fn run_election(graph: &Graph, rounds: usize) -> Vec<u64> {
+        let n = graph.node_count();
+        let bits = LeaderElection::required_message_bits(n);
+        let runner = BroadcastRunner::new(graph, bits, 0);
+        let mut algos: Vec<Box<LeaderElection>> =
+            (0..n).map(|_| Box::new(LeaderElection::new(rounds))).collect();
+        runner.run_to_completion(&mut algos, rounds + 1).unwrap();
+        algos.iter().map(|a| a.output()).collect()
+    }
+
+    #[test]
+    fn all_agree_on_max_id() {
+        for g in [
+            topology::path(10).unwrap(),
+            topology::cycle(9).unwrap(),
+            topology::complete(7).unwrap(),
+            topology::grid(3, 4).unwrap(),
+        ] {
+            let n = g.node_count();
+            let d = g.diameter().unwrap();
+            let out = run_election(&g, d + 1);
+            assert!(out.iter().all(|&b| b == (n - 1) as u64), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader() {
+        let g = topology::path(8).unwrap();
+        let runner = BroadcastRunner::new(&g, LeaderElection::required_message_bits(8), 0);
+        let mut algos: Vec<Box<LeaderElection>> =
+            (0..8).map(|_| Box::new(LeaderElection::new(8))).collect();
+        runner.run_to_completion(&mut algos, 9).unwrap();
+        assert_eq!(algos.iter().filter(|a| a.is_leader()).count(), 1);
+        assert!(algos[7].is_leader());
+    }
+
+    #[test]
+    fn insufficient_rounds_leave_disagreement() {
+        // On a long path, 1 round cannot spread the max id to the far end.
+        let g = topology::path(10).unwrap();
+        let out = run_election(&g, 1);
+        assert!(out.iter().any(|&b| b != 9), "{out:?}");
+    }
+}

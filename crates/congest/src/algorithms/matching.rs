@@ -1,0 +1,455 @@
+//! The paper's Algorithm 3: maximal matching in Broadcast CONGEST.
+//!
+//! Luby's algorithm applied to edges (Algorithm 2), implemented with
+//! node-level broadcasts. One logical iteration takes four communication
+//! rounds — Propose, Reply, Confirm₁, Confirm₂ — preceded by a single
+//! round-0 ID exchange. Lemma 20: terminates in `O(log n)` iterations with
+//! high probability; under the beeping simulation this yields the
+//! `O(Δ log² n)` noisy-beeping matching of Theorem 21.
+
+use crate::message::{Message, MessageWriter};
+use crate::model::{BroadcastAlgorithm, NodeCtx};
+use beep_net::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Message tags (2 bits).
+const TAG_ID: u64 = 0;
+const TAG_PROPOSE: u64 = 1;
+const TAG_REPLY: u64 = 2;
+const TAG_CONFIRM: u64 = 3;
+
+/// An undirected edge as an ordered id pair `(lo, hi)`.
+type Edge = (NodeId, NodeId);
+
+fn edge(a: NodeId, b: NodeId) -> Edge {
+    (a.min(b), a.max(b))
+}
+
+/// Per-node state of Algorithm 3.
+///
+/// `output()` is `Some(Some(u))` once matched to `u`, `Some(None)` once
+/// terminated unmatched, `None` while still running.
+///
+/// # Message format
+///
+/// All messages are `2 + 11·⌈log₂ n⌉` bits: a 2-bit tag, two id fields for
+/// the edge, and a `9·⌈log₂ n⌉`-bit value field (the paper samples edge
+/// values from `[n⁹]` so that all values are distinct w.h.p.;
+/// ties are additionally broken by edge identity so the algorithm is
+/// deterministic given its randomness). Use
+/// [`required_message_bits`](Self::required_message_bits) to size the run.
+#[derive(Debug)]
+pub struct MaximalMatching {
+    ctx: Option<NodeCtx>,
+    rng: Option<StdRng>,
+    /// Active neighbor ids (the endpoints of `E_v`).
+    neighbors: Vec<NodeId>,
+    /// Whether this node still participates.
+    active: bool,
+    /// Final output once decided.
+    matched: Option<Option<NodeId>>,
+    /// Iteration-local state.
+    iter: IterState,
+    max_iterations: usize,
+}
+
+#[derive(Debug, Default)]
+struct IterState {
+    /// The edge this node proposed and its value.
+    proposed: Option<(Edge, u64)>,
+    /// The minimum-value incident proposal received `(value, edge)`.
+    best_incident: Option<(u64, Edge)>,
+    /// The edge this node replied to.
+    replied: Option<Edge>,
+    /// Set when a Reply for our proposed edge arrived and we did not reply.
+    will_confirm: Option<Edge>,
+    /// Set when a Confirm for the edge we replied to arrived.
+    will_confirm_back: Option<Edge>,
+    /// Confirmed edges seen this iteration (both confirm rounds).
+    confirmed: Vec<Edge>,
+}
+
+impl MaximalMatching {
+    /// Creates a node's instance. `max_iterations` bounds the Luby loop
+    /// (the paper uses `4·log n`; [`suggested_iterations`](Self::suggested_iterations)
+    /// computes that).
+    #[must_use]
+    pub fn new(max_iterations: usize) -> Self {
+        MaximalMatching {
+            ctx: None,
+            rng: None,
+            neighbors: Vec::new(),
+            active: true,
+            matched: None,
+            iter: IterState::default(),
+            max_iterations,
+        }
+    }
+
+    /// The paper's iteration budget `4·⌈log₂ n⌉ + 4` (Lemma 20 shows `4 log n`
+    /// iterations suffice w.h.p.; the +4 covers tiny `n`).
+    #[must_use]
+    pub fn suggested_iterations(n: usize) -> usize {
+        4 * crate::model::id_bits_for(n) + 4
+    }
+
+    /// The exact message width this algorithm needs for an `n`-node run.
+    #[must_use]
+    pub fn required_message_bits(n: usize) -> usize {
+        let id_bits = crate::model::id_bits_for(n);
+        2 + 2 * id_bits + Self::value_bits(n)
+    }
+
+    /// Width of the edge-value field: values are drawn from `[n⁹]`
+    /// (Algorithm 2), i.e. `9·⌈log₂ n⌉` bits.
+    fn value_bits(n: usize) -> usize {
+        9 * crate::model::id_bits_for(n)
+    }
+
+    /// Total communication rounds for a given iteration budget: 1 ID round
+    /// plus 4 rounds per iteration.
+    #[must_use]
+    pub fn rounds_for(iterations: usize) -> usize {
+        1 + 4 * iterations
+    }
+
+    /// The node's final output: `None` while running, `Some(partner)` when
+    /// done (`partner = None` means Unmatched).
+    #[must_use]
+    pub fn output(&self) -> Option<Option<NodeId>> {
+        self.matched
+    }
+
+    fn ctx(&self) -> &NodeCtx {
+        self.ctx.as_ref().expect("init() must run before rounds")
+    }
+
+    fn pack(&self, tag: u64, e: Edge, value: u64) -> Message {
+        let ctx = self.ctx();
+        let id_bits = ctx.id_bits();
+        MessageWriter::new()
+            .push_uint(tag, 2)
+            .push_uint(e.0 as u64, id_bits)
+            .push_uint(e.1 as u64, id_bits)
+            .push_uint(value, Self::value_bits(ctx.n))
+            .finish(ctx.message_bits)
+    }
+
+    fn unpack(&self, m: &Message) -> (u64, Edge, u64) {
+        let ctx = self.ctx();
+        let id_bits = ctx.id_bits();
+        let mut r = m.reader();
+        let tag = r.read_uint(2);
+        let a = r.read_uint(id_bits) as NodeId;
+        let b = r.read_uint(id_bits) as NodeId;
+        let value = r.read_uint(Self::value_bits(ctx.n));
+        (tag, (a, b), value)
+    }
+
+    /// Which sub-round of an iteration a communication round is, if any.
+    /// Round 0 is the ID exchange; thereafter rounds cycle
+    /// Propose(0) / Reply(1) / Confirm₁(2) / Confirm₂(3).
+    fn sub_round(round: usize) -> Option<usize> {
+        if round == 0 {
+            None
+        } else {
+            Some((round - 1) % 4)
+        }
+    }
+
+    fn me(&self) -> NodeId {
+        self.ctx().node
+    }
+}
+
+impl BroadcastAlgorithm for MaximalMatching {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.rng = Some(StdRng::seed_from_u64(ctx.seed));
+        self.ctx = Some(*ctx);
+    }
+
+    fn round_message(&mut self, round: usize) -> Option<Message> {
+        if round == 0 {
+            // "Each node v broadcasts its ID".
+            let ctx = self.ctx();
+            return Some(
+                MessageWriter::new()
+                    .push_uint(TAG_ID, 2)
+                    .push_uint(ctx.node as u64, ctx.id_bits())
+                    .finish(ctx.message_bits),
+            );
+        }
+        if !self.active {
+            return None;
+        }
+        let me = self.me();
+        match Self::sub_round(round) {
+            Some(0) => {
+                // Propose: sample x(e) for each e ∈ H_v, broadcast the
+                // unique minimum (H_v = edges where v is the higher id).
+                self.iter = IterState::default();
+                let n = self.ctx().n;
+                let value_bits = Self::value_bits(n).min(63);
+                let rng = self.rng.as_mut().expect("init seeds rng");
+                let mut samples: Vec<(u64, Edge)> = self
+                    .neighbors
+                    .iter()
+                    .filter(|&&u| u < me)
+                    .map(|&u| (rng.random_range(0..(1u64 << value_bits)), edge(me, u)))
+                    .collect();
+                samples.sort_unstable();
+                // Unique minimum by value (paper: "if it exists").
+                let unique_min = match samples.as_slice() {
+                    [] => None,
+                    [only] => Some(*only),
+                    [first, second, ..] => (first.0 != second.0).then_some(*first),
+                };
+                let (value, e) = unique_min?;
+                self.iter.proposed = Some((e, value));
+                Some(self.pack(TAG_PROPOSE, e, value))
+            }
+            Some(1) => {
+                // Reply to the minimum incident proposal if it beats ours.
+                let (value, e) = self.iter.best_incident?;
+                let beats_own = match self.iter.proposed {
+                    None => true,
+                    Some((own_edge, own_value)) => (value, e) < (own_value, own_edge),
+                };
+                if beats_own {
+                    self.iter.replied = Some(e);
+                    Some(self.pack(TAG_REPLY, e, 0))
+                } else {
+                    None
+                }
+            }
+            Some(2) => {
+                // Confirm₁: our proposal was replied to and we didn't reply.
+                let e = self.iter.will_confirm?;
+                let partner = if e.0 == me { e.1 } else { e.0 };
+                self.matched = Some(Some(partner));
+                self.active = false;
+                Some(self.pack(TAG_CONFIRM, e, 0))
+            }
+            Some(3) => {
+                // Confirm₂: the edge we replied to was confirmed.
+                let e = self.iter.will_confirm_back?;
+                let partner = if e.0 == me { e.1 } else { e.0 };
+                self.matched = Some(Some(partner));
+                self.active = false;
+                Some(self.pack(TAG_CONFIRM, e, 0))
+            }
+            _ => None,
+        }
+    }
+
+    fn on_receive(&mut self, round: usize, received: &[Message]) {
+        if round == 0 {
+            // Learn neighbor ids.
+            let id_bits = self.ctx().id_bits();
+            self.neighbors = received
+                .iter()
+                .map(|m| {
+                    let mut r = m.reader();
+                    let _tag = r.read_uint(2);
+                    r.read_uint(id_bits) as NodeId
+                })
+                .collect();
+            self.neighbors.sort_unstable();
+            if self.neighbors.is_empty() {
+                // Isolated node: trivially done, unmatched.
+                self.active = false;
+                self.matched = Some(None);
+            }
+            return;
+        }
+        if !self.active {
+            return;
+        }
+        let me = self.me();
+        match Self::sub_round(round) {
+            Some(0) => {
+                // Collect the minimum-value *incident* proposal.
+                for m in received {
+                    let (tag, e, value) = self.unpack(m);
+                    if tag == TAG_PROPOSE && (e.0 == me || e.1 == me) {
+                        let cand = (value, e);
+                        if self.iter.best_incident.is_none_or(|best| cand < best) {
+                            self.iter.best_incident = Some(cand);
+                        }
+                    }
+                }
+            }
+            Some(1) => {
+                // Watch for a Reply to our proposal (only valid if we did
+                // not ourselves reply).
+                if self.iter.replied.is_some() {
+                    return;
+                }
+                if let Some((own_edge, _)) = self.iter.proposed {
+                    for m in received {
+                        let (tag, e, _) = self.unpack(m);
+                        if tag == TAG_REPLY && e == own_edge {
+                            self.iter.will_confirm = Some(own_edge);
+                        }
+                    }
+                }
+            }
+            Some(2) => {
+                // First confirm batch: trigger confirm-back, record removals.
+                for m in received {
+                    let (tag, e, _) = self.unpack(m);
+                    if tag == TAG_CONFIRM {
+                        self.iter.confirmed.push(e);
+                        if self.active && self.iter.replied == Some(e) {
+                            self.iter.will_confirm_back = Some(e);
+                        }
+                    }
+                }
+            }
+            Some(3) => {
+                // Second confirm batch, then end-of-iteration bookkeeping.
+                for m in received {
+                    let (tag, e, _) = self.unpack(m);
+                    if tag == TAG_CONFIRM {
+                        self.iter.confirmed.push(e);
+                    }
+                }
+                if self.active {
+                    // Remove edges to endpoints of confirmed edges.
+                    for &(w, z) in &self.iter.confirmed {
+                        if w != me && z != me {
+                            self.neighbors.retain(|&u| u != w && u != z);
+                        }
+                    }
+                    if self.neighbors.is_empty() {
+                        self.active = false;
+                        self.matched = Some(None);
+                    }
+                }
+                // Iteration budget: give up (unmatched) if exhausted — the
+                // w.h.p. analysis makes this unreachable at the suggested
+                // budget, but termination must be unconditional.
+                if self.active && round >= Self::rounds_for(self.max_iterations) - 1 {
+                    self.active = false;
+                    self.matched = Some(None);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.matched.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BroadcastRunner;
+    use crate::validate::check_matching;
+    use beep_net::{topology, Graph};
+
+    fn run_matching(graph: &Graph, seed: u64) -> Vec<Option<NodeId>> {
+        let n = graph.node_count();
+        let bits = MaximalMatching::required_message_bits(n);
+        let iters = MaximalMatching::suggested_iterations(n);
+        let runner = BroadcastRunner::new(graph, bits, seed);
+        let mut algos: Vec<Box<MaximalMatching>> =
+            (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+        runner
+            .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
+            .unwrap_or_else(|e| panic!("matching run failed: {e}"));
+        algos.iter().map(|a| a.output().expect("done")).collect()
+    }
+
+    #[test]
+    fn single_edge_matches() {
+        let g = topology::path(2).unwrap();
+        let out = run_matching(&g, 1);
+        assert_eq!(out, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn isolated_nodes_output_unmatched() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let out = run_matching(&g, 2);
+        assert_eq!(out[2], None);
+        assert!(check_matching(&g, &out).is_empty());
+    }
+
+    #[test]
+    fn triangle_matches_one_edge() {
+        let g = topology::complete(3).unwrap();
+        let out = run_matching(&g, 3);
+        assert!(check_matching(&g, &out).is_empty());
+        let matched = out.iter().filter(|o| o.is_some()).count();
+        assert_eq!(matched, 2, "a triangle matches exactly one edge");
+    }
+
+    #[test]
+    fn valid_on_standard_topologies() {
+        for (name, g) in [
+            ("path", topology::path(17).unwrap()),
+            ("cycle", topology::cycle(16).unwrap()),
+            ("complete", topology::complete(12).unwrap()),
+            ("star", topology::star(10).unwrap()),
+            ("grid", topology::grid(4, 5).unwrap()),
+            ("bipartite", topology::complete_bipartite(6, 6).unwrap()),
+            ("tree", topology::binary_tree(15).unwrap()),
+        ] {
+            for seed in 0..5 {
+                let out = run_matching(&g, seed);
+                let violations = check_matching(&g, &out);
+                assert!(violations.is_empty(), "{name} seed {seed}: {violations:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = topology::gnp(30, 0.15, &mut rng).unwrap();
+            let out = run_matching(&g, seed + 100);
+            let violations = check_matching(&g, &out);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn round_count_grows_logarithmically() {
+        // Lemma 20: O(log n) iterations. Measure actual rounds on K_n and
+        // check they stay within the 4·log n + O(1) budget (they should
+        // finish well before it).
+        for n in [4usize, 8, 16, 32, 64] {
+            let g = topology::complete(n).unwrap();
+            let bits = MaximalMatching::required_message_bits(n);
+            let iters = MaximalMatching::suggested_iterations(n);
+            let runner = BroadcastRunner::new(&g, bits, 7);
+            let mut algos: Vec<Box<MaximalMatching>> =
+                (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+            let report = runner
+                .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
+                .unwrap();
+            assert!(
+                report.rounds <= MaximalMatching::rounds_for(iters),
+                "n={n}: {} rounds",
+                report.rounds
+            );
+            let out: Vec<_> = algos.iter().map(|a| a.output().unwrap()).collect();
+            assert!(check_matching(&g, &out).is_empty(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn message_width_formula_matches_packing() {
+        // Packing the widest message must exactly fill required_message_bits.
+        let n = 100;
+        let bits = MaximalMatching::required_message_bits(n);
+        let id_bits = crate::model::id_bits_for(n);
+        assert_eq!(bits, 2 + 2 * id_bits + 9 * id_bits);
+    }
+}

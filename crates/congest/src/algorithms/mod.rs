@@ -1,0 +1,34 @@
+//! Reference Broadcast CONGEST algorithms.
+//!
+//! Everything here is written against the anonymous-reception Broadcast
+//! CONGEST interface ([`crate::BroadcastAlgorithm`]), so each algorithm
+//! runs unchanged under the beeping simulation of `beep-core` — that is
+//! the paper's headline use case ("allows a host of graph algorithms to be
+//! efficiently implemented in beeping models").
+//!
+//! * [`MaximalMatching`] — the paper's own contribution (Section 6,
+//!   Algorithm 3): Luby-style maximal matching in `O(log n)` Broadcast
+//!   CONGEST rounds.
+//! * [`LubyMis`] — maximal independent set (Luby 1986).
+//! * [`RandomColoring`] — randomized (Δ+1)-coloring by repeated trials.
+//! * [`Distance2Coloring`] — distributed G² coloring in CONGEST: the
+//!   *setup primitive* of the prior-work TDMA simulations ([7], [4]).
+//! * [`BfsTree`] — breadth-first tree construction by wave flooding.
+//! * [`LeaderElection`] — leader election by max-ID flooding.
+//! * [`Flood`] — single-source message dissemination.
+
+mod bfs;
+mod coloring;
+mod distance2;
+mod flood;
+mod leader;
+mod matching;
+mod mis;
+
+pub use bfs::BfsTree;
+pub use coloring::RandomColoring;
+pub use distance2::Distance2Coloring;
+pub use flood::Flood;
+pub use leader::LeaderElection;
+pub use matching::MaximalMatching;
+pub use mis::LubyMis;

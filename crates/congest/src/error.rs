@@ -1,0 +1,76 @@
+//! Error type for model execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from running a CONGEST / Broadcast CONGEST algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CongestError {
+    /// A node emitted a message whose width differs from the model's fixed
+    /// message size (the `O(log n)`-bit bound, made exact so the beeping
+    /// simulation's distance code has a fixed block length).
+    MessageWidth {
+        /// The run's fixed message width in bits.
+        expected: usize,
+        /// The emitted message's width.
+        actual: usize,
+        /// The emitting node.
+        node: usize,
+    },
+    /// The number of algorithm instances differs from the node count.
+    NodeCount {
+        /// Expected instances (= nodes).
+        expected: usize,
+        /// Provided instances.
+        actual: usize,
+    },
+    /// A CONGEST node addressed a message to a non-neighbor.
+    NotANeighbor {
+        /// The sender.
+        from: usize,
+        /// The invalid addressee.
+        to: usize,
+    },
+    /// The run did not complete within its round budget.
+    RoundBudgetExhausted {
+        /// The exhausted budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::MessageWidth { expected, actual, node } => write!(
+                f,
+                "node {node} emitted a {actual}-bit message; the model fixes {expected} bits"
+            ),
+            CongestError::NodeCount { expected, actual } => {
+                write!(f, "got {actual} algorithm instances for {expected} nodes")
+            }
+            CongestError::NotANeighbor { from, to } => {
+                write!(f, "node {from} addressed a message to non-neighbor {to}")
+            }
+            CongestError::RoundBudgetExhausted { budget } => {
+                write!(f, "algorithm did not complete within {budget} rounds")
+            }
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = CongestError::MessageWidth { expected: 32, actual: 40, node: 3 };
+        for needle in ["32", "40", "3"] {
+            assert!(e.to_string().contains(needle));
+        }
+        assert!(CongestError::NotANeighbor { from: 1, to: 2 }.to_string().contains("non-neighbor"));
+    }
+}

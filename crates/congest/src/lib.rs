@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! The message-passing models the paper simulates, plus a reference
+//! algorithm library.
+//!
+//! * **Broadcast CONGEST** (Section 1.1): each round, every node may send
+//!   one `O(log n)`-bit message heard by *all* of its neighbors.
+//! * **CONGEST**: each round, every node may send a *different*
+//!   `O(log n)`-bit message to each neighbor.
+//!
+//! Algorithms implement [`BroadcastAlgorithm`] or [`CongestAlgorithm`] and
+//! can be executed two ways with identical observable behavior:
+//!
+//! 1. natively, by this crate's [`BroadcastRunner`] / [`CongestRunner`]
+//!    (direct message delivery — the models as defined);
+//! 2. over noisy beeps, by `beep-core`'s simulators (the paper's
+//!    Algorithm 1 / Corollary 12).
+//!
+//! # Anonymous reception
+//!
+//! Following the paper (footnote 1: a decoding node need not know *which*
+//! neighbor a codeword belongs to), Broadcast CONGEST reception here is a
+//! **multiset of messages without sender identity**, delivered in a
+//! canonical sorted order. Algorithms that need sender identity embed IDs
+//! in their payloads — exactly what the paper's Algorithm 3 does. This is
+//! the weakest reception interface, so everything written against it runs
+//! unchanged under beep simulation.
+//!
+//! The algorithm library ([`algorithms`]) contains the paper's Broadcast
+//! CONGEST maximal matching (Algorithm 3) plus Luby MIS, randomized
+//! (Δ+1)-coloring, distributed distance-2 coloring, BFS tree, leader
+//! election and flooding — the "host of graph algorithms" the paper's
+//! simulation unlocks for beeping networks.
+//!
+//! # Example
+//!
+//! ```
+//! use beep_congest::{algorithms::MaximalMatching, validate, BroadcastRunner};
+//! use beep_net::topology;
+//!
+//! // The paper's Algorithm 3, run natively on a 12-cycle.
+//! let graph = topology::cycle(12).unwrap();
+//! let bits = MaximalMatching::required_message_bits(12);
+//! let iters = MaximalMatching::suggested_iterations(12);
+//! let runner = BroadcastRunner::new(&graph, bits, 7);
+//! let mut nodes: Vec<Box<MaximalMatching>> =
+//!     (0..12).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+//! runner.run_to_completion(&mut nodes, MaximalMatching::rounds_for(iters)).unwrap();
+//! let output: Vec<Option<usize>> = nodes.iter().map(|a| a.output().unwrap()).collect();
+//! assert!(validate::check_matching(&graph, &output).is_empty());
+//! ```
+
+pub mod algorithms;
+mod error;
+mod message;
+mod model;
+mod runner;
+pub mod validate;
+
+pub use error::CongestError;
+pub use message::{Message, MessageReader, MessageWriter};
+pub use model::{id_bits_for, BroadcastAlgorithm, CongestAlgorithm, NodeCtx};
+pub use runner::{BroadcastRunner, CongestRunner, RunReport};

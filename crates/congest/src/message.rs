@@ -1,0 +1,219 @@
+//! Fixed-width message payloads and bit-level packing helpers.
+
+use beep_bits::BitVec;
+
+/// An `O(log n)`-bit message payload.
+///
+/// The models in this crate fix one exact message width per run (the
+/// paper's `γ·log n`); [`MessageWriter`] packs structured fields into that
+/// width and [`MessageReader`] unpacks them. Messages order
+/// lexicographically by bit content, which the runners use to deliver
+/// receptions in a canonical order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Message {
+    bits: Vec<bool>,
+}
+
+impl Message {
+    /// Wraps raw bits as a message.
+    #[must_use]
+    pub fn from_bits(bits: &BitVec) -> Self {
+        Message {
+            bits: bits.iter_bits().collect(),
+        }
+    }
+
+    /// A zero message of the given width.
+    #[must_use]
+    pub fn zero(width: usize) -> Self {
+        Message { bits: vec![false; width] }
+    }
+
+    /// The message width in bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the message has zero width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The payload as a [`BitVec`] (what actually crosses the channel).
+    #[must_use]
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec::from_bools(&self.bits)
+    }
+
+    /// Begins reading structured fields from the front of the message.
+    #[must_use]
+    pub fn reader(&self) -> MessageReader<'_> {
+        MessageReader { bits: &self.bits, cursor: 0 }
+    }
+}
+
+/// Packs unsigned integer fields into a fixed-width [`Message`],
+/// little-endian within each field, fields in push order from bit 0.
+#[derive(Debug, Default)]
+pub struct MessageWriter {
+    bits: Vec<bool>,
+}
+
+impl MessageWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        MessageWriter::default()
+    }
+
+    /// Appends `width` bits encoding `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits (a message-format
+    /// bug, not a runtime condition).
+    pub fn push_uint(&mut self, value: u64, width: usize) -> &mut Self {
+        assert!(
+            width >= 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in 0..width {
+            self.bits.push(i < 64 && value & (1u64 << i) != 0);
+        }
+        self
+    }
+
+    /// Appends a single flag bit.
+    pub fn push_bit(&mut self, bit: bool) -> &mut Self {
+        self.bits.push(bit);
+        self
+    }
+
+    /// Finishes into a message of exactly `width` bits, zero-padding the
+    /// tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `width` bits were pushed.
+    #[must_use]
+    pub fn finish(&self, width: usize) -> Message {
+        assert!(
+            self.bits.len() <= width,
+            "packed {} bits into a {width}-bit message",
+            self.bits.len()
+        );
+        let mut bits = self.bits.clone();
+        bits.resize(width, false);
+        Message { bits }
+    }
+}
+
+/// Reads fields back out of a [`Message`] in push order.
+#[derive(Debug)]
+pub struct MessageReader<'a> {
+    bits: &'a [bool],
+    cursor: usize,
+}
+
+impl MessageReader<'_> {
+    /// Reads a `width`-bit unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on reading past the end of the message.
+    pub fn read_uint(&mut self, width: usize) -> u64 {
+        assert!(self.cursor + width <= self.bits.len(), "message read out of bounds");
+        let mut value = 0u64;
+        for i in 0..width {
+            if self.bits[self.cursor + i] && i < 64 {
+                value |= 1u64 << i;
+            }
+        }
+        self.cursor += width;
+        value
+    }
+
+    /// Reads a single flag bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on reading past the end of the message.
+    pub fn read_bit(&mut self) -> bool {
+        assert!(self.cursor < self.bits.len(), "message read out of bounds");
+        let b = self.bits[self.cursor];
+        self.cursor += 1;
+        b
+    }
+
+    /// Bits remaining after the cursor.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let msg = MessageWriter::new()
+            .push_uint(5, 4)
+            .push_bit(true)
+            .push_uint(1000, 12)
+            .finish(32);
+        assert_eq!(msg.len(), 32);
+        let mut r = msg.reader();
+        assert_eq!(r.read_uint(4), 5);
+        assert!(r.read_bit());
+        assert_eq!(r.read_uint(12), 1000);
+        assert_eq!(r.remaining(), 15);
+        // Padding reads back as zero.
+        assert_eq!(r.read_uint(15), 0);
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        let bv = BitVec::from_u64_lsb(0xA5, 8);
+        let msg = Message::from_bits(&bv);
+        assert_eq!(msg.to_bitvec(), bv);
+    }
+
+    #[test]
+    fn zero_message() {
+        let z = Message::zero(16);
+        assert_eq!(z.len(), 16);
+        assert_eq!(z.to_bitvec().count_ones(), 0);
+        assert!(!z.is_empty());
+        assert!(Message::zero(0).is_empty());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_bits() {
+        let a = MessageWriter::new().push_uint(0, 4).finish(4);
+        let b = MessageWriter::new().push_uint(1, 4).finish(4);
+        assert!(a < b); // bit 0 set sorts after unset at first differing position
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_field_panics() {
+        MessageWriter::new().push_uint(16, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed")]
+    fn overfull_message_panics() {
+        let _ = MessageWriter::new().push_uint(0, 40).finish(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overread_panics() {
+        let msg = Message::zero(4);
+        msg.reader().read_uint(5);
+    }
+}

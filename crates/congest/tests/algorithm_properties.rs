@@ -1,0 +1,86 @@
+//! Property tests: every algorithm in the library produces validated
+//! output on arbitrary random graphs under the native runners.
+
+use beep_congest::algorithms::{
+    Distance2Coloring, LubyMis, MaximalMatching, RandomColoring,
+};
+use beep_congest::{validate, BroadcastRunner, CongestRunner};
+use beep_net::Graph;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (Graph, u64)> {
+    ((2usize..14), any::<u64>()).prop_flat_map(|(n, seed)| {
+        let max_edges = n * (n - 1) / 2;
+        prop::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            (Graph::from_edges(n, &edges).expect("valid"), seed)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matching_is_always_valid((graph, seed) in arb_graph()) {
+        let n = graph.node_count();
+        let bits = MaximalMatching::required_message_bits(n);
+        let iters = MaximalMatching::suggested_iterations(n);
+        let runner = BroadcastRunner::new(&graph, bits, seed);
+        let mut algos: Vec<Box<MaximalMatching>> =
+            (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+        runner
+            .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
+            .expect("terminates");
+        let out: Vec<Option<usize>> = algos.iter().map(|a| a.output().expect("done")).collect();
+        prop_assert!(validate::check_matching(&graph, &out).is_empty());
+    }
+
+    #[test]
+    fn mis_is_always_valid((graph, seed) in arb_graph()) {
+        let n = graph.node_count();
+        let bits = LubyMis::required_message_bits(n);
+        let iters = LubyMis::suggested_iterations(n);
+        let runner = BroadcastRunner::new(&graph, bits, seed);
+        let mut algos: Vec<Box<LubyMis>> =
+            (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
+        runner
+            .run_to_completion(&mut algos, LubyMis::rounds_for(iters))
+            .expect("terminates");
+        let out: Vec<bool> = algos.iter().map(|a| a.output().expect("done")).collect();
+        prop_assert!(validate::check_mis(&graph, &out).is_empty());
+    }
+
+    #[test]
+    fn coloring_is_always_valid((graph, seed) in arb_graph()) {
+        let n = graph.node_count();
+        let bits = RandomColoring::required_message_bits(n);
+        let iters = RandomColoring::suggested_iterations(n);
+        let runner = BroadcastRunner::new(&graph, bits, seed);
+        let mut algos: Vec<Box<RandomColoring>> =
+            (0..n).map(|_| Box::new(RandomColoring::new(iters))).collect();
+        runner
+            .run_to_completion(&mut algos, RandomColoring::rounds_for(iters))
+            .expect("terminates");
+        let out: Vec<Option<u64>> = algos.iter().map(|a| a.output()).collect();
+        prop_assert!(validate::check_coloring(&graph, &out).is_empty());
+    }
+
+    #[test]
+    fn distance2_coloring_is_always_valid((graph, seed) in arb_graph()) {
+        let n = graph.node_count();
+        let delta = graph.max_degree();
+        let bits = Distance2Coloring::required_message_bits(delta);
+        let iters = Distance2Coloring::suggested_iterations(n);
+        let runner = CongestRunner::new(&graph, bits, seed);
+        let mut algos: Vec<Box<Distance2Coloring>> = (0..n)
+            .map(|v| Box::new(Distance2Coloring::new(delta, graph.neighbors(v).to_vec(), iters)))
+            .collect();
+        runner
+            .run_to_completion(&mut algos, Distance2Coloring::rounds_for(iters))
+            .expect("terminates");
+        let out: Vec<Option<u64>> = algos.iter().map(|a| a.output()).collect();
+        prop_assert!(validate::check_distance2_coloring(&graph, &out).is_empty());
+    }
+}

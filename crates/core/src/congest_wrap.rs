@@ -1,0 +1,326 @@
+//! Corollary 12: CONGEST over Broadcast CONGEST at a `Δ` factor.
+//!
+//! "Nodes first broadcast their IDs to all neighbors, and then each CONGEST
+//! communication round is simulated in Δ Broadcast CONGEST rounds by having
+//! each node v broadcast ⟨ID_u, m_v→u⟩ to its neighbors, for every
+//! u ∈ N(v) in arbitrary order." Our wire format carries
+//! `⟨dest, sender, payload⟩` so the receiver also learns the port, matching
+//! the CONGEST reception interface of `beep-congest`.
+
+use beep_congest::{
+    BroadcastAlgorithm, CongestAlgorithm, Message, MessageWriter, NodeCtx,
+};
+use beep_net::NodeId;
+
+/// Adapts a [`CongestAlgorithm`] into a [`BroadcastAlgorithm`].
+///
+/// Round structure: round 0 is the ID exchange; thereafter each CONGEST
+/// round `r` occupies `Δ` broadcast sub-rounds (`Δ` = global maximum
+/// degree, a model parameter all nodes know), in which node `v` broadcasts
+/// its `j`-th outgoing message of round `r`, addressed by destination id.
+///
+/// The adapter is itself just a Broadcast CONGEST algorithm, so it runs
+/// under the native runner *and* under the beeping simulation — stacking
+/// the two yields exactly Corollary 12's `O(Δ² log n)`-overhead CONGEST
+/// simulation.
+#[derive(Debug)]
+pub struct CongestAdapter<A> {
+    inner: A,
+    delta: usize,
+    inner_bits: usize,
+    ctx: Option<NodeCtx>,
+    /// Outgoing queue for the current CONGEST round.
+    pending: Vec<(NodeId, Message)>,
+    /// Accumulated inbox for the current CONGEST round.
+    inbox: Vec<(NodeId, Message)>,
+    /// Whether the ID exchange has happened.
+    ids_exchanged: bool,
+    /// Set at a CONGEST round boundary once the inner algorithm is done.
+    finished: bool,
+}
+
+impl<A: CongestAlgorithm> CongestAdapter<A> {
+    /// Wraps `inner`. `delta` must be the graph's maximum degree;
+    /// `inner_bits` is the CONGEST message width the inner algorithm uses.
+    #[must_use]
+    pub fn new(inner: A, delta: usize, inner_bits: usize) -> Self {
+        CongestAdapter {
+            inner,
+            delta: delta.max(1),
+            inner_bits,
+            ctx: None,
+            pending: Vec::new(),
+            inbox: Vec::new(),
+            ids_exchanged: false,
+            finished: false,
+        }
+    }
+
+    /// The broadcast message width the adapter needs: two id fields plus
+    /// the inner payload.
+    #[must_use]
+    pub fn required_message_bits(n: usize, inner_bits: usize) -> usize {
+        2 * beep_congest::id_bits_for(n) + inner_bits
+    }
+
+    /// Broadcast rounds consumed by `congest_rounds` CONGEST rounds:
+    /// `1 + Δ·congest_rounds` (the paper's `O(TΔ)`).
+    #[must_use]
+    pub fn broadcast_rounds_for(congest_rounds: usize, delta: usize) -> usize {
+        1 + delta.max(1) * congest_rounds
+    }
+
+    /// Unwraps the inner algorithm (to read its outputs after a run).
+    #[must_use]
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Borrows the inner algorithm.
+    #[must_use]
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    fn ctx(&self) -> &NodeCtx {
+        self.ctx.as_ref().expect("init() must run before rounds")
+    }
+
+    /// Maps a broadcast round number to `(congest_round, sub_round)`;
+    /// `None` for the ID round.
+    fn schedule(&self, round: usize) -> Option<(usize, usize)> {
+        round.checked_sub(1).map(|r| (r / self.delta, r % self.delta))
+    }
+}
+
+impl<A: CongestAlgorithm> BroadcastAlgorithm for CongestAdapter<A> {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.ctx = Some(*ctx);
+        // The inner algorithm sees the CONGEST message width.
+        let inner_ctx = NodeCtx { message_bits: self.inner_bits, ..*ctx };
+        self.inner.init(&inner_ctx);
+    }
+
+    fn round_message(&mut self, round: usize) -> Option<Message> {
+        let ctx = *self.ctx();
+        let id_bits = ctx.id_bits();
+        if round == 0 {
+            // ID exchange round: broadcast ⟨me, me, 0⟩.
+            return Some(
+                MessageWriter::new()
+                    .push_uint(ctx.node as u64, id_bits)
+                    .push_uint(ctx.node as u64, id_bits)
+                    .finish(ctx.message_bits),
+            );
+        }
+        let (congest_round, sub) = self.schedule(round).expect("round ≥ 1");
+        if sub == 0 {
+            // New CONGEST round: collect the inner algorithm's messages.
+            self.pending = if self.inner.is_done() {
+                Vec::new()
+            } else {
+                self.inner.round_messages(congest_round)
+            };
+            assert!(
+                self.pending.len() <= self.delta,
+                "CONGEST node emitted {} messages but Δ = {}",
+                self.pending.len(),
+                self.delta
+            );
+            self.inbox.clear();
+        }
+        let (dest, msg) = self.pending.get(sub)?.clone();
+        assert_eq!(
+            msg.len(),
+            self.inner_bits,
+            "inner CONGEST message width mismatch"
+        );
+        let payload = msg.to_bitvec();
+        let mut w = MessageWriter::new();
+        w.push_uint(dest as u64, id_bits);
+        w.push_uint(ctx.node as u64, id_bits);
+        for i in 0..self.inner_bits {
+            w.push_bit(payload.get(i));
+        }
+        Some(w.finish(ctx.message_bits))
+    }
+
+    fn on_receive(&mut self, round: usize, received: &[Message]) {
+        let ctx = *self.ctx();
+        let id_bits = ctx.id_bits();
+        if round == 0 {
+            self.ids_exchanged = true;
+            return;
+        }
+        let (congest_round, sub) = self.schedule(round).expect("round ≥ 1");
+        // Keep messages addressed to us.
+        for m in received {
+            let mut r = m.reader();
+            let dest = r.read_uint(id_bits) as NodeId;
+            let sender = r.read_uint(id_bits) as NodeId;
+            if dest == ctx.node {
+                let payload_bits: Vec<bool> = (0..self.inner_bits).map(|_| r.read_bit()).collect();
+                let payload = Message::from_bits(&beep_bits::BitVec::from_bools(&payload_bits));
+                self.inbox.push((sender, payload));
+            }
+        }
+        // Last sub-round: deliver the CONGEST round's inbox, then check
+        // for termination at the round boundary.
+        if sub == self.delta - 1 {
+            if !self.inner.is_done() {
+                let mut inbox = std::mem::take(&mut self.inbox);
+                inbox.sort_unstable();
+                self.inner.on_receive(congest_round, &inbox);
+            }
+            if self.inner.is_done() {
+                self.finished = true;
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.ids_exchanged && self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beep_congest::{BroadcastRunner, CongestRunner};
+    use beep_net::topology;
+
+    /// A CONGEST echo protocol: in round 0 every node sends its id+100 to
+    /// each neighbor; in round 1 it replies to each sender with
+    /// (received value + 1); then done. Exercises addressed delivery both
+    /// natively and through the adapter.
+    #[derive(Debug, Clone)]
+    struct Echo {
+        ctx: Option<NodeCtx>,
+        got_round0: Vec<(NodeId, u64)>,
+        got_round1: Vec<(NodeId, u64)>,
+        done: bool,
+    }
+    impl Echo {
+        fn new() -> Self {
+            Echo { ctx: None, got_round0: Vec::new(), got_round1: Vec::new(), done: false }
+        }
+    }
+    impl CongestAlgorithm for Echo {
+        fn init(&mut self, ctx: &NodeCtx) {
+            self.ctx = Some(*ctx);
+        }
+        fn round_messages(&mut self, round: usize) -> Vec<(NodeId, Message)> {
+            let ctx = self.ctx.as_ref().unwrap();
+            match round {
+                0 => {
+                    // Send to each neighbor; on a path those are me±1.
+                    let me = ctx.node;
+                    [me.wrapping_sub(1), me + 1]
+                        .into_iter()
+                        .filter(|&u| u < ctx.n && u != me)
+                        .map(|u| {
+                            (u, MessageWriter::new().push_uint(me as u64 + 100, 16).finish(ctx.message_bits))
+                        })
+                        .collect()
+                }
+                1 => self
+                    .got_round0
+                    .iter()
+                    .map(|&(from, val)| {
+                        (from, MessageWriter::new().push_uint(val + 1, 16).finish(self.ctx.as_ref().unwrap().message_bits))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            }
+        }
+        fn on_receive(&mut self, round: usize, received: &[(NodeId, Message)]) {
+            let vals: Vec<(NodeId, u64)> = received
+                .iter()
+                .map(|(from, m)| (*from, m.reader().read_uint(16)))
+                .collect();
+            match round {
+                0 => self.got_round0 = vals,
+                1 => {
+                    self.got_round1 = vals;
+                    self.done = true;
+                }
+                _ => {}
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn expected_round1(v: usize, n: usize) -> Vec<(NodeId, u64)> {
+        // Node v sent v+100 to neighbors; each echoes back v+101.
+        let mut out: Vec<(NodeId, u64)> = [v.wrapping_sub(1), v + 1]
+            .into_iter()
+            .filter(|&u| u < n && u != v)
+            .map(|u| (u, v as u64 + 101))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn adapter_matches_native_congest() {
+        let g = topology::path(5).unwrap();
+        let n = g.node_count();
+        let inner_bits = 16;
+
+        // Native CONGEST run.
+        let native_runner = CongestRunner::new(&g, inner_bits, 3);
+        let mut native: Vec<Box<Echo>> = (0..n).map(|_| Box::new(Echo::new())).collect();
+        native_runner.run_to_completion(&mut native, 10).unwrap();
+
+        // Adapter over native Broadcast CONGEST.
+        let delta = g.max_degree();
+        let wrapper_bits = CongestAdapter::<Echo>::required_message_bits(n, inner_bits);
+        let broadcast_runner = BroadcastRunner::new(&g, wrapper_bits, 3);
+        let mut adapted: Vec<Box<CongestAdapter<Echo>>> = (0..n)
+            .map(|_| Box::new(CongestAdapter::new(Echo::new(), delta, inner_bits)))
+            .collect();
+        broadcast_runner
+            .run_to_completion(&mut adapted, CongestAdapter::<Echo>::broadcast_rounds_for(10, delta))
+            .unwrap();
+
+        for v in 0..n {
+            assert_eq!(
+                native[v].got_round0, adapted[v].inner().got_round0,
+                "round-0 inbox of node {v}"
+            );
+            assert_eq!(
+                native[v].got_round1, adapted[v].inner().got_round1,
+                "round-1 inbox of node {v}"
+            );
+            assert_eq!(native[v].got_round1, expected_round1(v, n), "node {v} echo");
+        }
+    }
+
+    #[test]
+    fn broadcast_round_accounting() {
+        // T CONGEST rounds cost 1 + Δ·T broadcast rounds.
+        let g = topology::path(4).unwrap();
+        let n = g.node_count();
+        let inner_bits = 16;
+        let delta = g.max_degree();
+        let wrapper_bits = CongestAdapter::<Echo>::required_message_bits(n, inner_bits);
+        let runner = BroadcastRunner::new(&g, wrapper_bits, 3);
+        let mut adapted: Vec<Box<CongestAdapter<Echo>>> = (0..n)
+            .map(|_| Box::new(CongestAdapter::new(Echo::new(), delta, inner_bits)))
+            .collect();
+        let report = runner
+            .run_to_completion(&mut adapted, 100)
+            .unwrap();
+        // Echo needs 2 CONGEST rounds → 1 + 2Δ broadcast rounds.
+        assert_eq!(report.rounds, 1 + 2 * delta);
+    }
+
+    #[test]
+    fn required_bits_formula() {
+        // n = 100 → id fields of 7 bits each.
+        assert_eq!(CongestAdapter::<Echo>::required_message_bits(100, 20), 14 + 20);
+        assert_eq!(CongestAdapter::<Echo>::broadcast_rounds_for(5, 4), 21);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the simulation layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or running the beeping simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Code construction failed (propagated parameter problem).
+    Code(beep_codes::CodeError),
+    /// The model layer reported an error (message width, node count, …).
+    Congest(beep_congest::CongestError),
+    /// The network layer reported an error.
+    Net(beep_net::NetError),
+    /// The simulation's noise setting disagrees with the network's channel.
+    NoiseMismatch {
+        /// ε the simulator's thresholds were derived for.
+        params_epsilon: f64,
+        /// ε of the network's channel.
+        network_epsilon: f64,
+    },
+    /// The outgoing-message slice length did not match the node count.
+    OutgoingCount {
+        /// Expected (= node count).
+        expected: usize,
+        /// Provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Code(e) => write!(f, "code construction: {e}"),
+            SimError::Congest(e) => write!(f, "model layer: {e}"),
+            SimError::Net(e) => write!(f, "network layer: {e}"),
+            SimError::NoiseMismatch { params_epsilon, network_epsilon } => write!(
+                f,
+                "simulator calibrated for ε = {params_epsilon} but channel has ε = {network_epsilon}"
+            ),
+            SimError::OutgoingCount { expected, actual } => {
+                write!(f, "got {actual} outgoing message slots for {expected} nodes")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Code(e) => Some(e),
+            SimError::Congest(e) => Some(e),
+            SimError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<beep_codes::CodeError> for SimError {
+    fn from(e: beep_codes::CodeError) -> Self {
+        SimError::Code(e)
+    }
+}
+
+impl From<beep_congest::CongestError> for SimError {
+    fn from(e: beep_congest::CongestError) -> Self {
+        SimError::Congest(e)
+    }
+}
+
+impl From<beep_net::NetError> for SimError {
+    fn from(e: beep_net::NetError) -> Self {
+        SimError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: SimError = beep_codes::CodeError::NoCandidates.into();
+        assert!(e.to_string().contains("code construction"));
+        assert!(Error::source(&e).is_some());
+        let e = SimError::NoiseMismatch { params_epsilon: 0.1, network_epsilon: 0.2 };
+        assert!(e.to_string().contains("0.1"));
+        assert!(Error::source(&e).is_none());
+    }
+}

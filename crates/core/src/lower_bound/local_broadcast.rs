@@ -1,0 +1,254 @@
+//! The B-bit Local Broadcast problem (Definition 13) and its Lemma 15
+//! upper bounds.
+
+use beep_bits::BitVec;
+use beep_congest::{CongestAlgorithm, Message, MessageWriter, NodeCtx};
+use beep_net::{topology, Graph, NodeId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// An instance of B-bit Local Broadcast on the Lemma 14 hard graph:
+/// `K_{Δ,Δ}` (left part `0..Δ`, right part `Δ..2Δ`) padded with isolated
+/// vertices to `n` nodes.
+///
+/// Following the lemma's hard distribution, inputs `m_{v→u}` for left `v`
+/// are uniform random `B`-bit strings and all other inputs are zero.
+#[derive(Debug, Clone)]
+pub struct LocalBroadcastInstance {
+    /// The part size `Δ` (also the graph's maximum degree).
+    pub delta: usize,
+    /// The message size `B` in bits.
+    pub message_bits: usize,
+    /// The padded graph.
+    pub graph: Graph,
+    /// `inputs[&(v, u)]` = the message `v` must deliver to `u`.
+    pub inputs: HashMap<(NodeId, NodeId), BitVec>,
+}
+
+impl LocalBroadcastInstance {
+    /// Samples the Lemma 14 hard distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2·delta` or `delta == 0` (invalid topology).
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(
+        delta: usize,
+        n: usize,
+        message_bits: usize,
+        rng: &mut R,
+    ) -> Self {
+        let graph = topology::complete_bipartite_with_isolated(delta, n)
+            .unwrap_or_else(|e| panic!("invalid instance shape: {e}"));
+        let mut inputs = HashMap::new();
+        for v in 0..delta {
+            for u in delta..2 * delta {
+                // Left → right: uniform random (the hard direction).
+                inputs.insert((v, u), BitVec::random_uniform(message_bits, rng));
+                // Right → left: fixed zero (as in the lemma).
+                inputs.insert((u, v), BitVec::zeros(message_bits));
+            }
+        }
+        LocalBroadcastInstance { delta, message_bits, graph, inputs }
+    }
+
+    /// Node ids of the left part.
+    #[must_use]
+    pub fn left(&self) -> Vec<NodeId> {
+        (0..self.delta).collect()
+    }
+
+    /// Node ids of the right part.
+    #[must_use]
+    pub fn right(&self) -> Vec<NodeId> {
+        (self.delta..2 * self.delta).collect()
+    }
+
+    /// Entropy of the random inputs: `Δ²·B` bits — the quantity any
+    /// correct protocol must push through the one-bit-per-round bottleneck.
+    #[must_use]
+    pub fn input_entropy_bits(&self) -> usize {
+        self.delta * self.delta * self.message_bits
+    }
+}
+
+/// Lemma 14: any beeping algorithm succeeding with probability
+/// `> 2^{−Δ²B/2}` needs more than `Δ²B/2` rounds.
+#[must_use]
+pub fn lemma14_round_lower_bound(delta: usize, message_bits: usize) -> usize {
+    delta * delta * message_bits / 2
+}
+
+/// `log₂` of the Lemma 14 success ceiling for a `T`-round protocol:
+/// `T − Δ²B` (≥ 0 means the bound is vacuous).
+#[must_use]
+pub fn lemma14_success_ceiling_log2(rounds: usize, delta: usize, message_bits: usize) -> i64 {
+    rounds as i64 - (delta * delta * message_bits) as i64
+}
+
+/// Lemma 15's CONGEST solver: `⌈B/width⌉` rounds, chunking each
+/// `m_{v→u}` across its link.
+///
+/// Outputs, per node, the reassembled message from each neighbor.
+#[derive(Debug)]
+pub struct CongestLocalBroadcast {
+    ctx: Option<NodeCtx>,
+    message_bits: usize,
+    /// This node's outgoing messages (neighbor → full B-bit message).
+    outgoing: Vec<(NodeId, BitVec)>,
+    /// Chunks received so far: sender → bits collected in order.
+    collected: HashMap<NodeId, Vec<bool>>,
+    total_rounds: usize,
+    elapsed: usize,
+}
+
+impl CongestLocalBroadcast {
+    /// Creates a node's solver from its Definition 13 input set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any outgoing message is not exactly `message_bits` wide.
+    #[must_use]
+    pub fn new(message_bits: usize, outgoing: Vec<(NodeId, BitVec)>) -> Self {
+        for (_, m) in &outgoing {
+            assert_eq!(m.len(), message_bits, "input message width mismatch");
+        }
+        CongestLocalBroadcast {
+            ctx: None,
+            message_bits,
+            outgoing,
+            collected: HashMap::new(),
+            total_rounds: 0,
+            elapsed: 0,
+        }
+    }
+
+    /// Rounds the solver needs at CONGEST width `w`: `⌈B/w⌉` (Lemma 15).
+    #[must_use]
+    pub fn rounds_needed(message_bits: usize, width: usize) -> usize {
+        message_bits.div_ceil(width.max(1)).max(1)
+    }
+
+    /// The reassembled message from each neighbor, sorted by sender.
+    #[must_use]
+    pub fn output(&self) -> Vec<(NodeId, BitVec)> {
+        let mut out: Vec<(NodeId, BitVec)> = self
+            .collected
+            .iter()
+            .map(|(&sender, bits)| {
+                let mut bv = BitVec::from_bools(bits);
+                // Trim padding from the last chunk.
+                if bv.len() > self.message_bits {
+                    bv = bv.extract(0..self.message_bits);
+                }
+                (sender, bv)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out
+    }
+}
+
+impl CongestAlgorithm for CongestLocalBroadcast {
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.total_rounds = Self::rounds_needed(self.message_bits, ctx.message_bits);
+        self.ctx = Some(*ctx);
+    }
+
+    fn round_messages(&mut self, round: usize) -> Vec<(NodeId, Message)> {
+        let ctx = self.ctx.as_ref().expect("init() must run before rounds");
+        if round >= self.total_rounds {
+            return Vec::new();
+        }
+        let width = ctx.message_bits;
+        self.outgoing
+            .iter()
+            .map(|(to, m)| {
+                let mut w = MessageWriter::new();
+                for i in 0..width {
+                    let bit_idx = round * width + i;
+                    w.push_bit(bit_idx < m.len() && m.get(bit_idx));
+                }
+                (*to, w.finish(width))
+            })
+            .collect()
+    }
+
+    fn on_receive(&mut self, _round: usize, received: &[(NodeId, Message)]) {
+        for (sender, m) in received {
+            let entry = self.collected.entry(*sender).or_default();
+            entry.extend(m.to_bitvec().iter_bits());
+        }
+        self.elapsed += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.elapsed >= self.total_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beep_congest::CongestRunner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instance_shape_matches_lemma14() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = LocalBroadcastInstance::random(3, 10, 4, &mut rng);
+        assert_eq!(inst.graph.node_count(), 10);
+        assert_eq!(inst.graph.max_degree(), 3);
+        assert_eq!(inst.inputs.len(), 2 * 9);
+        assert_eq!(inst.input_entropy_bits(), 36);
+        assert_eq!(inst.left(), vec![0, 1, 2]);
+        assert_eq!(inst.right(), vec![3, 4, 5]);
+        // Right → left inputs are all zero.
+        for u in inst.right() {
+            for v in inst.left() {
+                assert_eq!(inst.inputs[&(u, v)].count_ones(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_formulas() {
+        assert_eq!(lemma14_round_lower_bound(4, 8), 64);
+        assert_eq!(lemma14_success_ceiling_log2(100, 4, 8), 100 - 128);
+        assert_eq!(lemma14_success_ceiling_log2(128, 4, 8), 0);
+        assert_eq!(CongestLocalBroadcast::rounds_needed(32, 8), 4);
+        assert_eq!(CongestLocalBroadcast::rounds_needed(33, 8), 5);
+        assert_eq!(CongestLocalBroadcast::rounds_needed(4, 8), 1);
+    }
+
+    #[test]
+    fn congest_solver_delivers_all_messages() {
+        // Lemma 15 upper bound, exercised natively.
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = 20;
+        let width = 8; // forces ⌈20/8⌉ = 3 rounds of chunking
+        let inst = LocalBroadcastInstance::random(3, 6, b, &mut rng);
+        let n = inst.graph.node_count();
+        let mut algos: Vec<Box<CongestLocalBroadcast>> = (0..n)
+            .map(|v| {
+                let outgoing: Vec<(NodeId, BitVec)> = inst
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| (u, inst.inputs[&(v, u)].clone()))
+                    .collect();
+                Box::new(CongestLocalBroadcast::new(b, outgoing))
+            })
+            .collect();
+        let runner = CongestRunner::new(&inst.graph, width, 0);
+        let report = runner.run_to_completion(&mut algos, 10).unwrap();
+        assert_eq!(report.rounds, 3);
+        for (v, algo) in algos.iter().enumerate() {
+            for (sender, msg) in algo.output() {
+                assert_eq!(msg, inst.inputs[&(sender, v)], "{sender} → {v}");
+            }
+            assert_eq!(algo.output().len(), inst.graph.degree(v));
+        }
+    }
+}

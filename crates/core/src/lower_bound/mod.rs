@@ -1,0 +1,22 @@
+//! The Section 5 lower-bound apparatus, as runnable experiments.
+//!
+//! Lemma 14's argument is information-theoretic: on `K_{Δ,Δ}` all right
+//! nodes hear the *same* one-bit-per-round OR of the left part, so a
+//! `T`-round protocol partitions the `2^{Δ²B}` possible left inputs into at
+//! most `2^T` transcript classes; success probability is then at most
+//! `2^{T−Δ²B}`. These modules make that argument executable:
+//!
+//! * [`LocalBroadcastInstance`] builds the hard instance (Definition 13's
+//!   inputs on `K_{Δ,Δ}` + isolated vertices) and solves it in Broadcast
+//!   CONGEST / CONGEST (Lemma 15) for the upper-bound side;
+//! * [`transcript`] runs beeping protocols on the instance, records the
+//!   left-part OR transcript, and counts distinguishable classes — showing
+//!   the `2^{T−Δ²B}` ceiling bite exactly where Lemma 14 says it must.
+
+mod local_broadcast;
+pub mod transcript;
+
+pub use local_broadcast::{
+    lemma14_round_lower_bound, lemma14_success_ceiling_log2, CongestLocalBroadcast,
+    LocalBroadcastInstance,
+};

@@ -1,0 +1,99 @@
+//! Decoding-quality statistics for simulated rounds.
+
+/// Decode-event counts for one (or an aggregate of) simulated Broadcast
+/// CONGEST round(s).
+///
+/// These are exactly the error events of Section 4:
+///
+/// * a **false negative** is a neighbor's codeword missing from the decoded
+///   set `R̃_v` (the second bad event of Lemma 9);
+/// * a **false positive** is a non-neighbor codeword appearing in `R̃_v`
+///   (the first bad event of Lemma 9); decoys estimate the same event over
+///   the full `2^a` input space;
+/// * a **message error** is a correctly detected neighbor whose phase-2
+///   message decoded wrongly (the bad event of Lemma 10).
+///
+/// A round with zero events delivers exactly what direct Broadcast CONGEST
+/// would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Simulated Broadcast CONGEST rounds aggregated in this value.
+    pub rounds: usize,
+    /// Nodes that transmitted (had a message), summed over rounds.
+    pub transmitters: usize,
+    /// Neighbor codewords wrongly rejected in phase-1 decoding.
+    pub false_negatives: usize,
+    /// Non-neighbor transmitter codewords wrongly accepted.
+    pub false_positives: usize,
+    /// Fresh random decoy codewords scored.
+    pub decoys_scored: usize,
+    /// Decoy codewords wrongly accepted.
+    pub decoy_acceptances: usize,
+    /// Accepted neighbors whose message decoded incorrectly.
+    pub message_errors: usize,
+    /// Rounds whose delivery differed from ideal Broadcast CONGEST
+    /// delivery at one or more nodes.
+    pub imperfect_rounds: usize,
+}
+
+impl RoundStats {
+    /// Whether every aggregated round delivered perfectly.
+    #[must_use]
+    pub fn all_perfect(&self) -> bool {
+        self.imperfect_rounds == 0
+    }
+
+    /// Empirical decoy false-positive rate (`NaN` if no decoys scored).
+    #[must_use]
+    pub fn decoy_fp_rate(&self) -> f64 {
+        self.decoy_acceptances as f64 / self.decoys_scored as f64
+    }
+
+    /// Folds another stats value into this one.
+    pub fn merge(&mut self, other: &RoundStats) {
+        self.rounds += other.rounds;
+        self.transmitters += other.transmitters;
+        self.false_negatives += other.false_negatives;
+        self.false_positives += other.false_positives;
+        self.decoys_scored += other.decoys_scored;
+        self.decoy_acceptances += other.decoy_acceptances;
+        self.message_errors += other.message_errors;
+        self.imperfect_rounds += other.imperfect_rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = RoundStats {
+            rounds: 1,
+            transmitters: 5,
+            false_negatives: 1,
+            false_positives: 2,
+            decoys_scored: 10,
+            decoy_acceptances: 1,
+            message_errors: 3,
+            imperfect_rounds: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.transmitters, 10);
+        assert_eq!(a.false_negatives, 2);
+        assert_eq!(a.false_positives, 4);
+        assert_eq!(a.decoys_scored, 20);
+        assert_eq!(a.decoy_acceptances, 2);
+        assert_eq!(a.message_errors, 6);
+        assert_eq!(a.imperfect_rounds, 2);
+        assert!(!a.all_perfect());
+        assert!((a.decoy_fp_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_perfect() {
+        assert!(RoundStats::default().all_perfect());
+    }
+}

@@ -1,0 +1,390 @@
+//! The synchronous round engine.
+
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::noise::Noise;
+use crate::node::{Action, BeepProtocol};
+use crate::trace::{NetStats, Transcript};
+use beep_bits::BitVec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A beeping network: a graph, a channel model, and a seeded RNG.
+///
+/// The engine implements the models of Section 1.1 exactly:
+///
+/// 1. every node submits an [`Action`] for the round;
+/// 2. a node receives `1` iff it beeped itself or at least one neighbor
+///    beeped (Section 1.5's "receives" convention);
+/// 3. under [`Noise::Bernoulli`], each node's received bit is then flipped
+///    independently with probability `ε`.
+///
+/// Per the paper's footnote 2, a beeping node's own `1` is flipped too by
+/// default, so the engine matches the analysis verbatim; call
+/// [`set_self_hearing_noisy(false)`](Self::set_self_hearing_noisy) for the
+/// (easier) realistic semantics where a node knows it beeped.
+#[derive(Debug)]
+pub struct BeepNetwork {
+    graph: Graph,
+    noise: Noise,
+    rng: StdRng,
+    stats: NetStats,
+    beeps_per_node: Vec<u64>,
+    self_hearing_noisy: bool,
+    transcript: Option<Transcript>,
+}
+
+impl BeepNetwork {
+    /// Creates a network over `graph` with the given channel and RNG seed.
+    /// Runs are fully deterministic in `(graph, noise, seed, actions)`.
+    #[must_use]
+    pub fn new(graph: Graph, noise: Noise, seed: u64) -> Self {
+        let beeps_per_node = vec![0; graph.node_count()];
+        BeepNetwork {
+            graph,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            beeps_per_node,
+            self_hearing_noisy: true,
+            transcript: None,
+        }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The channel model.
+    #[must_use]
+    pub fn noise(&self) -> Noise {
+        self.noise
+    }
+
+    /// Cumulative round/energy statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Per-node energy: how many beeps each node has emitted so far. The
+    /// natural fairness/battery metric for the weak devices the beeping
+    /// model targets.
+    #[must_use]
+    pub fn beeps_by_node(&self) -> &[u64] {
+        &self.beeps_per_node
+    }
+
+    /// Chooses whether a beeping node's own received `1` passes through the
+    /// noisy channel (default `true`, matching the paper's footnote 2).
+    pub fn set_self_hearing_noisy(&mut self, noisy: bool) {
+        self.self_hearing_noisy = noisy;
+    }
+
+    /// Starts recording a [`Transcript`] of beep bitmaps from the next
+    /// round on.
+    pub fn record_transcript(&mut self) {
+        if self.transcript.is_none() {
+            self.transcript = Some(Transcript::new());
+        }
+    }
+
+    /// The transcript recorded so far, if recording was enabled.
+    #[must_use]
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// Executes one synchronous round and returns the bit each node
+    /// receives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ActionCount`] if `actions.len()` differs from
+    /// the node count.
+    pub fn run_round(&mut self, actions: &[Action]) -> Result<Vec<bool>, NetError> {
+        let n = self.graph.node_count();
+        if actions.len() != n {
+            return Err(NetError::ActionCount {
+                expected: n,
+                actual: actions.len(),
+            });
+        }
+        let mut received = Vec::with_capacity(n);
+        for v in 0..n {
+            let clean = match actions[v] {
+                Action::Beep => true,
+                Action::Listen => self
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| actions[u] == Action::Beep),
+            };
+            let noisy_bit = if actions[v] == Action::Beep && !self.self_hearing_noisy {
+                clean
+            } else {
+                self.noise.apply(clean, &mut self.rng)
+            };
+            received.push(noisy_bit);
+        }
+        self.stats.rounds += 1;
+        for (v, a) in actions.iter().enumerate() {
+            match a {
+                Action::Beep => {
+                    self.stats.beeps += 1;
+                    self.beeps_per_node[v] += 1;
+                }
+                Action::Listen => self.stats.listens += 1,
+            }
+        }
+        if let Some(t) = &mut self.transcript {
+            t.push(BitVec::from_fn(n, |v| actions[v] == Action::Beep));
+        }
+        Ok(received)
+    }
+
+    /// Drives one [`BeepProtocol`] instance per node until all report done
+    /// or the round budget runs out. Returns the number of rounds executed.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::ActionCount`] if `protocols.len()` differs from the
+    ///   node count.
+    /// * [`NetError::RoundBudgetExhausted`] if some protocol never
+    ///   finishes.
+    pub fn run_protocols(
+        &mut self,
+        protocols: &mut [Box<dyn BeepProtocol>],
+        max_rounds: usize,
+    ) -> Result<usize, NetError> {
+        let n = self.graph.node_count();
+        if protocols.len() != n {
+            return Err(NetError::ActionCount {
+                expected: n,
+                actual: protocols.len(),
+            });
+        }
+        let mut actions = vec![Action::Listen; n];
+        for round in 0..max_rounds {
+            if protocols.iter().all(|p| p.is_done()) {
+                return Ok(round);
+            }
+            for (v, p) in protocols.iter_mut().enumerate() {
+                actions[v] = p.act(round);
+            }
+            let received = self.run_round(&actions)?;
+            for (v, p) in protocols.iter_mut().enumerate() {
+                p.feedback(round, received[v]);
+            }
+        }
+        if protocols.iter().all(|p| p.is_done()) {
+            Ok(max_rounds)
+        } else {
+            Err(NetError::RoundBudgetExhausted { budget: max_rounds })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn all_listen(n: usize) -> Vec<Action> {
+        vec![Action::Listen; n]
+    }
+
+    #[test]
+    fn silence_is_heard_as_silence() {
+        let mut net = BeepNetwork::new(topology::path(5).unwrap(), Noise::Noiseless, 0);
+        let heard = net.run_round(&all_listen(5)).unwrap();
+        assert!(heard.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn single_beep_reaches_exactly_neighbors() {
+        let mut net = BeepNetwork::new(topology::path(5).unwrap(), Noise::Noiseless, 0);
+        let mut actions = all_listen(5);
+        actions[2] = Action::Beep;
+        let heard = net.run_round(&actions).unwrap();
+        // Node 2 "receives" its own beep; 1 and 3 hear it; 0 and 4 don't.
+        assert_eq!(heard, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn simultaneous_beeps_are_indistinguishable_from_one() {
+        // Carrier sensing only: the listener cannot count beepers.
+        let g = topology::star(4).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::Noiseless, 0);
+        let mut one = all_listen(4);
+        one[1] = Action::Beep;
+        let heard_one = net.run_round(&one).unwrap()[0];
+        let mut many = all_listen(4);
+        many[1] = Action::Beep;
+        many[2] = Action::Beep;
+        many[3] = Action::Beep;
+        let heard_many = net.run_round(&many).unwrap()[0];
+        assert_eq!(heard_one, heard_many);
+        assert!(heard_one);
+    }
+
+    #[test]
+    fn beeping_node_does_not_hear_distant_beeps() {
+        // A beeping node's received bit is its own 1, regardless of others.
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        let heard = net
+            .run_round(&[Action::Beep, Action::Listen, Action::Beep])
+            .unwrap();
+        assert_eq!(heard, vec![true, true, true]);
+    }
+
+    #[test]
+    fn action_count_mismatch_rejected() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        assert_eq!(
+            net.run_round(&all_listen(2)),
+            Err(NetError::ActionCount { expected: 3, actual: 2 })
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = BeepNetwork::new(topology::cycle(4).unwrap(), Noise::Noiseless, 0);
+        let mut actions = all_listen(4);
+        actions[0] = Action::Beep;
+        net.run_round(&actions).unwrap();
+        net.run_round(&all_listen(4)).unwrap();
+        let s = net.stats();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.beeps, 1);
+        assert_eq!(s.listens, 7);
+        assert!((s.beeps_per_round() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_node_energy_accounting() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        net.run_round(&[Action::Beep, Action::Listen, Action::Beep]).unwrap();
+        net.run_round(&[Action::Beep, Action::Listen, Action::Listen]).unwrap();
+        assert_eq!(net.beeps_by_node(), &[2, 0, 1]);
+        assert_eq!(net.stats().beeps, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_noise() {
+        let run = |seed| {
+            let mut net =
+                BeepNetwork::new(topology::complete(6).unwrap(), Noise::bernoulli(0.3), seed);
+            let mut actions = all_listen(6);
+            actions[0] = Action::Beep;
+            (0..20)
+                .map(|_| net.run_round(&actions).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn noise_flips_listeners_at_rate_epsilon() {
+        // Nobody beeps; over many rounds each listener should hear a phantom
+        // beep at rate ≈ ε.
+        let n = 10;
+        let rounds = 2000;
+        let mut net = BeepNetwork::new(
+            topology::complete(n).unwrap(),
+            Noise::bernoulli(0.25),
+            5,
+        );
+        let mut phantom = 0usize;
+        for _ in 0..rounds {
+            phantom += net.run_round(&all_listen(n)).unwrap().iter().filter(|&&h| h).count();
+        }
+        let rate = phantom as f64 / (n * rounds) as f64;
+        assert!((rate - 0.25).abs() < 0.02, "phantom rate {rate}");
+    }
+
+    #[test]
+    fn self_hearing_noise_flag() {
+        // With noisy self-hearing (default), a solo beeper's own bit flips
+        // at rate ε; with the flag off it never does.
+        let rounds = 2000;
+        let beep_only = [Action::Beep];
+        let g = || topology::complete(1).unwrap();
+
+        let mut noisy = BeepNetwork::new(g(), Noise::bernoulli(0.3), 6);
+        let flips = (0..rounds)
+            .filter(|_| !noisy.run_round(&beep_only).unwrap()[0])
+            .count();
+        let rate = flips as f64 / rounds as f64;
+        assert!((rate - 0.3).abs() < 0.04, "self-flip rate {rate}");
+
+        let mut clean = BeepNetwork::new(g(), Noise::bernoulli(0.3), 6);
+        clean.set_self_hearing_noisy(false);
+        for _ in 0..rounds {
+            assert!(clean.run_round(&beep_only).unwrap()[0]);
+        }
+    }
+
+    #[test]
+    fn transcript_records_beepers() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        net.record_transcript();
+        net.run_round(&[Action::Beep, Action::Listen, Action::Listen]).unwrap();
+        net.run_round(&[Action::Listen, Action::Listen, Action::Beep]).unwrap();
+        let t = net.transcript().unwrap();
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.round(0).to_string(), "100");
+        assert_eq!(t.round(1).to_string(), "001");
+    }
+
+    // A trivial protocol for run_protocols: node `id` beeps in round `id`
+    // then finishes; everyone records what they heard.
+    struct OneShot {
+        id: usize,
+        heard: Vec<bool>,
+        done_after: usize,
+    }
+    impl BeepProtocol for OneShot {
+        fn act(&mut self, round: usize) -> Action {
+            if round == self.id {
+                Action::Beep
+            } else {
+                Action::Listen
+            }
+        }
+        fn feedback(&mut self, _round: usize, received: bool) {
+            self.heard.push(received);
+        }
+        fn is_done(&self) -> bool {
+            self.heard.len() >= self.done_after
+        }
+    }
+
+    #[test]
+    fn run_protocols_drives_until_done() {
+        let g = topology::path(3).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::Noiseless, 0);
+        let mut protos: Vec<Box<dyn BeepProtocol>> = (0..3)
+            .map(|id| Box::new(OneShot { id, heard: Vec::new(), done_after: 3 }) as Box<dyn BeepProtocol>)
+            .collect();
+        let rounds = net.run_protocols(&mut protos, 100).unwrap();
+        assert_eq!(rounds, 3);
+        assert_eq!(net.stats().rounds, 3);
+    }
+
+    #[test]
+    fn run_protocols_budget_error() {
+        let g = topology::path(2).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::Noiseless, 0);
+        let mut protos: Vec<Box<dyn BeepProtocol>> = (0..2)
+            .map(|id| Box::new(OneShot { id, heard: Vec::new(), done_after: usize::MAX }) as Box<dyn BeepProtocol>)
+            .collect();
+        assert_eq!(
+            net.run_protocols(&mut protos, 5),
+            Err(NetError::RoundBudgetExhausted { budget: 5 })
+        );
+    }
+}

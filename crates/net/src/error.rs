@@ -1,0 +1,88 @@
+//! Error types for graph construction and network execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The graph size.
+        n: usize,
+    },
+    /// An edge connected a node to itself (the beeping model's graphs are
+    /// simple).
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// A topology generator was asked for an impossible shape.
+    InvalidTopology {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::InvalidTopology { detail } => write!(f, "invalid topology: {detail}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Errors from running a [`crate::BeepNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The action slice length did not match the node count.
+    ActionCount {
+        /// Expected number of actions (= node count).
+        expected: usize,
+        /// Provided number of actions.
+        actual: usize,
+    },
+    /// A protocol run exceeded its round budget without completing.
+    RoundBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ActionCount { expected, actual } => {
+                write!(f, "got {actual} actions for {expected} nodes")
+            }
+            NetError::RoundBudgetExhausted { budget } => {
+                write!(f, "protocols did not complete within {budget} rounds")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        assert!(GraphError::NodeOutOfRange { node: 9, n: 5 }.to_string().contains('9'));
+        assert!(GraphError::SelfLoop { node: 3 }.to_string().contains('3'));
+        assert!(NetError::ActionCount { expected: 4, actual: 2 }.to_string().contains('4'));
+        assert!(NetError::RoundBudgetExhausted { budget: 100 }.to_string().contains("100"));
+    }
+}

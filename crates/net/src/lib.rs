@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! A synchronous beeping-model network simulator.
+//!
+//! Implements the execution models of "Optimal Message-Passing with Noisy
+//! Beeps" (Davies, PODC 2023), Section 1.1:
+//!
+//! * a network is an undirected graph over `n` nodes with maximum degree
+//!   `Δ` ([`Graph`], with generators in [`topology`]);
+//! * time proceeds in synchronous rounds with a shared global clock;
+//! * in each round every node either **beeps** or **listens**
+//!   ([`Action`]);
+//! * a listening node hears a beep iff at least one neighbor beeped
+//!   (carrier sensing: no sender identity, no multiplicity);
+//! * in the **noisy** model the bit each node receives is flipped
+//!   independently with probability `ε ∈ (0, ½)` ([`Noise`]).
+//!
+//! Following the paper's Section 1.5 convention, a node that beeps
+//! "receives" a 1 in that round (and, per the paper's footnote 2, that bit
+//! is also subject to noise by default so the analysis carries over
+//! verbatim; [`BeepNetwork::set_self_hearing_noisy`] turns the more
+//! realistic noise-free self-hearing on).
+//!
+//! The engine is deterministic given a seed: every experiment in the
+//! workspace is exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use beep_net::{topology, Action, BeepNetwork, Noise};
+//!
+//! // A 4-cycle; node 0 beeps once, everyone else listens.
+//! let graph = topology::cycle(4).unwrap();
+//! let mut net = BeepNetwork::new(graph, Noise::Noiseless, 7);
+//! let heard = net.run_round(&[Action::Beep, Action::Listen, Action::Listen, Action::Listen]);
+//! assert_eq!(heard.unwrap(), vec![true, true, false, true]); // neighbors 1 and 3 hear it
+//! ```
+
+mod engine;
+mod error;
+mod graph;
+mod noise;
+mod node;
+pub mod topology;
+mod trace;
+
+pub use engine::BeepNetwork;
+pub use error::{GraphError, NetError};
+pub use graph::{Graph, NodeId};
+pub use noise::Noise;
+pub use node::{Action, BeepProtocol};
+pub use trace::{NetStats, Transcript};

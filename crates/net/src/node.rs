@@ -1,0 +1,58 @@
+//! The per-node protocol interface.
+
+/// What a node does in one round (Section 1.1: "each node chooses to either
+/// beep or listen").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Emit a unary pulse of energy this round.
+    Beep,
+    /// Carrier-sense this round.
+    Listen,
+}
+
+impl Action {
+    /// Encodes a bit the way the paper's codes do: 1 = beep, 0 = silence.
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Action::Beep
+        } else {
+            Action::Listen
+        }
+    }
+}
+
+/// A node-local protocol driven by the [`crate::BeepNetwork`] engine.
+///
+/// Each round the engine calls [`act`](Self::act) on every node, resolves
+/// the channel, and reports back through [`feedback`](Self::feedback). A
+/// protocol sees *only* its own state and the single bit per round the
+/// model allows — the engine enforces the information bottleneck that makes
+/// beeping-model results meaningful.
+pub trait BeepProtocol {
+    /// Chooses this round's action. `round` counts from 0.
+    fn act(&mut self, round: usize) -> Action;
+
+    /// Receives the bit for this round, per the paper's Section 1.5
+    /// convention: `true` if the node beeped itself or heard a beep
+    /// (after noise, in the noisy model).
+    fn feedback(&mut self, round: usize, received: bool);
+
+    /// Whether this node's protocol has terminated. The engine's
+    /// [`run_protocols`](crate::BeepNetwork::run_protocols) loop stops when
+    /// every node is done. Default: never (run to the round budget).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_from_bit() {
+        assert_eq!(Action::from_bit(true), Action::Beep);
+        assert_eq!(Action::from_bit(false), Action::Listen);
+    }
+}

@@ -1,0 +1,104 @@
+//! The noisy beeping channel (Ashkenazi, Gelles & Leshem).
+
+use rand::{Rng, RngExt};
+
+/// The channel model applied to every bit a node receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Noise {
+    /// The noiseless beeping model of Cornejo & Kuhn: received bits are
+    /// exact.
+    Noiseless,
+    /// The noisy beeping model: each received bit is flipped independently
+    /// uniformly at random with the given probability `ε ∈ (0, ½)`.
+    Bernoulli(f64),
+}
+
+impl Noise {
+    /// Constructs a Bernoulli channel after validating `ε ∈ (0, ½)` — the
+    /// open interval the paper requires (at `ε = ½` the channel carries no
+    /// information; at `ε = 0` use [`Noise::Noiseless`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `(0, 0.5)`.
+    #[must_use]
+    pub fn bernoulli(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.5,
+            "noise rate ε = {epsilon} outside (0, 1/2)"
+        );
+        Noise::Bernoulli(epsilon)
+    }
+
+    /// The flip probability (0 for the noiseless channel).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        match *self {
+            Noise::Noiseless => 0.0,
+            Noise::Bernoulli(e) => e,
+        }
+    }
+
+    /// Passes one bit through the channel.
+    #[must_use]
+    pub fn apply<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        match *self {
+            Noise::Noiseless => bit,
+            Noise::Bernoulli(e) => {
+                if rng.random_bool(e) {
+                    !bit
+                } else {
+                    bit
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(Noise::Noiseless.apply(true, &mut rng));
+            assert!(!Noise::Noiseless.apply(false, &mut rng));
+        }
+        assert_eq!(Noise::Noiseless.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_flip_rate_is_close_to_epsilon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let noise = Noise::bernoulli(0.2);
+        let flips = (0..20_000).filter(|_| noise.apply(false, &mut rng)).count();
+        assert!((3500..=4500).contains(&flips), "flips = {flips}");
+        assert_eq!(noise.epsilon(), 0.2);
+    }
+
+    #[test]
+    fn bernoulli_is_symmetric_across_bit_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = Noise::bernoulli(0.3);
+        let zeros_flipped = (0..20_000).filter(|_| noise.apply(false, &mut rng)).count();
+        let ones_flipped = (0..20_000).filter(|_| !noise.apply(true, &mut rng)).count();
+        let diff = (zeros_flipped as i64 - ones_flipped as i64).abs();
+        assert!(diff < 600, "asymmetry {zeros_flipped} vs {ones_flipped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1/2)")]
+    fn epsilon_zero_rejected() {
+        let _ = Noise::bernoulli(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1/2)")]
+    fn epsilon_half_rejected() {
+        let _ = Noise::bernoulli(0.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Round/energy accounting and transcript recording.
+
+use beep_bits::BitVec;
+
+/// Cumulative statistics of a [`crate::BeepNetwork`] run.
+///
+/// `rounds` is the unit every theorem in the paper is stated in; `beeps`
+/// counts total energy pulses, the natural energy measure for the weak
+/// devices the model targets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Rounds executed so far.
+    pub rounds: usize,
+    /// Total beeps emitted across all nodes and rounds.
+    pub beeps: u64,
+    /// Total listen actions across all nodes and rounds.
+    pub listens: u64,
+}
+
+impl NetStats {
+    /// Mean beeps per round (0 for an unstarted network).
+    #[must_use]
+    pub fn beeps_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.beeps as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// An optional per-round record of which nodes beeped.
+///
+/// Row `r` is a node-indexed bitmap of the beepers in round `r`. The
+/// lower-bound experiments (Lemma 14, Theorem 22) reason about how many
+/// *distinct transcripts* a protocol can produce; this type is how they
+/// observe transcripts. It is also invaluable when debugging protocols.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transcript {
+    rows: Vec<BitVec>,
+}
+
+impl Transcript {
+    /// Creates an empty transcript.
+    #[must_use]
+    pub fn new() -> Self {
+        Transcript::default()
+    }
+
+    /// Appends one round's beep bitmap.
+    pub fn push(&mut self, beepers: BitVec) {
+        self.rows.push(beepers);
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The beep bitmap of round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` rounds were not recorded.
+    #[must_use]
+    pub fn round(&self, r: usize) -> &BitVec {
+        &self.rows[r]
+    }
+
+    /// Projects the transcript onto what a *blind observer of a node set*
+    /// can distinguish: for each round, whether **any** node in `observed`
+    /// beeped. This is exactly the information available to the right part
+    /// of `K_{Δ,Δ}` in the Lemma 14 / Theorem 22 arguments (all right nodes
+    /// hear the same OR of the left part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `observed` is out of range for the bitmaps.
+    #[must_use]
+    pub fn or_projection(&self, observed: &[usize]) -> BitVec {
+        BitVec::from_fn(self.rows.len(), |r| {
+            observed.iter().any(|&v| self.rows[r].get(v))
+        })
+    }
+
+    /// Iterates over the recorded rounds.
+    pub fn iter(&self) -> impl Iterator<Item = &BitVec> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rates() {
+        let s = NetStats { rounds: 4, beeps: 6, listens: 10 };
+        assert!((s.beeps_per_round() - 1.5).abs() < 1e-12);
+        assert_eq!(NetStats::default().beeps_per_round(), 0.0);
+    }
+
+    #[test]
+    fn transcript_projection() {
+        let mut t = Transcript::new();
+        t.push(BitVec::from_indices(4, [0]));
+        t.push(BitVec::from_indices(4, [2]));
+        t.push(BitVec::from_indices(4, []));
+        t.push(BitVec::from_indices(4, [1, 3]));
+        assert_eq!(t.rounds(), 4);
+        // Observer of {0, 1}: beeped in rounds 0 and 3.
+        assert_eq!(t.or_projection(&[0, 1]).to_string(), "1001");
+        // Observer of {2}: round 1 only.
+        assert_eq!(t.or_projection(&[2]).to_string(), "0100");
+        // Observer of nothing hears silence.
+        assert_eq!(t.or_projection(&[]).to_string(), "0000");
+    }
+
+    #[test]
+    fn transcript_round_access() {
+        let mut t = Transcript::new();
+        t.push(BitVec::from_indices(2, [1]));
+        assert!(t.round(0).get(1));
+        assert_eq!(t.iter().count(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Oracle test: the engine's round semantics checked against an
+//! independent, naive re-implementation of the Section 1.1 spec, over
+//! randomized graphs and action schedules.
+
+use beep_net::{topology, Action, BeepNetwork, Graph, Noise};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// The spec, written as directly as possible: a node receives 1 iff it
+/// beeps, or at least one neighbor beeps.
+fn oracle_round(graph: &Graph, actions: &[Action]) -> Vec<bool> {
+    (0..graph.node_count())
+        .map(|v| match actions[v] {
+            Action::Beep => true,
+            Action::Listen => graph
+                .neighbors(v)
+                .iter()
+                .any(|&u| matches!(actions[u], Action::Beep)),
+        })
+        .collect()
+}
+
+fn arb_graph_and_schedule() -> impl Strategy<Value = (Graph, Vec<Vec<Action>>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |pairs| {
+            let filtered: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            Graph::from_edges(n, &filtered).expect("valid edges")
+        });
+        let schedule = prop::collection::vec(
+            prop::collection::vec(prop::bool::ANY, n).prop_map(|bits| {
+                bits.into_iter().map(Action::from_bit).collect::<Vec<Action>>()
+            }),
+            1..8,
+        );
+        (edges, schedule)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_oracle_noiselessly((graph, schedule) in arb_graph_and_schedule()) {
+        let mut net = BeepNetwork::new(graph.clone(), Noise::Noiseless, 0);
+        for actions in &schedule {
+            let engine = net.run_round(actions).expect("valid action count");
+            let oracle = oracle_round(&graph, actions);
+            prop_assert_eq!(engine, oracle);
+        }
+        // Stats bookkeeping: rounds and action tallies add up.
+        let stats = net.stats();
+        prop_assert_eq!(stats.rounds, schedule.len());
+        let beeps: u64 = schedule
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|a| matches!(a, Action::Beep))
+            .count() as u64;
+        prop_assert_eq!(stats.beeps, beeps);
+        prop_assert_eq!(
+            stats.beeps + stats.listens,
+            (schedule.len() * graph.node_count()) as u64
+        );
+        // Per-node energy sums to the global count.
+        prop_assert_eq!(net.beeps_by_node().iter().sum::<u64>(), beeps);
+    }
+}
+
+#[test]
+fn noisy_engine_flip_rate_matches_epsilon_per_node() {
+    // Statistical oracle for the noisy channel: with everyone silent,
+    // every node's phantom-beep rate must match ε individually (noise is
+    // per-listener independent, not shared).
+    let eps = 0.2;
+    let n = 8;
+    let rounds = 3000;
+    let g = topology::complete(n).unwrap();
+    let mut net = BeepNetwork::new(g, Noise::bernoulli(eps), 42);
+    let silent = vec![Action::Listen; n];
+    let mut phantom = vec![0usize; n];
+    for _ in 0..rounds {
+        for (v, heard) in net.run_round(&silent).unwrap().into_iter().enumerate() {
+            if heard {
+                phantom[v] += 1;
+            }
+        }
+    }
+    for (v, &count) in phantom.iter().enumerate() {
+        let rate = count as f64 / rounds as f64;
+        assert!((rate - eps).abs() < 0.04, "node {v}: rate {rate}");
+    }
+}
+
+#[test]
+fn noise_is_independent_across_nodes() {
+    // Correlation check: two listeners' noise flips must be uncorrelated.
+    let eps = 0.3;
+    let rounds = 4000;
+    let g = topology::path(2).unwrap();
+    let mut net = BeepNetwork::new(g, Noise::bernoulli(eps), 7);
+    let silent = vec![Action::Listen; 2];
+    let (mut a, mut b, mut both) = (0usize, 0usize, 0usize);
+    for _ in 0..rounds {
+        let heard = net.run_round(&silent).unwrap();
+        if heard[0] {
+            a += 1;
+        }
+        if heard[1] {
+            b += 1;
+        }
+        if heard[0] && heard[1] {
+            both += 1;
+        }
+    }
+    let pa = a as f64 / rounds as f64;
+    let pb = b as f64 / rounds as f64;
+    let pboth = both as f64 / rounds as f64;
+    assert!(
+        (pboth - pa * pb).abs() < 0.03,
+        "joint {pboth} vs independent product {}",
+        pa * pb
+    );
+}
+
+#[test]
+fn randomized_schedules_with_noise_never_panic() {
+    // Fuzz the noisy engine with arbitrary schedules; only the statistics
+    // are random, never the control flow.
+    let mut rng = StdRng::seed_from_u64(13);
+    for trial in 0..20 {
+        let n = 2 + (trial % 7);
+        let g = topology::gnp(n, 0.4, &mut rng).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::bernoulli(0.45), trial as u64);
+        for _ in 0..50 {
+            let actions: Vec<Action> =
+                (0..n).map(|_| Action::from_bit(rng.random_bool(0.5))).collect();
+            net.run_round(&actions).unwrap();
+        }
+        assert_eq!(net.stats().rounds, 50);
+    }
+}

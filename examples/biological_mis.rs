@@ -1,0 +1,53 @@
+//! Maximal independent set over noisy beeps — the "biological" workload.
+//!
+//! The beeping model's founding biological observation (Afek et al.,
+//! Science 2011, the paper's [2]) is that fly neural precursor selection
+//! solves MIS with beep-like signaling. This example runs Luby's MIS
+//! through the paper's noise-tolerant simulation on an irregular contact
+//! graph and reports which "cells" become precursors (MIS members), under
+//! substantial channel noise.
+//!
+//! ```sh
+//! cargo run --release --example biological_mis
+//! ```
+
+use noisy_beeps::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let epsilon = 0.1;
+    let mut rng = StdRng::seed_from_u64(7);
+    // An irregular contact topology: sparse G(n, p).
+    let tissue = topology::gnp(30, 0.12, &mut rng).expect("valid probability");
+    let n = tissue.node_count();
+    println!(
+        "cell contact graph: n = {n}, m = {}, Δ = {}, channel noise ε = {epsilon}",
+        tissue.edge_count(),
+        tissue.max_degree()
+    );
+
+    let result = maximal_independent_set(&tissue, epsilon, 13).expect("MIS over noisy beeps");
+
+    let precursors: Vec<usize> = result
+        .output
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &in_set)| in_set.then_some(v))
+        .collect();
+    println!("\nprecursor cells (validated maximal independent set):");
+    println!("  {precursors:?}  ({} of {n})", precursors.len());
+
+    let r = &result.report;
+    println!("\ncost accounting:");
+    println!("  Broadcast CONGEST rounds : {}", r.congest_rounds);
+    println!("  beep rounds / BC round   : {}", r.beep_rounds_per_congest_round);
+    println!("  total noisy beep rounds  : {}", r.beep_rounds);
+    println!(
+        "  decode events            : {} false-neg, {} false-pos, {} msg errors over {} rounds",
+        r.stats.false_negatives, r.stats.false_positives, r.stats.message_errors, r.stats.rounds
+    );
+    println!(
+        "\nnoise did{} disrupt the run — the simulation absorbed ε = {epsilon} at Θ(Δ log n) overhead.",
+        if r.stats.all_perfect() { " not" } else { " (recoverably)" }
+    );
+}

@@ -1,0 +1,52 @@
+//! The Lemma 14 lower bound, made tangible.
+//!
+//! On `K_{Δ,Δ}` every right-side node hears the same single bit per round
+//! (did *any* left node beep?), so `T` rounds convey at most `T` bits
+//! about the left side's `Δ²·B`-bit input — no cleverness can beat the
+//! counting. This demo runs a rate-optimal protocol on the real engine
+//! with shrinking round budgets and watches recovery collapse exactly at
+//! the `2^{T−Δ²B}` ceiling.
+//!
+//! ```sh
+//! cargo run --release --example lower_bound_demo
+//! ```
+
+use noisy_beeps::core::lower_bound::{
+    lemma14_round_lower_bound, transcript::tdma_local_broadcast_census,
+};
+
+fn main() {
+    let delta = 2;
+    let message_bits = 4;
+    let input_bits = delta * delta * message_bits; // Δ²B = 16
+    let trials = 400;
+
+    println!("B-bit Local Broadcast on K_{{{delta},{delta}}} with B = {message_bits}");
+    println!("input entropy Δ²B = {input_bits} bits; Lemma 14 lower bound: > {} rounds\n",
+        lemma14_round_lower_bound(delta, message_bits));
+    println!("{:>8} {:>10} {:>12} {:>14} {:>14}", "rounds", "conveyed", "transcripts", "ceiling 2^x", "measured");
+
+    for budget in [input_bits + 4, input_bits, input_bits - 1, input_bits - 2, input_bits - 3, input_bits - 6, input_bits / 2] {
+        let report = tdma_local_broadcast_census(delta, message_bits, budget, trials, 11);
+        let ceiling = if report.ceiling_log2 >= 0 {
+            1.0
+        } else {
+            2f64.powi(report.ceiling_log2 as i32)
+        };
+        println!(
+            "{:>8} {:>10} {:>12} {:>14.4} {:>14.4}",
+            report.rounds_budget,
+            report.recovered_bits,
+            report.distinct_transcripts,
+            ceiling,
+            report.success_rate,
+        );
+    }
+
+    println!(
+        "\nreading: with T ≥ Δ²B the right side reconstructs everything; each missing \
+round halves the best possible success rate, exactly as Lemma 14's 2^(T−Δ²B) ceiling dictates. \
+The paper's simulation (Theorem 11) is therefore optimal: it solves the problem in O(Δ²B) beep \
+rounds (via Corollary 12), matching this bound up to constants."
+    );
+}

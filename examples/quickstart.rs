@@ -1,0 +1,51 @@
+//! Quickstart: simulate one Broadcast CONGEST round over noisy beeps.
+//!
+//! Builds a small network, has every node broadcast a message, runs the
+//! paper's Algorithm 1 on the noisy beeping channel, and shows that every
+//! node decoded its neighborhood exactly — at `Θ(Δ log n)` beep rounds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use noisy_beeps::prelude::*;
+
+fn main() {
+    // A 10-node cycle with a 10% noisy channel.
+    let epsilon = 0.1;
+    let graph = topology::cycle(10).expect("valid cycle");
+    let delta = graph.max_degree();
+
+    // Each node will broadcast a 16-bit message: its id, squared.
+    let message_bits = 16;
+    let outgoing: Vec<Option<Message>> = (0..10u64)
+        .map(|v| Some(MessageWriter::new().push_uint(v * v, 16).finish(message_bits)))
+        .collect();
+
+    // The paper's simulator with calibrated constants for ε = 0.1.
+    let params = SimulationParams::calibrated(epsilon);
+    let simulator =
+        BroadcastSimulator::new(params, message_bits, delta).expect("valid parameters");
+    let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(epsilon), 42);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+
+    println!("n = 10 cycle, Δ = {delta}, ε = {epsilon}");
+    println!(
+        "one Broadcast CONGEST round costs {} noisy beep rounds (2·c³·(Δ+1)·B with c = {})",
+        simulator.rounds_per_congest_round(),
+        params.expansion,
+    );
+
+    let outcome = simulator
+        .simulate_round(&mut net, &outgoing, &mut rng)
+        .expect("round simulation");
+
+    println!("\nper-node decoded neighbor messages:");
+    for (v, inbox) in outcome.delivered.iter().enumerate() {
+        let values: Vec<u64> = inbox.iter().map(|m| m.reader().read_uint(16)).collect();
+        println!("  node {v}: {values:?}");
+    }
+    println!("\ndecode stats: {:?}", outcome.stats);
+    assert!(outcome.stats.all_perfect(), "decoding failed this run — rerun with another seed");
+    println!("round decoded perfectly under ε = {epsilon} noise ✓");
+}

@@ -1,0 +1,61 @@
+//! Global primitives on a sensor grid: beep-wave broadcast (`O(D + b)`)
+//! and wave-based leader election (`O(D log n)`), both *native* beeping
+//! protocols — no message-passing simulation involved.
+//!
+//! This is the other side of the library: the paper's simulation makes
+//! arbitrary CONGEST algorithms runnable with beeps, but the classic
+//! global primitives it cites ([19], [9], [16]) work directly in the
+//! model, and far cheaper. The example runs both on a 6×6 sensor grid and
+//! contrasts their cost with the simulation-based alternative.
+//!
+//! ```sh
+//! cargo run --release --example sensor_broadcast
+//! ```
+
+use noisy_beeps::prelude::*;
+
+fn main() {
+    let grid = topology::grid(6, 6).expect("valid grid");
+    let n = grid.node_count();
+    let diameter = grid.diameter().expect("connected");
+    println!("sensor grid: n = {n}, D = {diameter}, Δ = {}", grid.max_degree());
+
+    // 1. Leader election: all sensors agree on a coordinator.
+    let leader = beep_leader_election(&grid, diameter, 5).expect("connected graph");
+    println!(
+        "\nleader election: node {} elected in {} beep rounds ({} beeps of energy)",
+        leader.leader, leader.rounds, leader.beeps
+    );
+
+    // 2. The leader broadcasts a 32-bit configuration word by beep waves.
+    let config = BitVec::from_u64_lsb(0xCAFE_F00D, 32);
+    let wave =
+        beep_wave_broadcast(&grid, leader.leader, &config, 6).expect("connected graph");
+    assert!(wave.received.iter().all(|r| r.as_ref() == Some(&config)));
+    println!(
+        "beep-wave broadcast: 32 bits to all {n} sensors in {} rounds (O(D + b) = {} + 32)",
+        wave.rounds, diameter
+    );
+
+    // 3. Contrast: the same broadcast via the general-purpose simulation
+    //    (flooding under Algorithm 1) costs Θ(D · Δ log n) — the price of
+    //    generality and noise-tolerance.
+    let params = SimulationParams::calibrated(0.0);
+    let bits = 32;
+    let runner = SimulatedBroadcastRunner::new(&grid, bits, 8, params, Noise::Noiseless);
+    let mut floods: Vec<Box<algorithms::Flood>> = (0..n)
+        .map(|_| Box::new(algorithms::Flood::new(leader.leader, 0xCAFE_F00D, 32)))
+        .collect();
+    let report = runner
+        .run_to_completion(&mut floods, n)
+        .expect("connected graph");
+    assert!(floods.iter().all(|f| f.output() == Some(0xCAFE_F00D)));
+    println!(
+        "simulated flooding:  same payload in {} beep rounds ({} BC rounds × {} overhead)",
+        report.beep_rounds, report.congest_rounds, report.beep_rounds_per_congest_round
+    );
+    println!(
+        "\nbeep waves are {}× cheaper here — but the simulation tolerates noise and runs *any* algorithm.",
+        report.beep_rounds / wave.rounds.max(1)
+    );
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # noisy-beeps
+//!
+//! A Rust implementation of **"Optimal Message-Passing with Noisy Beeps"**
+//! (Peter Davies, PODC 2023): optimal simulation of the Broadcast CONGEST
+//! and CONGEST message-passing models in the noisy (and noiseless)
+//! beeping model, plus everything needed to reproduce the paper's results
+//! — the beeping-network simulator, the binary-code constructions, a
+//! reference algorithm library, prior-work baselines, and the lower-bound
+//! experiments.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. Start with [`core`] (`beep-core`) for the paper's contribution,
+//! or with the [`apps`] layer for one-call task solvers.
+//!
+//! ```
+//! use noisy_beeps::prelude::*;
+//!
+//! // Maximal matching over a noisy beeping network in O(Δ log² n) rounds
+//! // (Theorem 21), validated before returning.
+//! let field = topology::grid(3, 3).unwrap();
+//! let result = maximal_matching(&field, 0.05, 7).unwrap();
+//! assert_eq!(result.output.len(), 9);
+//! ```
+//!
+//! | Layer | Crate | Contents |
+//! |-------|-------|----------|
+//! | [`bits`] | `beep-bits` | dense bit strings (`∨`, `∧`, `1(s)`, `d_H`) |
+//! | [`codes`] | `beep-codes` | beep codes (Thm 4), distance codes (Lem 6), combined code (Fig 1), Kautz–Singleton baseline |
+//! | [`net`] | `beep-net` | the beeping model: graphs, topologies, noise, round engine |
+//! | [`congest`] | `beep-congest` | Broadcast CONGEST / CONGEST models + algorithm library (incl. the paper's Algorithm 3) |
+//! | [`core`] | `beep-core` | Algorithm 1, Theorem 11 / Corollary 12 runners, baselines, lower bounds |
+//! | [`apps`] | `beep-apps` | one-call tasks: matching, MIS, coloring, beep waves, leader election |
+
+pub use beep_apps as apps;
+pub use beep_bits as bits;
+pub use beep_codes as codes;
+pub use beep_congest as congest;
+pub use beep_core as core;
+pub use beep_net as net;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use beep_apps::{
+        beep_leader_election, beep_wave_broadcast, coloring, maximal_independent_set,
+        maximal_matching,
+    };
+    pub use beep_bits::BitVec;
+    pub use beep_congest::{
+        algorithms, validate, BroadcastAlgorithm, BroadcastRunner, CongestAlgorithm,
+        CongestRunner, Message, MessageWriter,
+    };
+    pub use beep_core::{
+        baseline, lower_bound, BroadcastSimulator, CongestAdapter, SimulatedBroadcastRunner,
+        SimulatedCongestRunner, SimulationParams,
+    };
+    pub use beep_net::{topology, Action, BeepNetwork, Graph, Noise};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_paths_resolve() {
+        // Compile-time check that the re-exports cover the main entry
+        // points.
+        let _ = crate::net::topology::path(3).unwrap();
+        let _ = crate::core::SimulationParams::calibrated(0.1);
+        let _ = crate::bits::BitVec::zeros(8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Whole-pipeline integration tests: applications over noisy beeps on
+//! varied topologies, the CONGEST wrapper over the beeping engine, and
+//! cross-checks between the Algorithm 1 simulator and the TDMA baseline.
+
+use noisy_beeps::core::baseline::TdmaSimulator;
+use noisy_beeps::core::lower_bound::{CongestLocalBroadcast, LocalBroadcastInstance};
+use noisy_beeps::core::{SimulatedCongestRunner, SimulationParams};
+use noisy_beeps::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn matching_over_noisy_beeps_on_varied_topologies() {
+    for (name, g) in [
+        ("path", topology::path(8).unwrap()),
+        ("cycle", topology::cycle(9).unwrap()),
+        ("star", topology::star(6).unwrap()),
+        ("grid", topology::grid(3, 3).unwrap()),
+    ] {
+        // maximal_matching validates symmetry + maximality internally.
+        let result = maximal_matching(&g, 0.05, 17).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(result.output.len(), g.node_count(), "{name}");
+        assert_eq!(
+            result.report.beep_rounds,
+            result.report.congest_rounds * result.report.beep_rounds_per_congest_round,
+            "{name}: overhead accounting"
+        );
+    }
+}
+
+#[test]
+fn mis_and_coloring_over_noisy_beeps() {
+    let g = topology::grid(3, 3).unwrap();
+    let mis = maximal_independent_set(&g, 0.05, 3).expect("validated MIS");
+    assert!(mis.output.iter().any(|&b| b));
+    let col = coloring(&g, 0.05, 4).expect("validated coloring");
+    assert!(col.output.iter().all(|&c| c <= g.max_degree() as u64));
+}
+
+#[test]
+fn congest_algorithm_runs_over_noisy_beeps() {
+    // Corollary 12 under noise, end to end: CONGEST local broadcast on
+    // K_{2,2} through the wrapper, Algorithm 1, and a noisy channel.
+    let eps = 0.05;
+    let mut rng = StdRng::seed_from_u64(9);
+    let inst = LocalBroadcastInstance::random(2, 4, 8, &mut rng);
+    let algos: Vec<CongestLocalBroadcast> = (0..4)
+        .map(|v| {
+            let outgoing = inst
+                .graph
+                .neighbors(v)
+                .iter()
+                .map(|&u| (u, inst.inputs[&(v, u)].clone()))
+                .collect();
+            CongestLocalBroadcast::new(8, outgoing)
+        })
+        .collect();
+    let runner = SimulatedCongestRunner::new(
+        &inst.graph,
+        8,
+        21,
+        SimulationParams::calibrated(eps),
+        Noise::bernoulli(eps),
+    );
+    let (solved, report) = runner.run_to_completion(algos, 3).expect("completes");
+    for (v, node) in solved.iter().enumerate() {
+        for (sender, msg) in node.output() {
+            assert_eq!(msg, inst.inputs[&(sender, v)], "{sender} → {v}");
+        }
+    }
+    assert!(report.beep_rounds > 0);
+}
+
+#[test]
+fn tdma_baseline_and_algorithm1_agree_on_outputs() {
+    // Two completely different physical realizations of a Broadcast
+    // CONGEST round must drive the same algorithm to the same answer.
+    let g = topology::cycle(8).unwrap();
+    let n = g.node_count();
+    let bits = algorithms::LubyMis::required_message_bits(n);
+    let iters = algorithms::LubyMis::suggested_iterations(n);
+    let seed = 13;
+
+    let params = SimulationParams::calibrated(0.0);
+    let runner = SimulatedBroadcastRunner::new(&g, bits, seed, params, Noise::Noiseless);
+    let mut ours: Vec<Box<algorithms::LubyMis>> =
+        (0..n).map(|_| Box::new(algorithms::LubyMis::new(iters))).collect();
+    runner
+        .run_to_completion(&mut ours, algorithms::LubyMis::rounds_for(iters))
+        .expect("algorithm 1 run");
+
+    let tdma = TdmaSimulator::new(&g, bits, 0.0);
+    let mut base: Vec<Box<algorithms::LubyMis>> =
+        (0..n).map(|_| Box::new(algorithms::LubyMis::new(iters))).collect();
+    tdma.run_to_completion(&g, Noise::Noiseless, seed, &mut base, algorithms::LubyMis::rounds_for(iters))
+        .expect("tdma run");
+
+    for v in 0..n {
+        assert_eq!(ours[v].output(), base[v].output(), "node {v}");
+    }
+}
+
+#[test]
+fn beep_wave_and_simulated_flood_deliver_the_same_payload() {
+    let g = topology::grid(4, 4).unwrap();
+    let n = g.node_count();
+    let payload = 0x1234u64;
+
+    let wave = beep_wave_broadcast(&g, 0, &BitVec::from_u64_lsb(payload, 16), 3).unwrap();
+    assert!(wave
+        .received
+        .iter()
+        .all(|r| r.as_ref().map(BitVec::to_u64_lsb) == Some(payload)));
+
+    let params = SimulationParams::calibrated(0.0);
+    let runner = SimulatedBroadcastRunner::new(&g, 16, 3, params, Noise::Noiseless);
+    let mut floods: Vec<Box<algorithms::Flood>> =
+        (0..n).map(|_| Box::new(algorithms::Flood::new(0, payload, 16))).collect();
+    runner.run_to_completion(&mut floods, n).unwrap();
+    assert!(floods.iter().all(|f| f.output() == Some(payload)));
+
+    // And the wave is dramatically cheaper, as Section 1.2 implies.
+    assert!(wave.rounds < 100);
+}
+
+#[test]
+fn distributed_setup_feeds_the_tdma_baseline() {
+    // Close the loop on the baselines' setup phase: compute the G²
+    // coloring *distributedly* (CONGEST), hand it to the TDMA simulator,
+    // and run an algorithm on the resulting schedule.
+    use noisy_beeps::congest::algorithms::Distance2Coloring;
+    use noisy_beeps::congest::CongestRunner;
+
+    let g = topology::grid(3, 4).unwrap();
+    let n = g.node_count();
+    let delta = g.max_degree();
+    let bits = Distance2Coloring::required_message_bits(delta);
+    let iters = Distance2Coloring::suggested_iterations(n);
+    let runner = CongestRunner::new(&g, bits, 7);
+    let mut algos: Vec<Box<Distance2Coloring>> = (0..n)
+        .map(|v| Box::new(Distance2Coloring::new(delta, g.neighbors(v).to_vec(), iters)))
+        .collect();
+    runner
+        .run_to_completion(&mut algos, Distance2Coloring::rounds_for(iters))
+        .expect("distributed coloring converges");
+    let coloring: Vec<usize> = algos
+        .iter()
+        .map(|a| a.output().expect("colored") as usize)
+        .collect();
+
+    // The distributed coloring drives the baseline simulator.
+    let tdma = TdmaSimulator::with_coloring(&g, coloring, 16, 0.0);
+    let mut floods: Vec<Box<algorithms::Flood>> =
+        (0..n).map(|_| Box::new(algorithms::Flood::new(0, 0x77, 16))).collect();
+    let report = tdma
+        .run_to_completion(&g, Noise::Noiseless, 9, &mut floods, n)
+        .expect("tdma run");
+    assert!(floods.iter().all(|f| f.output() == Some(0x77)));
+    assert!(report.stats.all_perfect());
+}
+
+#[test]
+fn energy_accounting_is_consistent() {
+    // Beeps ≤ rounds × n, and a silent network spends none.
+    let g = topology::cycle(6).unwrap();
+    let params = SimulationParams::calibrated(0.0);
+    let runner = SimulatedBroadcastRunner::new(&g, 8, 1, params, Noise::Noiseless);
+    let mut algos: Vec<Box<algorithms::LeaderElection>> =
+        (0..6).map(|_| Box::new(algorithms::LeaderElection::new(4))).collect();
+    let report = runner.run_to_completion(&mut algos, 6).unwrap();
+    assert!(report.beeps <= (report.beep_rounds as u64) * 6);
+    assert!(report.beeps > 0);
+}

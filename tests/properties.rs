@@ -1,0 +1,76 @@
+//! Cross-crate property tests: for arbitrary random graphs and message
+//! assignments, the simulated round must deliver exactly what the model
+//! defines (at ε = 0), and application outputs must validate.
+
+use noisy_beeps::congest::{Message, MessageWriter};
+use noisy_beeps::core::{BroadcastSimulator, SimulationParams};
+use noisy_beeps::net::{BeepNetwork, Graph, Noise};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+const B: usize = 10;
+
+/// Strategy: a random simple graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..10).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        prop::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            Graph::from_edges(n, &edges).expect("filtered to valid edges")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn noiseless_simulated_round_equals_model_semantics(
+        graph in arb_graph(),
+        sends in prop::collection::vec(prop::option::of(0u64..1024), 10),
+        seed in any::<u64>(),
+    ) {
+        let n = graph.node_count();
+        let outgoing: Vec<Option<Message>> = (0..n)
+            .map(|v| sends[v].map(|x| MessageWriter::new().push_uint(x, B).finish(B)))
+            .collect();
+        let params = SimulationParams::calibrated(0.0);
+        let sim = BroadcastSimulator::new(params, B, graph.max_degree()).expect("valid");
+        let mut net = BeepNetwork::new(graph.clone(), Noise::Noiseless, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let outcome = sim.simulate_round(&mut net, &outgoing, &mut rng).expect("round runs");
+
+        // The model's defined semantics: node v receives the multiset of
+        // its broadcasting neighbors' messages.
+        for v in 0..n {
+            let mut ideal: Vec<Message> = graph
+                .neighbors(v)
+                .iter()
+                .filter_map(|&u| outgoing[u].clone())
+                .collect();
+            ideal.sort_unstable();
+            prop_assert_eq!(&outcome.delivered[v], &ideal, "node {}", v);
+        }
+        prop_assert!(outcome.stats.all_perfect());
+        // Cost invariant: exactly 2·c³·(Δ+1)·B beep rounds.
+        prop_assert_eq!(
+            net.stats().rounds,
+            params.rounds_per_broadcast_round(B, graph.max_degree())
+        );
+    }
+
+    #[test]
+    fn matching_output_is_always_valid(graph in arb_graph(), seed in any::<u64>()) {
+        // maximal_matching validates internally and errors otherwise;
+        // at ε = 0 it must always succeed.
+        let result = noisy_beeps::apps::maximal_matching(&graph, 0.0, seed);
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+
+    #[test]
+    fn mis_output_is_always_valid(graph in arb_graph(), seed in any::<u64>()) {
+        let result = noisy_beeps::apps::maximal_independent_set(&graph, 0.0, seed);
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+    }
+}
