@@ -186,7 +186,11 @@ pub fn beep_wave_broadcast(
         })
         .collect();
     let stats = net.stats();
-    Ok(BeepWaveReport { received, rounds, beeps: stats.beeps })
+    Ok(BeepWaveReport {
+        received,
+        rounds,
+        beeps: stats.beeps,
+    })
 }
 
 #[cfg(test)]

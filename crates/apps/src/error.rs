@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = AppError::InvalidOutput { detail: "asymmetric pair".into() };
+        let e = AppError::InvalidOutput {
+            detail: "asymmetric pair".into(),
+        };
         assert!(e.to_string().contains("asymmetric"));
         let e: AppError = beep_net::NetError::RoundBudgetExhausted { budget: 9 }.into();
         assert!(e.to_string().contains('9'));

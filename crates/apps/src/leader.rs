@@ -90,7 +90,11 @@ pub fn beep_leader_election(
         });
     }
     let stats = net.stats();
-    Ok(LeaderReport { leader, rounds: stats.rounds, beeps: stats.beeps })
+    Ok(LeaderReport {
+        leader,
+        rounds: stats.rounds,
+        beeps: stats.beeps,
+    })
 }
 
 #[cfg(test)]

@@ -82,21 +82,22 @@ pub fn multi_source_broadcast(
         ids.sort_unstable();
         ids.dedup();
         if ids.len() != sources.len() {
-            return Err(AppError::InvalidOutput { detail: "duplicate source id".into() });
+            return Err(AppError::InvalidOutput {
+                detail: "duplicate source id".into(),
+            });
         }
     }
     for (s, m) in sources {
         assert!(*s < n, "source {s} out of range");
         assert_eq!(m.len(), message_bits, "message width mismatch");
     }
-    let code = KautzSingleton::new(message_bits, k.max(1)).map_err(|e| AppError::InvalidOutput {
-        detail: format!("code construction: {e}"),
-    })?;
+    let code =
+        KautzSingleton::new(message_bits, k.max(1)).map_err(|e| AppError::InvalidOutput {
+            detail: format!("code construction: {e}"),
+        })?;
     let len = code.params().length();
-    let codewords: Vec<(usize, BitVec)> = sources
-        .iter()
-        .map(|(s, m)| (*s, code.encode(m)))
-        .collect();
+    let codewords: Vec<(usize, BitVec)> =
+        sources.iter().map(|(s, m)| (*s, code.encode(m))).collect();
 
     let mut net = BeepNetwork::new(graph.clone(), Noise::Noiseless, seed);
     let window = diameter_bound + 1;
@@ -167,7 +168,9 @@ mod tests {
     use beep_net::topology;
 
     fn all_messages(bits: usize) -> Vec<BitVec> {
-        (0..(1u64 << bits)).map(|v| BitVec::from_u64_lsb(v, bits)).collect()
+        (0..(1u64 << bits))
+            .map(|v| BitVec::from_u64_lsb(v, bits))
+            .collect()
     }
 
     #[test]
@@ -178,8 +181,7 @@ mod tests {
             (0usize, BitVec::from_u64_lsb(0x2B, 6)),
             (11usize, BitVec::from_u64_lsb(0x15, 6)),
         ];
-        let report =
-            multi_source_broadcast(&g, &msgs, 3, 6, d, &all_messages(6), 1).unwrap();
+        let report = multi_source_broadcast(&g, &msgs, 3, 6, d, &all_messages(6), 1).unwrap();
         let expected: Vec<BitVec> = {
             let mut v = vec![msgs[0].1.clone(), msgs[1].1.clone()];
             v.sort_unstable_by_key(std::string::ToString::to_string);
@@ -196,8 +198,7 @@ mod tests {
             let msgs: Vec<(usize, BitVec)> = (0..count)
                 .map(|i| (i * 3, BitVec::from_u64_lsb(17 * i as u64 + 1, 6)))
                 .collect();
-            let report =
-                multi_source_broadcast(&g, &msgs, 3, 6, d, &all_messages(6), 2).unwrap();
+            let report = multi_source_broadcast(&g, &msgs, 3, 6, d, &all_messages(6), 2).unwrap();
             assert_eq!(report.decoded.len(), count, "count = {count}");
             for (_, m) in &msgs {
                 assert!(report.decoded.contains(m));
@@ -217,8 +218,9 @@ mod tests {
     #[test]
     fn too_many_sources_rejected() {
         let g = topology::path(5).unwrap();
-        let msgs: Vec<(usize, BitVec)> =
-            (0..4).map(|i| (i, BitVec::from_u64_lsb(i as u64, 6))).collect();
+        let msgs: Vec<(usize, BitVec)> = (0..4)
+            .map(|i| (i, BitVec::from_u64_lsb(i as u64, 6)))
+            .collect();
         assert!(matches!(
             multi_source_broadcast(&g, &msgs, 3, 6, 4, &all_messages(6), 4),
             Err(AppError::InvalidOutput { .. })

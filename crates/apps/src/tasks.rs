@@ -45,8 +45,9 @@ pub fn maximal_matching(
     let iters = MaximalMatching::suggested_iterations(n);
     let params = SimulationParams::calibrated(epsilon);
     let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise_for(epsilon));
-    let mut algos: Vec<Box<MaximalMatching>> =
-        (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+    let mut algos: Vec<Box<MaximalMatching>> = (0..n)
+        .map(|_| Box::new(MaximalMatching::new(iters)))
+        .collect();
     let report = runner.run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))?;
     let output: Vec<Option<NodeId>> = algos
         .iter()
@@ -54,7 +55,9 @@ pub fn maximal_matching(
         .collect();
     let violations = validate::check_matching(graph, &output);
     if !violations.is_empty() {
-        return Err(AppError::InvalidOutput { detail: format!("{violations:?}") });
+        return Err(AppError::InvalidOutput {
+            detail: format!("{violations:?}"),
+        });
     }
     Ok(TaskReport { output, report })
 }
@@ -77,10 +80,15 @@ pub fn maximal_independent_set(
     let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise_for(epsilon));
     let mut algos: Vec<Box<LubyMis>> = (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
     let report = runner.run_to_completion(&mut algos, LubyMis::rounds_for(iters))?;
-    let output: Vec<bool> = algos.iter().map(|a| a.output().expect("completed")).collect();
+    let output: Vec<bool> = algos
+        .iter()
+        .map(|a| a.output().expect("completed"))
+        .collect();
     let violations = validate::check_mis(graph, &output);
     if !violations.is_empty() {
-        return Err(AppError::InvalidOutput { detail: format!("{violations:?}") });
+        return Err(AppError::InvalidOutput {
+            detail: format!("{violations:?}"),
+        });
     }
     Ok(TaskReport { output, report })
 }
@@ -97,15 +105,21 @@ pub fn coloring(graph: &Graph, epsilon: f64, seed: u64) -> Result<TaskReport<u64
     let iters = RandomColoring::suggested_iterations(n);
     let params = SimulationParams::calibrated(epsilon);
     let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise_for(epsilon));
-    let mut algos: Vec<Box<RandomColoring>> =
-        (0..n).map(|_| Box::new(RandomColoring::new(iters))).collect();
+    let mut algos: Vec<Box<RandomColoring>> = (0..n)
+        .map(|_| Box::new(RandomColoring::new(iters)))
+        .collect();
     let report = runner.run_to_completion(&mut algos, RandomColoring::rounds_for(iters))?;
     let maybe: Vec<Option<u64>> = algos.iter().map(|a| a.output()).collect();
     let violations = validate::check_coloring(graph, &maybe);
     if !violations.is_empty() {
-        return Err(AppError::InvalidOutput { detail: format!("{violations:?}") });
+        return Err(AppError::InvalidOutput {
+            detail: format!("{violations:?}"),
+        });
     }
-    let output = maybe.into_iter().map(|c| c.expect("validated total")).collect();
+    let output = maybe
+        .into_iter()
+        .map(|c| c.expect("validated total"))
+        .collect();
     Ok(TaskReport { output, report })
 }
 

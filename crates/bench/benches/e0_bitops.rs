@@ -32,7 +32,9 @@ fn bench_bitops(c: &mut Criterion) {
         });
     }
     // Superimposition of a full neighborhood (Δ+1 = 9 codewords).
-    let words: Vec<BitVec> = (0..9).map(|_| BitVec::random_uniform(7_776, &mut rng)).collect();
+    let words: Vec<BitVec> = (0..9)
+        .map(|_| BitVec::random_uniform(7_776, &mut rng))
+        .collect();
     group.bench_function("superimpose 9 × 7776b", |bch| {
         bch.iter(|| black_box(superimpose(&words).unwrap()));
     });

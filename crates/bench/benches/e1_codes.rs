@@ -18,13 +18,16 @@ fn bench_encoding(c: &mut Criterion) {
         let params = BeepCodeParams::new(a, k, cc).unwrap();
         let code = BeepCode::with_seed(params, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        group.bench_function(format!("beep a={a} k={k} c={cc} (len {})", params.length()), |b| {
-            b.iter_batched(
-                || BitVec::random_uniform(a, &mut rng),
-                |r| black_box(code.encode(&r)),
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_function(
+            format!("beep a={a} k={k} c={cc} (len {})", params.length()),
+            |b| {
+                b.iter_batched(
+                    || BitVec::random_uniform(a, &mut rng),
+                    |r| black_box(code.encode(&r)),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     let dist = DistanceCode::with_seed(DistanceCodeParams::new(32, 9).unwrap(), 1);
     let mut rng = StdRng::seed_from_u64(3);
@@ -55,13 +58,23 @@ fn bench_decoding(c: &mut Criterion) {
     let params = BeepCodeParams::new(32, 16, 3).unwrap();
     let code = BeepCode::with_seed(params, 1);
     let mut rng = StdRng::seed_from_u64(5);
-    let members: Vec<BitVec> = (0..16).map(|_| BitVec::random_uniform(32, &mut rng)).collect();
-    let sup = superimpose(members.iter().map(|r| code.encode(r)).collect::<Vec<_>>().iter())
-        .unwrap()
-        .flipped_with_noise(0.1, &mut rng);
+    let members: Vec<BitVec> = (0..16)
+        .map(|_| BitVec::random_uniform(32, &mut rng))
+        .collect();
+    let sup = superimpose(
+        members
+            .iter()
+            .map(|r| code.encode(r))
+            .collect::<Vec<_>>()
+            .iter(),
+    )
+    .unwrap()
+    .flipped_with_noise(0.1, &mut rng);
     let decoder = SetDecoder::new(&code, 0.1);
     group.bench_function("set-decode 16 members + 16 decoys (noisy)", |b| {
-        let decoys: Vec<BitVec> = (0..16).map(|_| BitVec::random_uniform(32, &mut rng)).collect();
+        let decoys: Vec<BitVec> = (0..16)
+            .map(|_| BitVec::random_uniform(32, &mut rng))
+            .collect();
         b.iter(|| {
             let mut accepted = 0;
             for r in members.iter().chain(&decoys) {
@@ -81,7 +94,13 @@ fn bench_decoding(c: &mut Criterion) {
         .chain((0..63).map(|_| BitVec::random_uniform(16, &mut rng)))
         .collect();
     group.bench_function("message-decode 64 candidates (noisy)", |b| {
-        b.iter(|| black_box(msg_decoder.decode_candidates(&received, candidates.iter()).unwrap()));
+        b.iter(|| {
+            black_box(
+                msg_decoder
+                    .decode_candidates(&received, candidates.iter())
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }

@@ -25,31 +25,51 @@ fn bench_round_simulation(c: &mut Criterion) {
     for (name, graph, eps) in [
         ("cycle n=32 ε=0", topology::cycle(32).unwrap(), 0.0),
         ("cycle n=32 ε=0.1", topology::cycle(32).unwrap(), 0.1),
-        ("gnp n=64 Δ≈8 ε=0.1", {
-            let mut rng = StdRng::seed_from_u64(1);
-            topology::gnp(64, 8.0 / 63.0, &mut rng).unwrap()
-        }, 0.1),
+        (
+            "gnp n=64 Δ≈8 ε=0.1",
+            {
+                let mut rng = StdRng::seed_from_u64(1);
+                topology::gnp(64, 8.0 / 63.0, &mut rng).unwrap()
+            },
+            0.1,
+        ),
     ] {
         let n = graph.node_count();
         let delta = graph.max_degree();
         let params = SimulationParams::calibrated(eps);
-        let noise = if eps == 0.0 { Noise::Noiseless } else { Noise::bernoulli(eps) };
+        let noise = if eps == 0.0 {
+            Noise::Noiseless
+        } else {
+            Noise::bernoulli(eps)
+        };
         let sim = BroadcastSimulator::new(params, B, delta).unwrap();
         let msgs = outgoing(n);
-        group.bench_function(format!("algorithm1 {name} ({} beep rounds)", sim.rounds_per_congest_round()), |b| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| {
-                let mut net = BeepNetwork::new(graph.clone(), noise, 3);
-                black_box(sim.simulate_round(&mut net, &msgs, &mut rng).unwrap())
-            });
-        });
+        group.bench_function(
+            format!(
+                "algorithm1 {name} ({} beep rounds)",
+                sim.rounds_per_congest_round()
+            ),
+            |b| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    let mut net = BeepNetwork::new(graph.clone(), noise, 3);
+                    black_box(sim.simulate_round(&mut net, &msgs, &mut rng).unwrap())
+                });
+            },
+        );
         let tdma = TdmaSimulator::new(&graph, B, eps);
-        group.bench_function(format!("tdma {name} ({} beep rounds)", tdma.rounds_per_congest_round()), |b| {
-            b.iter(|| {
-                let mut net = BeepNetwork::new(graph.clone(), noise, 3);
-                black_box(tdma.simulate_round(&mut net, &msgs).unwrap())
-            });
-        });
+        group.bench_function(
+            format!(
+                "tdma {name} ({} beep rounds)",
+                tdma.rounds_per_congest_round()
+            ),
+            |b| {
+                b.iter(|| {
+                    let mut net = BeepNetwork::new(graph.clone(), noise, 3);
+                    black_box(tdma.simulate_round(&mut net, &msgs).unwrap())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -20,8 +20,9 @@ fn bench_matching(c: &mut Criterion) {
         group.bench_function(format!("native_bc cycle n={n}"), |b| {
             b.iter(|| {
                 let runner = BroadcastRunner::new(&graph, bits, 5);
-                let mut algos: Vec<Box<MaximalMatching>> =
-                    (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+                let mut algos: Vec<Box<MaximalMatching>> = (0..n)
+                    .map(|_| Box::new(MaximalMatching::new(iters)))
+                    .collect();
                 runner
                     .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
                     .unwrap();

@@ -25,7 +25,15 @@ pub fn e1_beep_code_vs_classical(seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         "E1 (Thm 4 + §1.4): beep codes vs classical superimposed codes, a = 16",
-        &["k", "c", "beep len", "def3 fail", "decoder FP", "KS len", "KS/beep"],
+        &[
+            "k",
+            "c",
+            "beep len",
+            "def3 fail",
+            "decoder FP",
+            "KS len",
+            "KS/beep",
+        ],
     );
     for k in [4usize, 8, 16] {
         let ks = KautzSingleton::new(a, k).expect("valid params");
@@ -40,8 +48,9 @@ pub fn e1_beep_code_vs_classical(seed: u64) -> Table {
             let mut fp = 0usize;
             let fp_trials = 300;
             for _ in 0..fp_trials {
-                let inputs: Vec<BitVec> =
-                    (0..=k).map(|_| BitVec::random_uniform(a, &mut rng)).collect();
+                let inputs: Vec<BitVec> = (0..=k)
+                    .map(|_| BitVec::random_uniform(a, &mut rng))
+                    .collect();
                 let words: Vec<BitVec> = inputs[..k].iter().map(|r| code.encode(r)).collect();
                 let sup = superimpose(&words).expect("k ≥ 1");
                 if decoder.accepts(&inputs[k], &sup) {
@@ -79,7 +88,14 @@ pub fn e2_distance_code(seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         "E2 (Lemma 6): random distance codes, B = 16, target δ = 1/3",
-        &["c_δ", "len", "min d/b", "mean d/b", "violations", "Lemma 6 ok"],
+        &[
+            "c_δ",
+            "len",
+            "min d/b",
+            "mean d/b",
+            "violations",
+            "Lemma 6 ok",
+        ],
     );
     for expansion in [2usize, 4, 9, 16, 36, 108] {
         let params = DistanceCodeParams::new(message_bits, expansion).expect("valid params");

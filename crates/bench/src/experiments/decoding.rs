@@ -38,10 +38,15 @@ pub fn e3_phase1_decoding(seed: u64) -> Table {
         let (mut fn_events, mut fn_total) = (0usize, 0usize);
         let (mut fp_events, mut fp_total) = (0usize, 0usize);
         for _ in 0..trials {
-            let members: Vec<BitVec> =
-                (0..=delta).map(|_| BitVec::random_uniform(a, &mut rng)).collect();
+            let members: Vec<BitVec> = (0..=delta)
+                .map(|_| BitVec::random_uniform(a, &mut rng))
+                .collect();
             let clean = superimpose(
-                members.iter().map(|r| codes.beep.encode(r)).collect::<Vec<_>>().iter(),
+                members
+                    .iter()
+                    .map(|r| codes.beep.encode(r))
+                    .collect::<Vec<_>>()
+                    .iter(),
             )
             .expect("non-empty");
             let heard = clean.flipped_with_noise(eps, &mut rng);
@@ -87,21 +92,40 @@ pub fn e4_phase2_decoding(seed: u64) -> Table {
     let trials = 30;
     let mut t = Table::new(
         "E4 (Lemma 10): full two-phase round on K_{1,Δ}, B = 16, Δ = 6",
-        &["ε", "beep rounds", "msg errors", "FN", "FP(decoy)", "perfect rounds"],
+        &[
+            "ε",
+            "beep rounds",
+            "msg errors",
+            "FN",
+            "FP(decoy)",
+            "perfect rounds",
+        ],
     );
     for eps in EPS_SWEEP {
         let params = SimulationParams::calibrated(eps).with_decoys(8);
         let graph = topology::star(delta + 1).expect("valid star");
         let sim = BroadcastSimulator::new(params, message_bits, delta).expect("valid");
-        let noise = if eps == 0.0 { Noise::Noiseless } else { Noise::bernoulli(eps) };
+        let noise = if eps == 0.0 {
+            Noise::Noiseless
+        } else {
+            Noise::bernoulli(eps)
+        };
         let mut rng = StdRng::seed_from_u64(seed ^ 0xE4 ^ (eps * 1000.0) as u64);
         let mut stats = beep_core::RoundStats::default();
         for trial in 0..trials {
             let mut net = BeepNetwork::new(graph.clone(), noise, seed + trial);
             let outgoing: Vec<Option<Message>> = (0..=delta as u64)
-                .map(|v| Some(MessageWriter::new().push_uint(v * 31 + 1, 16).finish(message_bits)))
+                .map(|v| {
+                    Some(
+                        MessageWriter::new()
+                            .push_uint(v * 31 + 1, 16)
+                            .finish(message_bits),
+                    )
+                })
                 .collect();
-            let outcome = sim.simulate_round(&mut net, &outgoing, &mut rng).expect("round");
+            let outcome = sim
+                .simulate_round(&mut net, &outgoing, &mut rng)
+                .expect("round");
             stats.merge(&outcome.stats);
         }
         t.push(vec![

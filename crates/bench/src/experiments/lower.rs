@@ -18,9 +18,23 @@ pub fn e8_lower_bound_census(seed: u64) -> Table {
     let trials = 600;
     let mut t = Table::new(
         "E8 (Lemma 14): transcript counting on K_{2,2}, B = 4 (Δ²B = 16 input bits)",
-        &["T (rounds)", "conveyed bits", "distinct transcripts", "ceiling 2^(T−Δ²B)", "measured success"],
+        &[
+            "T (rounds)",
+            "conveyed bits",
+            "distinct transcripts",
+            "ceiling 2^(T−Δ²B)",
+            "measured success",
+        ],
     );
-    for budget in [input_bits + 4, input_bits, input_bits - 1, input_bits - 2, input_bits - 3, input_bits - 6, input_bits / 2] {
+    for budget in [
+        input_bits + 4,
+        input_bits,
+        input_bits - 1,
+        input_bits - 2,
+        input_bits - 3,
+        input_bits - 6,
+        input_bits / 2,
+    ] {
         let report = tdma_local_broadcast_census(delta, message_bits, budget, trials, seed);
         let ceiling = if report.ceiling_log2 >= 0 {
             1.0

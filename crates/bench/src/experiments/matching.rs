@@ -17,12 +17,20 @@ pub fn e7_matching_scaling(seed: u64) -> Table {
     let eps = 0.05;
     let mut t = Table::new(
         "E7 (Thm 21): maximal matching over noisy beeps (ε = 0.05), cycles",
-        &["n", "Δ", "BC rounds", "BC/log₂n", "beep/BC", "total beeps rounds", "valid"],
+        &[
+            "n",
+            "Δ",
+            "BC rounds",
+            "BC/log₂n",
+            "beep/BC",
+            "total beeps rounds",
+            "valid",
+        ],
     );
     for n in [8usize, 16, 32, 64] {
         let graph = topology::cycle(n).expect("valid cycle");
-        let result = maximal_matching(&graph, eps, seed + n as u64)
-            .expect("matching succeeds w.h.p.");
+        let result =
+            maximal_matching(&graph, eps, seed + n as u64).expect("matching succeeds w.h.p.");
         let log_n = (n as f64).log2();
         t.push(vec![
             n.to_string(),
@@ -51,13 +59,19 @@ with n). Total = product: the Θ(Δ log² n) of Theorem 21.",
 pub fn e7b_matching_lower_bound(seed: u64) -> Table {
     let mut t = Table::new(
         "E7b (Thm 22): matching on K_{Δ,Δ} vs the Ω(Δ log n) lower bound (ε = 0)",
-        &["Δ", "n", "measured beep rounds", "Δ·log₂n bound", "ratio", "ratio/(c³·log₂n)"],
+        &[
+            "Δ",
+            "n",
+            "measured beep rounds",
+            "Δ·log₂n bound",
+            "ratio",
+            "ratio/(c³·log₂n)",
+        ],
     );
     for delta in [2usize, 3, 4, 6] {
         let graph = topology::complete_bipartite(delta, delta).expect("valid");
         let n = graph.node_count();
-        let result = maximal_matching(&graph, 0.0, seed + delta as u64)
-            .expect("matching succeeds");
+        let result = maximal_matching(&graph, 0.0, seed + delta as u64).expect("matching succeeds");
         let log_n = (n as f64).log2();
         let bound = delta as f64 * log_n;
         let ratio = result.report.beep_rounds as f64 / bound;
@@ -89,7 +103,13 @@ pub fn e11_matching_cost_crossover() -> Table {
     let n = 1 << 16;
     let mut t = Table::new(
         "E11 (§6): matching cost models, n = 2^16 (unit constants; shapes only)",
-        &["Δ", "prior [4]+[26]", "ours (Thm 21)", "improvement", "≈ Δ³/log n"],
+        &[
+            "Δ",
+            "prior [4]+[26]",
+            "ours (Thm 21)",
+            "improvement",
+            "≈ Δ³/log n",
+        ],
     );
     for delta in [2usize, 4, 8, 16, 32, 64, 128] {
         let prior = matching_beeps_prior(delta, n);
@@ -123,7 +143,10 @@ mod tests {
         // 8× growth in n must not produce 8× growth in BC rounds.
         let growth = rounds.last().unwrap() / rounds.first().unwrap();
         let n_growth = ns.last().unwrap() / ns.first().unwrap();
-        assert!(growth < n_growth / 2.0, "rounds grew {growth}× for {n_growth}× nodes");
+        assert!(
+            growth < n_growth / 2.0,
+            "rounds grew {growth}× for {n_growth}× nodes"
+        );
     }
 
     #[test]
@@ -132,16 +155,25 @@ mod tests {
         let normalized: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
         let max = normalized.iter().cloned().fold(0.0, f64::max);
         let min = normalized.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max / min < 8.0, "normalized ratios {normalized:?} not bounded");
+        assert!(
+            max / min < 8.0,
+            "normalized ratios {normalized:?} not bounded"
+        );
     }
 
     #[test]
     fn e11_improvement_is_monotone_in_delta() {
         let t = e11_matching_cost_crossover();
-        let improvements: Vec<f64> = t.rows.iter().map(|r| r[3].parse::<f64>().unwrap_or_else(|_| {
-            // fmt_f may have used scientific notation
-            r[3].parse::<f64>().unwrap()
-        })).collect();
+        let improvements: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| {
+                r[3].parse::<f64>().unwrap_or_else(|_| {
+                    // fmt_f may have used scientific notation
+                    r[3].parse::<f64>().unwrap()
+                })
+            })
+            .collect();
         for pair in improvements.windows(2) {
             assert!(pair[1] > pair[0], "{improvements:?}");
         }

@@ -13,8 +13,10 @@ mod overhead;
 pub use codes::{e1_beep_code_vs_classical, e2_distance_code, e9_combined_code_figure};
 pub use decoding::{e3_phase1_decoding, e4_phase2_decoding};
 pub use lower::e8_lower_bound_census;
-pub use matching::{e7_matching_scaling, e7b_matching_lower_bound, e11_matching_cost_crossover};
-pub use overhead::{e5_broadcast_overhead, e5b_setup_cost, e6_congest_overhead, e10_noise_independence};
+pub use matching::{e11_matching_cost_crossover, e7_matching_scaling, e7b_matching_lower_bound};
+pub use overhead::{
+    e10_noise_independence, e5_broadcast_overhead, e5b_setup_cost, e6_congest_overhead,
+};
 
 use crate::Table;
 

@@ -5,7 +5,9 @@ use crate::Table;
 use beep_core::baseline::{
     agl_broadcast_overhead, beauquier_per_round, distance2_coloring, num_colors, TdmaSimulator,
 };
-use beep_core::lower_bound::{lemma14_round_lower_bound, CongestLocalBroadcast, LocalBroadcastInstance};
+use beep_core::lower_bound::{
+    lemma14_round_lower_bound, CongestLocalBroadcast, LocalBroadcastInstance,
+};
 use beep_core::{SimulatedCongestRunner, SimulationParams};
 use beep_net::{topology, Noise};
 use rand::rngs::StdRng;
@@ -27,7 +29,19 @@ pub fn e5_broadcast_overhead(seed: u64) -> Table {
     let noisy_params = SimulationParams::calibrated(eps);
     let mut t = Table::new(
         "E5 (Thm 11): Broadcast CONGEST overhead per round, n = 256, B = 16",
-        &["target Δ", "measured Δ", "G² colors", "ours ε=0", "TDMA ε=0", "ratio", "ours ε=.1", "TDMA ε=.1", "ratio", "AGL model", "[7] model"],
+        &[
+            "target Δ",
+            "measured Δ",
+            "G² colors",
+            "ours ε=0",
+            "TDMA ε=0",
+            "ratio",
+            "ours ε=.1",
+            "TDMA ε=.1",
+            "ratio",
+            "AGL model",
+            "[7] model",
+        ],
     );
     for target_delta in [4usize, 8, 16, 32] {
         let p = target_delta as f64 / (n as f64 - 1.0);
@@ -80,7 +94,14 @@ pub fn e5b_setup_cost(seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Table::new(
         "E5b: baseline setup cost (distributed G² coloring), n = 48 random-regular",
-        &["Δ", "CONGEST rounds", "beep rounds via Cor 12", "[4] setup model", "[7] setup model", "ours"],
+        &[
+            "Δ",
+            "CONGEST rounds",
+            "beep rounds via Cor 12",
+            "[4] setup model",
+            "[7] setup model",
+            "ours",
+        ],
     );
     for delta in [3usize, 4, 6, 8] {
         let graph = topology::random_regular(n, delta, &mut rng).expect("valid degree");
@@ -89,14 +110,18 @@ pub fn e5b_setup_cost(seed: u64) -> Table {
         let runner = CongestRunner::new(&graph, bits, seed + delta as u64);
         let mut algos: Vec<Box<Distance2Coloring>> = (0..n)
             .map(|v| {
-                Box::new(Distance2Coloring::new(delta, graph.neighbors(v).to_vec(), iters))
+                Box::new(Distance2Coloring::new(
+                    delta,
+                    graph.neighbors(v).to_vec(),
+                    iters,
+                ))
             })
             .collect();
         let report = runner
             .run_to_completion(&mut algos, Distance2Coloring::rounds_for(iters))
             .expect("coloring converges");
-        let per_congest_round =
-            delta * params.rounds_per_broadcast_round(2 * beep_congest::id_bits_for(n) + bits, delta);
+        let per_congest_round = delta
+            * params.rounds_per_broadcast_round(2 * beep_congest::id_bits_for(n) + bits, delta);
         t.push(vec![
             delta.to_string(),
             report.rounds.to_string(),
@@ -144,13 +169,8 @@ pub fn e6_congest_overhead(seed: u64) -> Table {
                 CongestLocalBroadcast::new(message_bits, outgoing)
             })
             .collect();
-        let runner = SimulatedCongestRunner::new(
-            &inst.graph,
-            message_bits,
-            seed,
-            params,
-            Noise::Noiseless,
-        );
+        let runner =
+            SimulatedCongestRunner::new(&inst.graph, message_bits, seed, params, Noise::Noiseless);
         let (solved, report) = runner.run_to_completion(algos, 4).expect("run completes");
         let all_ok = (0..inst.graph.node_count()).all(|v| {
             solved[v]
@@ -188,7 +208,14 @@ pub fn e10_noise_independence(seed: u64) -> Table {
     let delta = graph.max_degree();
     let mut t = Table::new(
         "E10 (§1.3): overhead vs noise at fixed n = 12 cycle, B = 16",
-        &["ε", "ours/round", "vs ε=0", "TDMA ρ", "TDMA/round", "vs ε=0"],
+        &[
+            "ε",
+            "ours/round",
+            "vs ε=0",
+            "TDMA ρ",
+            "TDMA/round",
+            "vs ε=0",
+        ],
     );
     let ours0 = SimulationParams::calibrated(0.0).rounds_per_broadcast_round(message_bits, delta);
     let tdma0 = TdmaSimulator::new(&graph, message_bits, 0.0).rounds_per_congest_round();
@@ -225,7 +252,10 @@ mod tests {
         for col in [5usize, 8] {
             let first: f64 = t.rows.first().unwrap()[col].parse().unwrap();
             let last: f64 = t.rows.last().unwrap()[col].parse().unwrap();
-            assert!(last > first, "col {col}: TDMA/ours should grow with Δ: {first} → {last}");
+            assert!(
+                last > first,
+                "col {col}: TDMA/ours should grow with Δ: {first} → {last}"
+            );
         }
         // Under noise the simulation beats the baseline outright at scale.
         let noisy_last: f64 = t.rows.last().unwrap()[8].parse().unwrap();
@@ -260,6 +290,9 @@ mod tests {
         let t = e10_noise_independence(7);
         let ours_growth: f64 = t.rows.last().unwrap()[2].parse().unwrap();
         let tdma_growth: f64 = t.rows.last().unwrap()[5].parse().unwrap();
-        assert!(ours_growth < tdma_growth, "ours {ours_growth} vs TDMA {tdma_growth}");
+        assert!(
+            ours_growth < tdma_growth,
+            "ours {ours_growth} vs TDMA {tdma_growth}"
+        );
     }
 }

@@ -64,7 +64,9 @@ impl fmt::Debug for BitVec {
         if self.len <= MAX {
             write!(f, "BitVec({self})")
         } else {
-            let head: String = (0..MAX).map(|i| if self.get(i) { '1' } else { '0' }).collect();
+            let head: String = (0..MAX)
+                .map(|i| if self.get(i) { '1' } else { '0' })
+                .collect();
             write!(
                 f,
                 "BitVec({head}… len={} ones={})",
@@ -89,7 +91,13 @@ mod tests {
     #[test]
     fn parse_rejects_bad_chars() {
         let err = BitVec::from_str_01("10a1").unwrap_err();
-        assert_eq!(err, ParseBitVecError { position: 2, found: 'a' });
+        assert_eq!(
+            err,
+            ParseBitVecError {
+                position: 2,
+                found: 'a'
+            }
+        );
         assert!(err.to_string().contains("position 2"));
     }
 

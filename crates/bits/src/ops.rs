@@ -119,7 +119,10 @@ impl BitVec {
     #[must_use]
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         self.assert_same_len(other, "is_subset_of");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Extracts the subsequence of `self` at the given positions, in order.

@@ -60,7 +60,10 @@ impl BitVec {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn flipped_with_noise<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&p), "noise probability {p} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "noise probability {p} not in [0,1]"
+        );
         let mut out = self.clone();
         if p == 0.0 {
             return out;

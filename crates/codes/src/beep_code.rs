@@ -179,7 +179,8 @@ impl BeepCode {
     /// [`try_encode`](Self::try_encode) for a fallible variant.
     #[must_use]
     pub fn encode(&self, input: &BitVec) -> BitVec {
-        self.try_encode(input).unwrap_or_else(|e| panic!("BeepCode::encode: {e}"))
+        self.try_encode(input)
+            .unwrap_or_else(|e| panic!("BeepCode::encode: {e}"))
     }
 
     /// Encodes an `a`-bit input into its codeword, or reports a length error.
@@ -288,7 +289,10 @@ mod tests {
         let code = small();
         let mut seen = std::collections::HashSet::new();
         for v in 0..256u64 {
-            assert!(seen.insert(code.encode_u64(v).to_string()), "collision at {v}");
+            assert!(
+                seen.insert(code.encode_u64(v).to_string()),
+                "collision at {v}"
+            );
         }
     }
 
@@ -298,7 +302,10 @@ mod tests {
         let bad = BitVec::zeros(9);
         assert_eq!(
             code.try_encode(&bad),
-            Err(CodeError::InputLength { expected: 8, actual: 9 })
+            Err(CodeError::InputLength {
+                expected: 8,
+                actual: 9
+            })
         );
     }
 

@@ -134,7 +134,10 @@ mod tests {
         let dist = DistanceCode::new(DistanceCodeParams::with_length(10, 29).unwrap());
         assert!(matches!(
             CombinedCode::new(beep, dist),
-            Err(CodeError::CarrierPayloadMismatch { carrier_weight: 30, payload_len: 29 })
+            Err(CodeError::CarrierPayloadMismatch {
+                carrier_weight: 30,
+                payload_len: 29
+            })
         ));
     }
 
@@ -159,7 +162,11 @@ mod tests {
         let carrier = cc.beep_code().encode(&r);
         let payload = cc.distance_code().encode(&m);
         for (i, pos) in carrier.iter_ones().enumerate() {
-            assert_eq!(cd.get(pos), payload.get(i), "payload bit {i} at carrier pos {pos}");
+            assert_eq!(
+                cd.get(pos),
+                payload.get(i),
+                "payload bit {i} at carrier pos {pos}"
+            );
         }
         // And 0 everywhere the carrier is 0.
         for pos in (!&carrier).iter_ones() {
@@ -191,7 +198,10 @@ mod tests {
         let received = BitVec::zeros(11);
         assert!(matches!(
             CombinedCode::project(&received, &carrier),
-            Err(CodeError::ReceivedLength { expected: 10, actual: 11 })
+            Err(CodeError::ReceivedLength {
+                expected: 10,
+                actual: 11
+            })
         ));
     }
 

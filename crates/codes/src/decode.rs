@@ -115,7 +115,9 @@ impl<'a> SetDecoder<'a> {
         if a > EXHAUSTIVE_LIMIT_BITS {
             return Err(CodeError::InvalidParams {
                 what: "input_bits",
-                detail: format!("exhaustive decoding caps at {EXHAUSTIVE_LIMIT_BITS} bits, code has {a}"),
+                detail: format!(
+                    "exhaustive decoding caps at {EXHAUSTIVE_LIMIT_BITS} bits, code has {a}"
+                ),
             });
         }
         if received.len() != self.code.params().length() {
@@ -216,10 +218,14 @@ impl<'a> MessageDecoder<'a> {
         if a > EXHAUSTIVE_LIMIT_BITS {
             return Err(CodeError::InvalidParams {
                 what: "message_bits",
-                detail: format!("exhaustive decoding caps at {EXHAUSTIVE_LIMIT_BITS} bits, code has {a}"),
+                detail: format!(
+                    "exhaustive decoding caps at {EXHAUSTIVE_LIMIT_BITS} bits, code has {a}"
+                ),
             });
         }
-        let all: Vec<BitVec> = (0..(1u64 << a)).map(|v| BitVec::from_u64_lsb(v, a)).collect();
+        let all: Vec<BitVec> = (0..(1u64 << a))
+            .map(|v| BitVec::from_u64_lsb(v, a))
+            .collect();
         self.decode_candidates(received, all.iter())
     }
 }
@@ -274,8 +280,14 @@ mod tests {
             .iter()
             .map(|&v| BitVec::from_u64_lsb(v, 6))
             .collect();
-        let received = superimpose(inputs.iter().map(|r| code.encode(r)).collect::<Vec<_>>().iter())
-            .unwrap();
+        let received = superimpose(
+            inputs
+                .iter()
+                .map(|r| code.encode(r))
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+        .unwrap();
         let exhaustive = decoder.decode_exhaustive(&received).unwrap();
         assert_eq!(exhaustive, inputs.to_vec());
     }
@@ -286,9 +298,18 @@ mod tests {
         let eps = 0.1;
         let decoder = SetDecoder::new(&code, eps);
         let mut rng = StdRng::seed_from_u64(42);
-        let inputs: Vec<BitVec> = [9u64, 120, 201].iter().map(|&v| BitVec::from_u64_lsb(v, 8)).collect();
-        let clean = superimpose(inputs.iter().map(|r| code.encode(r)).collect::<Vec<_>>().iter())
-            .unwrap();
+        let inputs: Vec<BitVec> = [9u64, 120, 201]
+            .iter()
+            .map(|&v| BitVec::from_u64_lsb(v, 8))
+            .collect();
+        let clean = superimpose(
+            inputs
+                .iter()
+                .map(|r| code.encode(r))
+                .collect::<Vec<_>>()
+                .iter(),
+        )
+        .unwrap();
         let mut successes = 0;
         for _ in 0..50 {
             let noisy = clean.flipped_with_noise(eps, &mut rng);
@@ -296,7 +317,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 45, "only {successes}/50 noisy decodes succeeded");
+        assert!(
+            successes >= 45,
+            "only {successes}/50 noisy decodes succeeded"
+        );
     }
 
     #[test]

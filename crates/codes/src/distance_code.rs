@@ -256,10 +256,12 @@ mod tests {
         let code = DistanceCode::with_seed(p, 4);
         let target = p.distance_target(1.0 / 3.0);
         for v in 0..100u64 {
-            let d = code
-                .encode_u64(v)
-                .hamming_distance(&code.encode_u64(v + 1));
-            assert!(d >= target, "pair ({v},{}) at distance {d} < {target}", v + 1);
+            let d = code.encode_u64(v).hamming_distance(&code.encode_u64(v + 1));
+            assert!(
+                d >= target,
+                "pair ({v},{}) at distance {d} < {target}",
+                v + 1
+            );
         }
     }
 
@@ -269,7 +271,10 @@ mod tests {
         let code = DistanceCode::new(p);
         assert!(matches!(
             code.try_encode(&BitVec::zeros(7)),
-            Err(CodeError::InputLength { expected: 8, actual: 7 })
+            Err(CodeError::InputLength {
+                expected: 8,
+                actual: 7
+            })
         ));
     }
 }

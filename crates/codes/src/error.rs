@@ -71,10 +71,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CodeError::InputLength { expected: 8, actual: 5 };
+        let e = CodeError::InputLength {
+            expected: 8,
+            actual: 5,
+        };
         assert!(e.to_string().contains("5"));
         assert!(e.to_string().contains("8"));
-        let e = CodeError::CarrierPayloadMismatch { carrier_weight: 24, payload_len: 20 };
+        let e = CodeError::CarrierPayloadMismatch {
+            carrier_weight: 24,
+            payload_len: 20,
+        };
         assert!(e.to_string().contains("24"));
         assert!(e.to_string().contains("20"));
     }

@@ -205,7 +205,9 @@ mod tests {
         let f = PrimeField::new(31);
         let p1 = [1u64, 2, 3]; // degree < 3
         let p2 = [5u64, 0, 3];
-        let agreements = (0..31).filter(|&x| f.eval_poly(&p1, x) == f.eval_poly(&p2, x)).count();
+        let agreements = (0..31)
+            .filter(|&x| f.eval_poly(&p1, x) == f.eval_poly(&p2, x))
+            .count();
         assert!(agreements <= 2, "{agreements} agreements exceed d-1 = 2");
     }
 

@@ -240,7 +240,10 @@ mod tests {
         let code = KautzSingleton::new(10, 3).unwrap();
         let mut seen = std::collections::HashSet::new();
         for v in 0..1024u64 {
-            assert!(seen.insert(code.encode_u64(v).to_string()), "collision at {v}");
+            assert!(
+                seen.insert(code.encode_u64(v).to_string()),
+                "collision at {v}"
+            );
         }
     }
 
@@ -285,7 +288,10 @@ mod tests {
         let bc_big = crate::BeepCodeParams::new(a, 16, 7).unwrap().length();
         let ratio_bc = bc_big as f64 / bc_small as f64;
         assert!(ratio_ks > 8.0, "KS ratio {ratio_ks} should be ≈ 16");
-        assert!((ratio_bc - 4.0).abs() < 0.01, "beep ratio {ratio_bc} should be exactly 4");
+        assert!(
+            (ratio_bc - 4.0).abs() < 0.01,
+            "beep ratio {ratio_bc} should be exactly 4"
+        );
     }
 
     #[test]

@@ -251,8 +251,14 @@ mod tests {
         let fp_paper = false_positive_rate(7, &mut rng);
         // At these sizes ≈ a third of outsiders pass (Binomial(10, 1/3) ≤ 2)
         // — catastrophic for set decoding, where *every* outsider must fail.
-        assert!(fp_small > 0.2, "c=1 false-positive rate {fp_small} unexpectedly low");
-        assert!(fp_paper < 0.02, "c=7 false-positive rate {fp_paper} unexpectedly high");
+        assert!(
+            fp_small > 0.2,
+            "c=1 false-positive rate {fp_small} unexpectedly low"
+        );
+        assert!(
+            fp_paper < 0.02,
+            "c=7 false-positive rate {fp_paper} unexpectedly high"
+        );
     }
 
     #[test]
@@ -260,7 +266,11 @@ mod tests {
         let code = DistanceCode::with_seed(DistanceCodeParams::new(12, 108).unwrap(), 5);
         let mut rng = StdRng::seed_from_u64(6);
         let check = check_distance_code(&code, 1.0 / 3.0, 300, &mut rng);
-        assert_eq!(check.violations, 0, "min distance {} < target {}", check.min_distance, check.target);
+        assert_eq!(
+            check.violations, 0,
+            "min distance {} < target {}",
+            check.min_distance, check.target
+        );
         // Random codewords concentrate near b/2.
         let b = code.params().length() as f64;
         assert!((check.mean_distance - b / 2.0).abs() < b * 0.05);
@@ -277,8 +287,7 @@ mod tests {
     fn distinct_inputs_are_distinct() {
         let mut rng = StdRng::seed_from_u64(8);
         let inputs = distinct_random_inputs(6, 30, &mut rng);
-        let set: std::collections::HashSet<String> =
-            inputs.iter().map(|b| b.to_string()).collect();
+        let set: std::collections::HashSet<String> = inputs.iter().map(|b| b.to_string()).collect();
         assert_eq!(set.len(), 30);
     }
 

@@ -102,7 +102,11 @@ mod tests {
     use crate::validate::check_bfs_tree;
     use beep_net::{topology, Graph};
 
-    fn run_bfs(graph: &Graph, root: NodeId, seed: u64) -> (Vec<Option<usize>>, Vec<Option<NodeId>>) {
+    fn run_bfs(
+        graph: &Graph,
+        root: NodeId,
+        seed: u64,
+    ) -> (Vec<Option<usize>>, Vec<Option<NodeId>>) {
         let n = graph.node_count();
         let bits = BfsTree::required_message_bits(n);
         let runner = BroadcastRunner::new(graph, bits, seed);

@@ -184,8 +184,9 @@ mod tests {
         let bits = RandomColoring::required_message_bits(n);
         let iters = RandomColoring::suggested_iterations(n);
         let runner = BroadcastRunner::new(graph, bits, seed);
-        let mut algos: Vec<Box<RandomColoring>> =
-            (0..n).map(|_| Box::new(RandomColoring::new(iters))).collect();
+        let mut algos: Vec<Box<RandomColoring>> = (0..n)
+            .map(|_| Box::new(RandomColoring::new(iters)))
+            .collect();
         runner
             .run_to_completion(&mut algos, RandomColoring::rounds_for(iters))
             .unwrap_or_else(|e| panic!("coloring run failed: {e}"));

@@ -155,7 +155,9 @@ impl Distance2Coloring {
         {
             return true;
         }
-        self.neighbor_finals.iter().any(|(&w, &c)| w != asker && c == color)
+        self.neighbor_finals
+            .iter()
+            .any(|(&w, &c)| w != asker && c == color)
     }
 }
 

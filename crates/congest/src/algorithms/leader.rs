@@ -50,7 +50,9 @@ impl LeaderElection {
     /// Whether this node considers itself the leader.
     #[must_use]
     pub fn is_leader(&self) -> bool {
-        self.ctx.as_ref().is_some_and(|c| c.node as u64 == self.best)
+        self.ctx
+            .as_ref()
+            .is_some_and(|c| c.node as u64 == self.best)
     }
 }
 
@@ -103,8 +105,9 @@ mod tests {
         let n = graph.node_count();
         let bits = LeaderElection::required_message_bits(n);
         let runner = BroadcastRunner::new(graph, bits, 0);
-        let mut algos: Vec<Box<LeaderElection>> =
-            (0..n).map(|_| Box::new(LeaderElection::new(rounds))).collect();
+        let mut algos: Vec<Box<LeaderElection>> = (0..n)
+            .map(|_| Box::new(LeaderElection::new(rounds)))
+            .collect();
         runner.run_to_completion(&mut algos, rounds + 1).unwrap();
         algos.iter().map(|a| a.output()).collect()
     }

@@ -356,8 +356,9 @@ mod tests {
         let bits = MaximalMatching::required_message_bits(n);
         let iters = MaximalMatching::suggested_iterations(n);
         let runner = BroadcastRunner::new(graph, bits, seed);
-        let mut algos: Vec<Box<MaximalMatching>> =
-            (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+        let mut algos: Vec<Box<MaximalMatching>> = (0..n)
+            .map(|_| Box::new(MaximalMatching::new(iters)))
+            .collect();
         runner
             .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
             .unwrap_or_else(|e| panic!("matching run failed: {e}"));
@@ -429,8 +430,9 @@ mod tests {
             let bits = MaximalMatching::required_message_bits(n);
             let iters = MaximalMatching::suggested_iterations(n);
             let runner = BroadcastRunner::new(&g, bits, 7);
-            let mut algos: Vec<Box<MaximalMatching>> =
-                (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+            let mut algos: Vec<Box<MaximalMatching>> = (0..n)
+                .map(|_| Box::new(MaximalMatching::new(iters)))
+                .collect();
             let report = runner
                 .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
                 .unwrap();

@@ -104,7 +104,11 @@ impl BroadcastAlgorithm for LubyMis {
         if round.is_multiple_of(2) {
             // Value round.
             let bits = Self::value_bits(ctx.n).min(63);
-            let value = self.rng.as_mut().expect("seeded").random_range(0..(1u64 << bits));
+            let value = self
+                .rng
+                .as_mut()
+                .expect("seeded")
+                .random_range(0..(1u64 << bits));
             self.my_value = Some(value);
             self.is_min = true; // until a smaller neighbor value arrives
             Some(

@@ -42,7 +42,11 @@ pub enum CongestError {
 impl fmt::Display for CongestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CongestError::MessageWidth { expected, actual, node } => write!(
+            CongestError::MessageWidth {
+                expected,
+                actual,
+                node,
+            } => write!(
                 f,
                 "node {node} emitted a {actual}-bit message; the model fixes {expected} bits"
             ),
@@ -67,10 +71,16 @@ mod tests {
 
     #[test]
     fn display_mentions_numbers() {
-        let e = CongestError::MessageWidth { expected: 32, actual: 40, node: 3 };
+        let e = CongestError::MessageWidth {
+            expected: 32,
+            actual: 40,
+            node: 3,
+        };
         for needle in ["32", "40", "3"] {
             assert!(e.to_string().contains(needle));
         }
-        assert!(CongestError::NotANeighbor { from: 1, to: 2 }.to_string().contains("non-neighbor"));
+        assert!(CongestError::NotANeighbor { from: 1, to: 2 }
+            .to_string()
+            .contains("non-neighbor"));
     }
 }

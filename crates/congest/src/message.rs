@@ -26,7 +26,9 @@ impl Message {
     /// A zero message of the given width.
     #[must_use]
     pub fn zero(width: usize) -> Self {
-        Message { bits: vec![false; width] }
+        Message {
+            bits: vec![false; width],
+        }
     }
 
     /// The message width in bits.
@@ -50,7 +52,10 @@ impl Message {
     /// Begins reading structured fields from the front of the message.
     #[must_use]
     pub fn reader(&self) -> MessageReader<'_> {
-        MessageReader { bits: &self.bits, cursor: 0 }
+        MessageReader {
+            bits: &self.bits,
+            cursor: 0,
+        }
     }
 }
 
@@ -124,7 +129,10 @@ impl MessageReader<'_> {
     ///
     /// Panics on reading past the end of the message.
     pub fn read_uint(&mut self, width: usize) -> u64 {
-        assert!(self.cursor + width <= self.bits.len(), "message read out of bounds");
+        assert!(
+            self.cursor + width <= self.bits.len(),
+            "message read out of bounds"
+        );
         let mut value = 0u64;
         for i in 0..width {
             if self.bits[self.cursor + i] && i < 64 {

@@ -98,7 +98,13 @@ mod tests {
 
     #[test]
     fn ctx_id_bits() {
-        let ctx = NodeCtx { node: 0, n: 100, degree: 3, message_bits: 64, seed: 1 };
+        let ctx = NodeCtx {
+            node: 0,
+            n: 100,
+            degree: 3,
+            message_bits: 64,
+            seed: 1,
+        };
         assert_eq!(ctx.id_bits(), 7);
     }
 }

@@ -33,7 +33,11 @@ impl<'g> BroadcastRunner<'g> {
     /// via its [`NodeCtx`]).
     #[must_use]
     pub fn new(graph: &'g Graph, message_bits: usize, seed: u64) -> Self {
-        BroadcastRunner { graph, message_bits, seed }
+        BroadcastRunner {
+            graph,
+            message_bits,
+            seed,
+        }
     }
 
     /// The fixed message width.
@@ -53,7 +57,10 @@ impl<'g> BroadcastRunner<'g> {
     ) -> Result<(), CongestError> {
         let n = self.graph.node_count();
         if algorithms.len() != n {
-            return Err(CongestError::NodeCount { expected: n, actual: algorithms.len() });
+            return Err(CongestError::NodeCount {
+                expected: n,
+                actual: algorithms.len(),
+            });
         }
         for (v, algo) in algorithms.iter_mut().enumerate() {
             algo.init(&self.node_ctx(v));
@@ -88,7 +95,10 @@ impl<'g> BroadcastRunner<'g> {
     ) -> Result<u64, CongestError> {
         let n = self.graph.node_count();
         if algorithms.len() != n {
-            return Err(CongestError::NodeCount { expected: n, actual: algorithms.len() });
+            return Err(CongestError::NodeCount {
+                expected: n,
+                actual: algorithms.len(),
+            });
         }
         let mut outgoing: Vec<Option<Message>> = Vec::with_capacity(n);
         for (v, algo) in algorithms.iter_mut().enumerate() {
@@ -136,12 +146,18 @@ impl<'g> BroadcastRunner<'g> {
         let mut deliveries = 0u64;
         for round in 0..max_rounds {
             if algorithms.iter().all(|a| a.is_done()) {
-                return Ok(RunReport { rounds: round, deliveries });
+                return Ok(RunReport {
+                    rounds: round,
+                    deliveries,
+                });
             }
             deliveries += self.run_round(round, algorithms)?;
         }
         if algorithms.iter().all(|a| a.is_done()) {
-            Ok(RunReport { rounds: max_rounds, deliveries })
+            Ok(RunReport {
+                rounds: max_rounds,
+                deliveries,
+            })
         } else {
             Err(CongestError::RoundBudgetExhausted { budget: max_rounds })
         }
@@ -160,7 +176,11 @@ impl<'g> CongestRunner<'g> {
     /// Creates a runner over `graph` with the given exact message width.
     #[must_use]
     pub fn new(graph: &'g Graph, message_bits: usize, seed: u64) -> Self {
-        CongestRunner { graph, message_bits, seed }
+        CongestRunner {
+            graph,
+            message_bits,
+            seed,
+        }
     }
 
     /// The context the runner hands node `v`.
@@ -189,7 +209,10 @@ impl<'g> CongestRunner<'g> {
     ) -> Result<RunReport, CongestError> {
         let n = self.graph.node_count();
         if algorithms.len() != n {
-            return Err(CongestError::NodeCount { expected: n, actual: algorithms.len() });
+            return Err(CongestError::NodeCount {
+                expected: n,
+                actual: algorithms.len(),
+            });
         }
         for (v, algo) in algorithms.iter_mut().enumerate() {
             algo.init(&self.node_ctx(v));
@@ -197,7 +220,10 @@ impl<'g> CongestRunner<'g> {
         let mut deliveries = 0u64;
         for round in 0..max_rounds {
             if algorithms.iter().all(|a| a.is_done()) {
-                return Ok(RunReport { rounds: round, deliveries });
+                return Ok(RunReport {
+                    rounds: round,
+                    deliveries,
+                });
             }
             let mut inboxes: Vec<Vec<(usize, Message)>> = vec![Vec::new(); n];
             for (v, algo) in algorithms.iter_mut().enumerate() {
@@ -223,7 +249,10 @@ impl<'g> CongestRunner<'g> {
             }
         }
         if algorithms.iter().all(|a| a.is_done()) {
-            Ok(RunReport { rounds: max_rounds, deliveries })
+            Ok(RunReport {
+                rounds: max_rounds,
+                deliveries,
+            })
         } else {
             Err(CongestError::RoundBudgetExhausted { budget: max_rounds })
         }
@@ -245,7 +274,11 @@ mod tests {
     }
     impl IdOnce {
         fn new() -> Self {
-            IdOnce { ctx: None, heard: Vec::new(), done: false }
+            IdOnce {
+                ctx: None,
+                heard: Vec::new(),
+                done: false,
+            }
         }
     }
     impl BroadcastAlgorithm for IdOnce {
@@ -308,7 +341,12 @@ mod tests {
         let g = topology::complete(3).unwrap();
         let runner = BroadcastRunner::new(&g, 8, 0);
         let mut algos: Vec<Box<Silent>> = (0..3)
-            .map(|_| Box::new(Silent { done: false, inbox_sizes: Vec::new() }))
+            .map(|_| {
+                Box::new(Silent {
+                    done: false,
+                    inbox_sizes: Vec::new(),
+                })
+            })
             .collect();
         let report = runner.run_to_completion(&mut algos, 5).unwrap();
         assert_eq!(report.deliveries, 0);
@@ -333,7 +371,11 @@ mod tests {
         let mut algos: Vec<Box<WrongWidth>> = vec![Box::new(WrongWidth), Box::new(WrongWidth)];
         assert_eq!(
             runner.run_to_completion(&mut algos, 5),
-            Err(CongestError::MessageWidth { expected: 8, actual: 7, node: 0 })
+            Err(CongestError::MessageWidth {
+                expected: 8,
+                actual: 7,
+                node: 0
+            })
         );
     }
 
@@ -344,7 +386,10 @@ mod tests {
         let mut algos: Vec<Box<IdOnce>> = vec![Box::new(IdOnce::new())];
         assert_eq!(
             runner.run_to_completion(&mut algos, 5),
-            Err(CongestError::NodeCount { expected: 3, actual: 1 })
+            Err(CongestError::NodeCount {
+                expected: 3,
+                actual: 1
+            })
         );
     }
 
@@ -413,7 +458,13 @@ mod tests {
         let g = topology::path(3).unwrap();
         let runner = CongestRunner::new(&g, 16, 0);
         let mut algos: Vec<Box<Addressed>> = (0..3)
-            .map(|_| Box::new(Addressed { ctx: None, heard: Vec::new(), done: false }))
+            .map(|_| {
+                Box::new(Addressed {
+                    ctx: None,
+                    heard: Vec::new(),
+                    done: false,
+                })
+            })
             .collect();
         runner.run_to_completion(&mut algos, 5).unwrap();
         // Node 1 hears from 0 (payload 0*100+1) and from 2 (payload 2*100+1).
@@ -437,8 +488,11 @@ mod tests {
         }
         let g = topology::path(3).unwrap(); // 0-1-2: 0 and 2 not adjacent
         let runner = CongestRunner::new(&g, 8, 0);
-        let mut algos: Vec<Box<BadAddress>> =
-            vec![Box::new(BadAddress), Box::new(BadAddress), Box::new(BadAddress)];
+        let mut algos: Vec<Box<BadAddress>> = vec![
+            Box::new(BadAddress),
+            Box::new(BadAddress),
+            Box::new(BadAddress),
+        ];
         assert_eq!(
             runner.run_to_completion(&mut algos, 5),
             Err(CongestError::NotANeighbor { from: 0, to: 2 })

@@ -146,7 +146,9 @@ pub fn check_coloring(graph: &Graph, colors: &[Option<u64>]) -> Vec<ColoringViol
     for (v, &c) in colors.iter().enumerate() {
         match c {
             None => violations.push(ColoringViolation::Uncolored { v }),
-            Some(c) if c > palette => violations.push(ColoringViolation::OutOfPalette { v, color: c }),
+            Some(c) if c > palette => {
+                violations.push(ColoringViolation::OutOfPalette { v, color: c })
+            }
             Some(_) => {}
         }
     }
@@ -228,7 +230,9 @@ pub fn check_bfs_tree(
                     violations.push(format!("node {v}: parent {p} not one step closer"));
                 }
             }
-            (Some(d), None) if d > 0 => violations.push(format!("node {v}: distance {d} but no parent")),
+            (Some(d), None) if d > 0 => {
+                violations.push(format!("node {v}: distance {d} but no parent"))
+            }
             _ => {}
         }
     }
@@ -260,7 +264,9 @@ mod tests {
         let g = topology::path(3).unwrap();
         let output = vec![Some(2), None, Some(0)];
         let v = check_matching(&g, &output);
-        assert!(v.iter().any(|x| matches!(x, MatchingViolation::NotAnEdge { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, MatchingViolation::NotAnEdge { .. })));
     }
 
     #[test]
@@ -303,11 +309,15 @@ mod tests {
     fn coloring_detects_violations() {
         let g = topology::cycle(4).unwrap(); // Δ = 2, palette {0,1,2}
         let v = check_coloring(&g, &[Some(0), Some(0), Some(1), Some(1)]);
-        assert!(v.iter().any(|x| matches!(x, ColoringViolation::Monochrome { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ColoringViolation::Monochrome { .. })));
         let v = check_coloring(&g, &[None, Some(1), Some(0), Some(1)]);
         assert_eq!(v, vec![ColoringViolation::Uncolored { v: 0 }]);
         let v = check_coloring(&g, &[Some(9), Some(1), Some(0), Some(1)]);
-        assert!(v.iter().any(|x| matches!(x, ColoringViolation::OutOfPalette { color: 9, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ColoringViolation::OutOfPalette { color: 9, .. })));
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property tests: every algorithm in the library produces validated
 //! output on arbitrary random graphs under the native runners.
 
-use beep_congest::algorithms::{
-    Distance2Coloring, LubyMis, MaximalMatching, RandomColoring,
-};
+use beep_congest::algorithms::{Distance2Coloring, LubyMis, MaximalMatching, RandomColoring};
 use beep_congest::{validate, BroadcastRunner, CongestRunner};
 use beep_net::Graph;
 use proptest::prelude::*;
@@ -12,8 +10,7 @@ fn arb_graph() -> impl Strategy<Value = (Graph, u64)> {
     ((2usize..14), any::<u64>()).prop_flat_map(|(n, seed)| {
         let max_edges = n * (n - 1) / 2;
         prop::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|(a, b)| a != b).collect();
             (Graph::from_edges(n, &edges).expect("valid"), seed)
         })
     })

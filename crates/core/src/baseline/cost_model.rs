@@ -57,8 +57,7 @@ pub fn ours_congest_overhead(expansion: usize, delta: usize, message_bits: usize
 #[must_use]
 pub fn matching_beeps_prior(delta: usize, n: usize) -> f64 {
     let d = delta as f64;
-    agl_setup(delta, n)
-        + (d + log_star(n as f64)) * agl_congest_overhead(delta, n)
+    agl_setup(delta, n) + (d + log_star(n as f64)) * agl_congest_overhead(delta, n)
 }
 
 /// Total beep rounds for maximal matching via this paper (Theorem 21):

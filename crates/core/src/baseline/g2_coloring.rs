@@ -86,7 +86,10 @@ mod tests {
             ("bipartite", topology::complete_bipartite(5, 5).unwrap()),
         ] {
             let coloring = distance2_coloring(&g);
-            assert!(verify_distance2_coloring(&g, &coloring).is_empty(), "{name}");
+            assert!(
+                verify_distance2_coloring(&g, &coloring).is_empty(),
+                "{name}"
+            );
             let delta = g.max_degree();
             assert!(
                 num_colors(&coloring) <= delta * delta + 1,

@@ -4,9 +4,9 @@
 use crate::error::SimError;
 use crate::round_sim::RoundOutcome;
 use crate::stats::RoundStats;
+use beep_bits::BitVec;
 use beep_congest::{BroadcastAlgorithm, CongestError, Message, NodeCtx};
 use beep_net::{Action, BeepNetwork, Graph, Noise};
-use beep_bits::BitVec;
 
 use super::g2_coloring::{distance2_coloring, num_colors};
 
@@ -82,7 +82,13 @@ impl TdmaSimulator {
             let gap = 0.5 - epsilon;
             ((-target.ln()) / (2.0 * gap * gap)).ceil() as usize | 1 // odd for clean majority
         };
-        TdmaSimulator { coloring, colors, message_bits, repetition, epsilon }
+        TdmaSimulator {
+            coloring,
+            colors,
+            message_bits,
+            repetition,
+            epsilon,
+        }
     }
 
     /// The number of color classes (slots per simulated round).
@@ -118,7 +124,10 @@ impl TdmaSimulator {
     ) -> Result<RoundOutcome, SimError> {
         let n = net.graph().node_count();
         if outgoing.len() != n {
-            return Err(SimError::OutgoingCount { expected: n, actual: outgoing.len() });
+            return Err(SimError::OutgoingCount {
+                expected: n,
+                actual: outgoing.len(),
+            });
         }
         let net_eps = net.noise().epsilon();
         if (net_eps - self.epsilon).abs() > 1e-9 {
@@ -180,7 +189,10 @@ impl TdmaSimulator {
         // Decode: per node, per neighbor slot, majority-vote.
         let graph = net.graph();
         let half = self.repetition / 2;
-        let mut stats = RoundStats { rounds: 1, ..RoundStats::default() };
+        let mut stats = RoundStats {
+            rounds: 1,
+            ..RoundStats::default()
+        };
         stats.transmitters = outgoing.iter().flatten().count();
         let mut delivered = Vec::with_capacity(n);
         for (v, heard_v) in heard.iter().enumerate() {
@@ -245,7 +257,11 @@ impl TdmaSimulator {
     ) -> Result<crate::SimReport, SimError> {
         let n = graph.node_count();
         if algorithms.len() != n {
-            return Err(CongestError::NodeCount { expected: n, actual: algorithms.len() }.into());
+            return Err(CongestError::NodeCount {
+                expected: n,
+                actual: algorithms.len(),
+            }
+            .into());
         }
         let mut net = BeepNetwork::new(graph.clone(), noise, seed ^ 0x7D7A);
         for (v, algo) in algorithms.iter_mut().enumerate() {
@@ -263,8 +279,10 @@ impl TdmaSimulator {
             if algorithms.iter().all(|a| a.is_done()) {
                 break;
             }
-            let outgoing: Vec<Option<Message>> =
-                algorithms.iter_mut().map(|a| a.round_message(round)).collect();
+            let outgoing: Vec<Option<Message>> = algorithms
+                .iter_mut()
+                .map(|a| a.round_message(round))
+                .collect();
             let outcome = self.simulate_round(&mut net, &outgoing)?;
             for (v, algo) in algorithms.iter_mut().enumerate() {
                 algo.on_receive(round, &outcome.delivered[v]);
@@ -363,7 +381,10 @@ mod tests {
             .unwrap();
         assert!(algos.iter().all(|a| a.output() == Some(0x5A)));
         assert!(report.stats.all_perfect());
-        assert_eq!(report.beep_rounds, report.congest_rounds * report.beep_rounds_per_congest_round);
+        assert_eq!(
+            report.beep_rounds,
+            report.congest_rounds * report.beep_rounds_per_congest_round
+        );
     }
 
     #[test]

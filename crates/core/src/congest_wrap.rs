@@ -7,9 +7,7 @@
 //! `⟨dest, sender, payload⟩` so the receiver also learns the port, matching
 //! the CONGEST reception interface of `beep-congest`.
 
-use beep_congest::{
-    BroadcastAlgorithm, CongestAlgorithm, Message, MessageWriter, NodeCtx,
-};
+use beep_congest::{BroadcastAlgorithm, CongestAlgorithm, Message, MessageWriter, NodeCtx};
 use beep_net::NodeId;
 
 /// Adapts a [`CongestAlgorithm`] into a [`BroadcastAlgorithm`].
@@ -89,7 +87,9 @@ impl<A: CongestAlgorithm> CongestAdapter<A> {
     /// Maps a broadcast round number to `(congest_round, sub_round)`;
     /// `None` for the ID round.
     fn schedule(&self, round: usize) -> Option<(usize, usize)> {
-        round.checked_sub(1).map(|r| (r / self.delta, r % self.delta))
+        round
+            .checked_sub(1)
+            .map(|r| (r / self.delta, r % self.delta))
     }
 }
 
@@ -97,7 +97,10 @@ impl<A: CongestAlgorithm> BroadcastAlgorithm for CongestAdapter<A> {
     fn init(&mut self, ctx: &NodeCtx) {
         self.ctx = Some(*ctx);
         // The inner algorithm sees the CONGEST message width.
-        let inner_ctx = NodeCtx { message_bits: self.inner_bits, ..*ctx };
+        let inner_ctx = NodeCtx {
+            message_bits: self.inner_bits,
+            ..*ctx
+        };
         self.inner.init(&inner_ctx);
     }
 
@@ -202,7 +205,12 @@ mod tests {
     }
     impl Echo {
         fn new() -> Self {
-            Echo { ctx: None, got_round0: Vec::new(), got_round1: Vec::new(), done: false }
+            Echo {
+                ctx: None,
+                got_round0: Vec::new(),
+                got_round1: Vec::new(),
+                done: false,
+            }
         }
     }
     impl CongestAlgorithm for Echo {
@@ -219,7 +227,12 @@ mod tests {
                         .into_iter()
                         .filter(|&u| u < ctx.n && u != me)
                         .map(|u| {
-                            (u, MessageWriter::new().push_uint(me as u64 + 100, 16).finish(ctx.message_bits))
+                            (
+                                u,
+                                MessageWriter::new()
+                                    .push_uint(me as u64 + 100, 16)
+                                    .finish(ctx.message_bits),
+                            )
                         })
                         .collect()
                 }
@@ -227,7 +240,12 @@ mod tests {
                     .got_round0
                     .iter()
                     .map(|&(from, val)| {
-                        (from, MessageWriter::new().push_uint(val + 1, 16).finish(self.ctx.as_ref().unwrap().message_bits))
+                        (
+                            from,
+                            MessageWriter::new()
+                                .push_uint(val + 1, 16)
+                                .finish(self.ctx.as_ref().unwrap().message_bits),
+                        )
                     })
                     .collect(),
                 _ => Vec::new(),
@@ -282,16 +300,21 @@ mod tests {
             .map(|_| Box::new(CongestAdapter::new(Echo::new(), delta, inner_bits)))
             .collect();
         broadcast_runner
-            .run_to_completion(&mut adapted, CongestAdapter::<Echo>::broadcast_rounds_for(10, delta))
+            .run_to_completion(
+                &mut adapted,
+                CongestAdapter::<Echo>::broadcast_rounds_for(10, delta),
+            )
             .unwrap();
 
         for v in 0..n {
             assert_eq!(
-                native[v].got_round0, adapted[v].inner().got_round0,
+                native[v].got_round0,
+                adapted[v].inner().got_round0,
                 "round-0 inbox of node {v}"
             );
             assert_eq!(
-                native[v].got_round1, adapted[v].inner().got_round1,
+                native[v].got_round1,
+                adapted[v].inner().got_round1,
                 "round-1 inbox of node {v}"
             );
             assert_eq!(native[v].got_round1, expected_round1(v, n), "node {v} echo");
@@ -310,9 +333,7 @@ mod tests {
         let mut adapted: Vec<Box<CongestAdapter<Echo>>> = (0..n)
             .map(|_| Box::new(CongestAdapter::new(Echo::new(), delta, inner_bits)))
             .collect();
-        let report = runner
-            .run_to_completion(&mut adapted, 100)
-            .unwrap();
+        let report = runner.run_to_completion(&mut adapted, 100).unwrap();
         // Echo needs 2 CONGEST rounds → 1 + 2Δ broadcast rounds.
         assert_eq!(report.rounds, 1 + 2 * delta);
     }
@@ -320,7 +341,10 @@ mod tests {
     #[test]
     fn required_bits_formula() {
         // n = 100 → id fields of 7 bits each.
-        assert_eq!(CongestAdapter::<Echo>::required_message_bits(100, 20), 14 + 20);
+        assert_eq!(
+            CongestAdapter::<Echo>::required_message_bits(100, 20),
+            14 + 20
+        );
         assert_eq!(CongestAdapter::<Echo>::broadcast_rounds_for(5, 4), 21);
     }
 }

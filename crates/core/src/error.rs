@@ -84,7 +84,10 @@ mod tests {
         let e: SimError = beep_codes::CodeError::NoCandidates.into();
         assert!(e.to_string().contains("code construction"));
         assert!(Error::source(&e).is_some());
-        let e = SimError::NoiseMismatch { params_epsilon: 0.1, network_epsilon: 0.2 };
+        let e = SimError::NoiseMismatch {
+            params_epsilon: 0.1,
+            network_epsilon: 0.2,
+        };
         assert!(e.to_string().contains("0.1"));
         assert!(Error::source(&e).is_none());
     }

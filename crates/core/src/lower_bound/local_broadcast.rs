@@ -49,7 +49,12 @@ impl LocalBroadcastInstance {
                 inputs.insert((u, v), BitVec::zeros(message_bits));
             }
         }
-        LocalBroadcastInstance { delta, message_bits, graph, inputs }
+        LocalBroadcastInstance {
+            delta,
+            message_bits,
+            graph,
+            inputs,
+        }
     }
 
     /// Node ids of the left part.

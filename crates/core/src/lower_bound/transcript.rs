@@ -170,7 +170,10 @@ mod tests {
         let report = tdma_local_broadcast_census(3, 4, 10, 100, 4);
         assert_eq!(report.input_bits, 36);
         assert_eq!(report.recovered_bits, 10);
-        assert_eq!(report.success_rate, 0.0, "26 guessed bits cannot all be right");
+        assert_eq!(
+            report.success_rate, 0.0,
+            "26 guessed bits cannot all be right"
+        );
     }
 
     #[test]
@@ -178,7 +181,11 @@ mod tests {
         // With T = 3 there are at most 2³ = 8 distinct transcripts no
         // matter how many random instances we draw.
         let report = tdma_local_broadcast_census(2, 4, 3, 200, 5);
-        assert!(report.distinct_transcripts <= 8, "{}", report.distinct_transcripts);
+        assert!(
+            report.distinct_transcripts <= 8,
+            "{}",
+            report.distinct_transcripts
+        );
         // And with enough trials the bound is tight for random inputs.
         assert!(report.distinct_transcripts >= 6);
     }

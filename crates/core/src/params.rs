@@ -135,14 +135,22 @@ impl SimulationParams {
     ///
     /// Propagates [`beep_codes::CodeError`] if the implied parameters are
     /// invalid (e.g. overflowing lengths).
-    pub fn codes_for(&self, message_bits: usize, max_degree: usize) -> Result<RoundCodes, SimError> {
+    pub fn codes_for(
+        &self,
+        message_bits: usize,
+        max_degree: usize,
+    ) -> Result<RoundCodes, SimError> {
         let c = self.expansion;
         let beep_params = BeepCodeParams::new(c * message_bits, max_degree + 1, c)?;
         let beep = BeepCode::with_seed(beep_params, self.code_seed);
         let dist_params = DistanceCodeParams::with_length(message_bits, beep_params.weight())?;
         let distance = DistanceCode::with_seed(dist_params, self.code_seed);
         let combined = CombinedCode::new(beep.clone(), distance.clone())?;
-        Ok(RoundCodes { beep, distance, combined })
+        Ok(RoundCodes {
+            beep,
+            distance,
+            combined,
+        })
     }
 
     /// Beep rounds per simulated Broadcast CONGEST round:
@@ -224,7 +232,9 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let p = SimulationParams::calibrated(0.1).with_code_seed(9).with_decoys(12);
+        let p = SimulationParams::calibrated(0.1)
+            .with_code_seed(9)
+            .with_decoys(12);
         assert_eq!(p.code_seed, 9);
         assert_eq!(p.decoys, 12);
     }

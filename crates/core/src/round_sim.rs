@@ -8,6 +8,26 @@ use beep_codes::{MessageDecoder, SetDecoder};
 use beep_congest::{CongestError, Message};
 use beep_net::{Action, BeepNetwork};
 use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Draws a uniform `a_bits`-bit string not contained in `avoid`.
+///
+/// The paper draws `r_v` (and models decoys) uniformly and relies on
+/// distinctness holding w.h.p. because `a = c·B = Θ(log n)`. At the toy
+/// scales the test suites simulate, `{0,1}^a` is small enough for uniform
+/// draws to collide with noticeable probability, so distinctness is
+/// enforced by resampling — bounded, in case the space is nearly
+/// saturated, in which case the last draw is returned as-is.
+fn sample_avoiding(a_bits: usize, avoid: &HashSet<BitVec>, rng: &mut StdRng) -> BitVec {
+    let mut r = BitVec::random_uniform(a_bits, rng);
+    for _ in 0..64 {
+        if !avoid.contains(&r) {
+            break;
+        }
+        r = BitVec::random_uniform(a_bits, rng);
+    }
+    r
+}
 
 /// The Algorithm 1 round simulator: holds the shared public codes and
 /// executes one Broadcast CONGEST communication round on a
@@ -45,7 +65,11 @@ impl BroadcastSimulator {
         max_degree: usize,
     ) -> Result<Self, SimError> {
         let codes = params.codes_for(message_bits, max_degree)?;
-        Ok(BroadcastSimulator { params, codes, message_bits })
+        Ok(BroadcastSimulator {
+            params,
+            codes,
+            message_bits,
+        })
     }
 
     /// The shared code bundle.
@@ -88,7 +112,10 @@ impl BroadcastSimulator {
     ) -> Result<RoundOutcome, SimError> {
         let n = net.graph().node_count();
         if outgoing.len() != n {
-            return Err(SimError::OutgoingCount { expected: n, actual: outgoing.len() });
+            return Err(SimError::OutgoingCount {
+                expected: n,
+                actual: outgoing.len(),
+            });
         }
         let net_eps = net.noise().epsilon();
         if (net_eps - self.params.epsilon).abs() > 1e-9 {
@@ -110,15 +137,20 @@ impl BroadcastSimulator {
             }
         }
 
-        // --- Transmit side: draw r_v, build both frames.
+        // --- Transmit side: draw r_v, build both frames. Colliding r_v
+        // draws would make two transmitters share a carrier codeword and
+        // garble both phase-2 payloads, so draws avoid each other (see
+        // `sample_avoiding`).
         let a_bits = self.codes.beep.params().input_bits();
+        let mut drawn: HashSet<BitVec> = HashSet::new();
         let mut inputs: Vec<Option<BitVec>> = Vec::with_capacity(n);
         let mut phase1_frames: Vec<Option<BitVec>> = Vec::with_capacity(n);
         let mut phase2_frames: Vec<Option<BitVec>> = Vec::with_capacity(n);
         for msg in outgoing {
             match msg {
                 Some(m) => {
-                    let r = BitVec::random_uniform(a_bits, rng);
+                    let r = sample_avoiding(a_bits, &drawn, rng);
+                    drawn.insert(r.clone());
                     let carrier = self.codes.beep.encode(&r);
                     let payload = self.codes.distance.encode(&m.to_bitvec());
                     let combined = beep_codes::CombinedCode::combine(&carrier, &payload)
@@ -140,7 +172,7 @@ impl BroadcastSimulator {
         let heard2 = self.run_phase(net, &phase2_frames)?;
 
         // --- Decode at every node.
-        self.decode_all(net, outgoing, &inputs, &heard1, &heard2, rng)
+        self.decode_all(net, outgoing, &inputs, &drawn, &heard1, &heard2, rng)
     }
 
     /// Transmits one frame per node (None = listen throughout), returning
@@ -179,6 +211,7 @@ impl BroadcastSimulator {
         net: &BeepNetwork,
         outgoing: &[Option<Message>],
         inputs: &[Option<BitVec>],
+        transmitted: &HashSet<BitVec>,
         heard1: &[BitVec],
         heard2: &[BitVec],
         rng: &mut StdRng,
@@ -196,28 +229,37 @@ impl BroadcastSimulator {
         let mut candidates = Vec::new();
         for (v, input) in inputs.iter().enumerate() {
             if let Some(r) = input {
-                candidates.push(Candidate { node: v, codeword: self.codes.beep.encode(r) });
+                candidates.push(Candidate {
+                    node: v,
+                    codeword: self.codes.beep.encode(r),
+                });
             }
         }
         // Message candidates for phase-2 nearest-codeword decoding.
-        let mut message_pool: Vec<BitVec> = outgoing
-            .iter()
-            .flatten()
-            .map(Message::to_bitvec)
-            .collect();
+        let mut message_pool: Vec<BitVec> =
+            outgoing.iter().flatten().map(Message::to_bitvec).collect();
         message_pool.sort_unstable_by_key(|b: &BitVec| b.to_string());
         message_pool.dedup();
         // Shared decoys: fresh random inputs (≡ non-transmitted codewords)
-        // and fresh random messages.
+        // and fresh random messages. A decoy colliding with a genuinely
+        // transmitted r_v would probe the decoder's true-positive path, not
+        // the Lemma 8/9 false-positive event, so decoys avoid the
+        // transmitted set (see `sample_avoiding`).
         let a_bits = self.codes.beep.params().input_bits();
         let decoy_codewords: Vec<BitVec> = (0..self.params.decoys)
-            .map(|_| self.codes.beep.encode(&BitVec::random_uniform(a_bits, rng)))
+            .map(|_| {
+                let decoy_input = sample_avoiding(a_bits, transmitted, rng);
+                self.codes.beep.encode(&decoy_input)
+            })
             .collect();
         for _ in 0..self.params.decoys {
             message_pool.push(BitVec::random_uniform(self.message_bits, rng));
         }
 
-        let mut stats = RoundStats { rounds: 1, ..RoundStats::default() };
+        let mut stats = RoundStats {
+            rounds: 1,
+            ..RoundStats::default()
+        };
         stats.transmitters = candidates.len();
         let mut delivered: Vec<Vec<Message>> = Vec::with_capacity(n);
 
@@ -241,9 +283,8 @@ impl BroadcastSimulator {
                 }
                 // Phase 2: project ỹ_v onto the accepted codeword's
                 // 1-positions and nearest-codeword decode.
-                let projected =
-                    beep_codes::CombinedCode::project(&heard2[v], &cand.codeword)
-                        .expect("heard string has phase length");
+                let projected = beep_codes::CombinedCode::project(&heard2[v], &cand.codeword)
+                    .expect("heard string has phase length");
                 let decoded = msg_decoder
                     .decode_candidates(&projected, message_pool.iter())
                     .expect("message pool is non-empty when a candidate transmitted");
@@ -267,7 +308,9 @@ impl BroadcastSimulator {
                     stats.decoy_acceptances += 1;
                     let projected = beep_codes::CombinedCode::project(&heard2[v], decoy)
                         .expect("heard string has phase length");
-                    if let Ok(decoded) = msg_decoder.decode_candidates(&projected, message_pool.iter()) {
+                    if let Ok(decoded) =
+                        msg_decoder.decode_candidates(&projected, message_pool.iter())
+                    {
                         inbox.push(Message::from_bits(&decoded.message));
                     }
                 }
@@ -379,7 +422,10 @@ mod tests {
                 perfect += 1;
             }
         }
-        assert!(perfect >= trials - 1, "only {perfect}/{trials} perfect rounds");
+        assert!(
+            perfect >= trials - 1,
+            "only {perfect}/{trials} perfect rounds"
+        );
     }
 
     #[test]
@@ -399,8 +445,16 @@ mod tests {
         let sim = BroadcastSimulator::new(params, B, 2).unwrap();
         let mut net = BeepNetwork::new(graph, Noise::Noiseless, 0);
         let mut rng = StdRng::seed_from_u64(0);
-        let err = sim.simulate_round(&mut net, &[None, None], &mut rng).unwrap_err();
-        assert_eq!(err, SimError::OutgoingCount { expected: 3, actual: 2 });
+        let err = sim
+            .simulate_round(&mut net, &[None, None], &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OutgoingCount {
+                expected: 3,
+                actual: 2
+            }
+        );
     }
 
     #[test]
@@ -414,7 +468,10 @@ mod tests {
         let err = sim
             .simulate_round(&mut net, &[Some(bad), None], &mut rng)
             .unwrap_err();
-        assert!(matches!(err, SimError::Congest(CongestError::MessageWidth { .. })));
+        assert!(matches!(
+            err,
+            SimError::Congest(CongestError::MessageWidth { .. })
+        ));
     }
 
     #[test]
@@ -424,7 +481,9 @@ mod tests {
         let sim = BroadcastSimulator::new(params, B, 1).unwrap();
         let mut net = BeepNetwork::new(graph, Noise::Noiseless, 0);
         let mut rng = StdRng::seed_from_u64(0);
-        let err = sim.simulate_round(&mut net, &[None, None], &mut rng).unwrap_err();
+        let err = sim
+            .simulate_round(&mut net, &[None, None], &mut rng)
+            .unwrap_err();
         assert!(matches!(err, SimError::NoiseMismatch { .. }));
     }
 

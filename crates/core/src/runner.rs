@@ -55,7 +55,13 @@ impl<'g> SimulatedBroadcastRunner<'g> {
         params: SimulationParams,
         noise: Noise,
     ) -> Self {
-        SimulatedBroadcastRunner { graph, message_bits, seed, params, noise }
+        SimulatedBroadcastRunner {
+            graph,
+            message_bits,
+            seed,
+            params,
+            noise,
+        }
     }
 
     /// The context node `v` receives — identical to the native runner's, so
@@ -84,7 +90,11 @@ impl<'g> SimulatedBroadcastRunner<'g> {
     ) -> Result<SimReport, SimError> {
         let n = self.graph.node_count();
         if algorithms.len() != n {
-            return Err(CongestError::NodeCount { expected: n, actual: algorithms.len() }.into());
+            return Err(CongestError::NodeCount {
+                expected: n,
+                actual: algorithms.len(),
+            }
+            .into());
         }
         let simulator =
             BroadcastSimulator::new(self.params, self.message_bits, self.graph.max_degree())?;
@@ -148,7 +158,13 @@ impl<'g> SimulatedCongestRunner<'g> {
         params: SimulationParams,
         noise: Noise,
     ) -> Self {
-        SimulatedCongestRunner { graph, message_bits, seed, params, noise }
+        SimulatedCongestRunner {
+            graph,
+            message_bits,
+            seed,
+            params,
+            noise,
+        }
     }
 
     /// Initializes and runs until every node is done or the budget (in
@@ -200,7 +216,10 @@ mod tests {
         let report = runner.run_to_completion(&mut algos, 10).unwrap();
         assert!(algos.iter().all(|a| a.output() == Some(0xAB)));
         assert!(report.stats.all_perfect(), "{:?}", report.stats);
-        assert_eq!(report.beep_rounds, report.congest_rounds * report.beep_rounds_per_congest_round);
+        assert_eq!(
+            report.beep_rounds,
+            report.congest_rounds * report.beep_rounds_per_congest_round
+        );
     }
 
     #[test]
@@ -248,9 +267,10 @@ mod tests {
         let iters = LubyMis::suggested_iterations(n);
         let params = SimulationParams::calibrated(eps);
         let runner = SimulatedBroadcastRunner::new(&g, bits, 3, params, Noise::bernoulli(eps));
-        let mut algos: Vec<Box<LubyMis>> =
-            (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
-        runner.run_to_completion(&mut algos, LubyMis::rounds_for(iters)).unwrap();
+        let mut algos: Vec<Box<LubyMis>> = (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
+        runner
+            .run_to_completion(&mut algos, LubyMis::rounds_for(iters))
+            .unwrap();
         let out: Vec<bool> = algos.iter().map(|a| a.output().unwrap()).collect();
         assert!(validate::check_mis(&g, &out).is_empty());
     }
@@ -265,14 +285,19 @@ mod tests {
         let iters = MaximalMatching::suggested_iterations(n);
         let params = SimulationParams::calibrated(eps);
         let runner = SimulatedBroadcastRunner::new(&g, bits, 13, params, Noise::bernoulli(eps));
-        let mut algos: Vec<Box<MaximalMatching>> =
-            (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+        let mut algos: Vec<Box<MaximalMatching>> = (0..n)
+            .map(|_| Box::new(MaximalMatching::new(iters)))
+            .collect();
         let report = runner
             .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
             .unwrap();
         let out: Vec<Option<usize>> = algos.iter().map(|a| a.output().unwrap()).collect();
         let violations = validate::check_matching(&g, &out);
-        assert!(violations.is_empty(), "{violations:?} (stats {:?})", report.stats);
+        assert!(
+            violations.is_empty(),
+            "{violations:?} (stats {:?})",
+            report.stats
+        );
     }
 
     #[test]
@@ -303,6 +328,9 @@ mod tests {
             report.beep_rounds_per_congest_round,
             params.rounds_per_broadcast_round(bits, 4)
         );
-        assert_eq!(report.beep_rounds, report.congest_rounds * report.beep_rounds_per_congest_round);
+        assert_eq!(
+            report.beep_rounds,
+            report.congest_rounds * report.beep_rounds_per_congest_round
+        );
     }
 }

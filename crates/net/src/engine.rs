@@ -2,8 +2,8 @@
 
 use crate::error::NetError;
 use crate::graph::Graph;
-use crate::noise::Noise;
 use crate::node::{Action, BeepProtocol};
+use crate::noise::Noise;
 use crate::trace::{NetStats, Transcript};
 use beep_bits::BitVec;
 use rand::rngs::StdRng;
@@ -245,7 +245,10 @@ mod tests {
         let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
         assert_eq!(
             net.run_round(&all_listen(2)),
-            Err(NetError::ActionCount { expected: 3, actual: 2 })
+            Err(NetError::ActionCount {
+                expected: 3,
+                actual: 2
+            })
         );
     }
 
@@ -266,8 +269,10 @@ mod tests {
     #[test]
     fn per_node_energy_accounting() {
         let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
-        net.run_round(&[Action::Beep, Action::Listen, Action::Beep]).unwrap();
-        net.run_round(&[Action::Beep, Action::Listen, Action::Listen]).unwrap();
+        net.run_round(&[Action::Beep, Action::Listen, Action::Beep])
+            .unwrap();
+        net.run_round(&[Action::Beep, Action::Listen, Action::Listen])
+            .unwrap();
         assert_eq!(net.beeps_by_node(), &[2, 0, 1]);
         assert_eq!(net.stats().beeps, 3);
     }
@@ -293,14 +298,15 @@ mod tests {
         // beep at rate ≈ ε.
         let n = 10;
         let rounds = 2000;
-        let mut net = BeepNetwork::new(
-            topology::complete(n).unwrap(),
-            Noise::bernoulli(0.25),
-            5,
-        );
+        let mut net = BeepNetwork::new(topology::complete(n).unwrap(), Noise::bernoulli(0.25), 5);
         let mut phantom = 0usize;
         for _ in 0..rounds {
-            phantom += net.run_round(&all_listen(n)).unwrap().iter().filter(|&&h| h).count();
+            phantom += net
+                .run_round(&all_listen(n))
+                .unwrap()
+                .iter()
+                .filter(|&&h| h)
+                .count();
         }
         let rate = phantom as f64 / (n * rounds) as f64;
         assert!((rate - 0.25).abs() < 0.02, "phantom rate {rate}");
@@ -332,8 +338,10 @@ mod tests {
     fn transcript_records_beepers() {
         let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
         net.record_transcript();
-        net.run_round(&[Action::Beep, Action::Listen, Action::Listen]).unwrap();
-        net.run_round(&[Action::Listen, Action::Listen, Action::Beep]).unwrap();
+        net.run_round(&[Action::Beep, Action::Listen, Action::Listen])
+            .unwrap();
+        net.run_round(&[Action::Listen, Action::Listen, Action::Beep])
+            .unwrap();
         let t = net.transcript().unwrap();
         assert_eq!(t.rounds(), 2);
         assert_eq!(t.round(0).to_string(), "100");
@@ -368,7 +376,13 @@ mod tests {
         let g = topology::path(3).unwrap();
         let mut net = BeepNetwork::new(g, Noise::Noiseless, 0);
         let mut protos: Vec<Box<dyn BeepProtocol>> = (0..3)
-            .map(|id| Box::new(OneShot { id, heard: Vec::new(), done_after: 3 }) as Box<dyn BeepProtocol>)
+            .map(|id| {
+                Box::new(OneShot {
+                    id,
+                    heard: Vec::new(),
+                    done_after: 3,
+                }) as Box<dyn BeepProtocol>
+            })
             .collect();
         let rounds = net.run_protocols(&mut protos, 100).unwrap();
         assert_eq!(rounds, 3);
@@ -380,7 +394,13 @@ mod tests {
         let g = topology::path(2).unwrap();
         let mut net = BeepNetwork::new(g, Noise::Noiseless, 0);
         let mut protos: Vec<Box<dyn BeepProtocol>> = (0..2)
-            .map(|id| Box::new(OneShot { id, heard: Vec::new(), done_after: usize::MAX }) as Box<dyn BeepProtocol>)
+            .map(|id| {
+                Box::new(OneShot {
+                    id,
+                    heard: Vec::new(),
+                    done_after: usize::MAX,
+                }) as Box<dyn BeepProtocol>
+            })
             .collect();
         assert_eq!(
             net.run_protocols(&mut protos, 5),

@@ -80,9 +80,18 @@ mod tests {
 
     #[test]
     fn messages_mention_key_numbers() {
-        assert!(GraphError::NodeOutOfRange { node: 9, n: 5 }.to_string().contains('9'));
+        assert!(GraphError::NodeOutOfRange { node: 9, n: 5 }
+            .to_string()
+            .contains('9'));
         assert!(GraphError::SelfLoop { node: 3 }.to_string().contains('3'));
-        assert!(NetError::ActionCount { expected: 4, actual: 2 }.to_string().contains('4'));
-        assert!(NetError::RoundBudgetExhausted { budget: 100 }.to_string().contains("100"));
+        assert!(NetError::ActionCount {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains('4'));
+        assert!(NetError::RoundBudgetExhausted { budget: 100 }
+            .to_string()
+            .contains("100"));
     }
 }

@@ -85,7 +85,10 @@ impl Graph {
     /// the parameter every bound in the paper is expressed in.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether `{u, v}` is an edge (binary search over the sorted adjacency

@@ -39,14 +39,14 @@
 mod engine;
 mod error;
 mod graph;
-mod noise;
 mod node;
+mod noise;
 pub mod topology;
 mod trace;
 
 pub use engine::BeepNetwork;
 pub use error::{GraphError, NetError};
 pub use graph::{Graph, NodeId};
-pub use noise::Noise;
 pub use node::{Action, BeepProtocol};
+pub use noise::Noise;
 pub use trace::{NetStats, Transcript};

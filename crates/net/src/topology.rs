@@ -244,7 +244,11 @@ pub fn random_geometric<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidTopology`] if `n·d` is odd or `d ≥ n`.
-pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if d >= n {
         return Err(GraphError::InvalidTopology {
             detail: format!("degree {d} must be below n = {n}"),
@@ -272,10 +276,8 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Resul
         }
     }
     // Canonicalize and build the occupancy set.
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> = edges
-        .iter()
-        .map(|&(a, b)| (a.min(b), a.max(b)))
-        .collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> =
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
     let mut edges: Vec<(NodeId, NodeId)> = present.iter().copied().collect();
     edges.sort_unstable();
     // Double-edge switches.
@@ -440,7 +442,10 @@ mod tests {
         let g = gnp(60, 0.3, &mut rng).unwrap();
         let expected = (60.0 * 59.0 / 2.0) * 0.3;
         let m = g.edge_count() as f64;
-        assert!((m - expected).abs() < expected * 0.3, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() < expected * 0.3,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]
@@ -452,7 +457,11 @@ mod tests {
         assert!(dense.edge_count() > sparse.edge_count());
         let mut rng = StdRng::seed_from_u64(3);
         let (full, positions) = random_geometric(50, 2.0, &mut rng).unwrap();
-        assert_eq!(full.edge_count(), 50 * 49 / 2, "radius √2 covers the unit square");
+        assert_eq!(
+            full.edge_count(),
+            50 * 49 / 2,
+            "radius √2 covers the unit square"
+        );
         assert_eq!(positions.len(), 50);
     }
 

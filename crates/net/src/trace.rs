@@ -96,7 +96,11 @@ mod tests {
 
     #[test]
     fn stats_rates() {
-        let s = NetStats { rounds: 4, beeps: 6, listens: 10 };
+        let s = NetStats {
+            rounds: 4,
+            beeps: 6,
+            listens: 10,
+        };
         assert!((s.beeps_per_round() - 1.5).abs() < 1e-12);
         assert_eq!(NetStats::default().beeps_per_round(), 0.0);
     }

@@ -23,13 +23,14 @@ fn oracle_round(graph: &Graph, actions: &[Action]) -> Vec<bool> {
 fn arb_graph_and_schedule() -> impl Strategy<Value = (Graph, Vec<Vec<Action>>)> {
     (2usize..12).prop_flat_map(|n| {
         let edges = prop::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |pairs| {
-            let filtered: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            let filtered: Vec<(usize, usize)> = pairs.into_iter().filter(|(a, b)| a != b).collect();
             Graph::from_edges(n, &filtered).expect("valid edges")
         });
         let schedule = prop::collection::vec(
             prop::collection::vec(prop::bool::ANY, n).prop_map(|bits| {
-                bits.into_iter().map(Action::from_bit).collect::<Vec<Action>>()
+                bits.into_iter()
+                    .map(Action::from_bit)
+                    .collect::<Vec<Action>>()
             }),
             1..8,
         );
@@ -132,8 +133,9 @@ fn randomized_schedules_with_noise_never_panic() {
         let g = topology::gnp(n, 0.4, &mut rng).unwrap();
         let mut net = BeepNetwork::new(g, Noise::bernoulli(0.45), trial as u64);
         for _ in 0..50 {
-            let actions: Vec<Action> =
-                (0..n).map(|_| Action::from_bit(rng.random_bool(0.5))).collect();
+            let actions: Vec<Action> = (0..n)
+                .map(|_| Action::from_bit(rng.random_bool(0.5)))
+                .collect();
             net.run_round(&actions).unwrap();
         }
         assert_eq!(net.stats().rounds, 50);

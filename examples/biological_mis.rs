@@ -40,7 +40,10 @@ fn main() {
     let r = &result.report;
     println!("\ncost accounting:");
     println!("  Broadcast CONGEST rounds : {}", r.congest_rounds);
-    println!("  beep rounds / BC round   : {}", r.beep_rounds_per_congest_round);
+    println!(
+        "  beep rounds / BC round   : {}",
+        r.beep_rounds_per_congest_round
+    );
     println!("  total noisy beep rounds  : {}", r.beep_rounds);
     println!(
         "  decode events            : {} false-neg, {} false-pos, {} msg errors over {} rounds",

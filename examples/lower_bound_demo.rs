@@ -22,11 +22,24 @@ fn main() {
     let trials = 400;
 
     println!("B-bit Local Broadcast on K_{{{delta},{delta}}} with B = {message_bits}");
-    println!("input entropy Δ²B = {input_bits} bits; Lemma 14 lower bound: > {} rounds\n",
-        lemma14_round_lower_bound(delta, message_bits));
-    println!("{:>8} {:>10} {:>12} {:>14} {:>14}", "rounds", "conveyed", "transcripts", "ceiling 2^x", "measured");
+    println!(
+        "input entropy Δ²B = {input_bits} bits; Lemma 14 lower bound: > {} rounds\n",
+        lemma14_round_lower_bound(delta, message_bits)
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>14}",
+        "rounds", "conveyed", "transcripts", "ceiling 2^x", "measured"
+    );
 
-    for budget in [input_bits + 4, input_bits, input_bits - 1, input_bits - 2, input_bits - 3, input_bits - 6, input_bits / 2] {
+    for budget in [
+        input_bits + 4,
+        input_bits,
+        input_bits - 1,
+        input_bits - 2,
+        input_bits - 3,
+        input_bits - 6,
+        input_bits / 2,
+    ] {
         let report = tdma_local_broadcast_census(delta, message_bits, budget, trials, 11);
         let ceiling = if report.ceiling_log2 >= 0 {
             1.0

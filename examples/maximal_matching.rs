@@ -51,7 +51,10 @@ fn main() {
     let r = &result.report;
     println!("\ncost accounting:");
     println!("  Broadcast CONGEST rounds : {}", r.congest_rounds);
-    println!("  beep rounds / BC round   : {} (= Θ(Δ log n))", r.beep_rounds_per_congest_round);
+    println!(
+        "  beep rounds / BC round   : {} (= Θ(Δ log n))",
+        r.beep_rounds_per_congest_round
+    );
     println!("  total noisy beep rounds  : {}", r.beep_rounds);
     println!("  total energy (beeps)     : {}", r.beeps);
     println!("  decode stats             : {:?}", r.stats);

@@ -19,13 +19,18 @@ fn main() {
     // Each node will broadcast a 16-bit message: its id, squared.
     let message_bits = 16;
     let outgoing: Vec<Option<Message>> = (0..10u64)
-        .map(|v| Some(MessageWriter::new().push_uint(v * v, 16).finish(message_bits)))
+        .map(|v| {
+            Some(
+                MessageWriter::new()
+                    .push_uint(v * v, 16)
+                    .finish(message_bits),
+            )
+        })
         .collect();
 
     // The paper's simulator with calibrated constants for ε = 0.1.
     let params = SimulationParams::calibrated(epsilon);
-    let simulator =
-        BroadcastSimulator::new(params, message_bits, delta).expect("valid parameters");
+    let simulator = BroadcastSimulator::new(params, message_bits, delta).expect("valid parameters");
     let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(epsilon), 42);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
 
@@ -46,6 +51,9 @@ fn main() {
         println!("  node {v}: {values:?}");
     }
     println!("\ndecode stats: {:?}", outcome.stats);
-    assert!(outcome.stats.all_perfect(), "decoding failed this run — rerun with another seed");
+    assert!(
+        outcome.stats.all_perfect(),
+        "decoding failed this run — rerun with another seed"
+    );
     println!("round decoded perfectly under ε = {epsilon} noise ✓");
 }

@@ -18,7 +18,10 @@ fn main() {
     let grid = topology::grid(6, 6).expect("valid grid");
     let n = grid.node_count();
     let diameter = grid.diameter().expect("connected");
-    println!("sensor grid: n = {n}, D = {diameter}, Δ = {}", grid.max_degree());
+    println!(
+        "sensor grid: n = {n}, D = {diameter}, Δ = {}",
+        grid.max_degree()
+    );
 
     // 1. Leader election: all sensors agree on a coordinator.
     let leader = beep_leader_election(&grid, diameter, 5).expect("connected graph");
@@ -29,8 +32,7 @@ fn main() {
 
     // 2. The leader broadcasts a 32-bit configuration word by beep waves.
     let config = BitVec::from_u64_lsb(0xCAFE_F00D, 32);
-    let wave =
-        beep_wave_broadcast(&grid, leader.leader, &config, 6).expect("connected graph");
+    let wave = beep_wave_broadcast(&grid, leader.leader, &config, 6).expect("connected graph");
     assert!(wave.received.iter().all(|r| r.as_ref() == Some(&config)));
     println!(
         "beep-wave broadcast: 32 bits to all {n} sensors in {} rounds (O(D + b) = {} + 32)",

@@ -48,8 +48,8 @@ pub mod prelude {
     };
     pub use beep_bits::BitVec;
     pub use beep_congest::{
-        algorithms, validate, BroadcastAlgorithm, BroadcastRunner, CongestAlgorithm,
-        CongestRunner, Message, MessageWriter,
+        algorithms, validate, BroadcastAlgorithm, BroadcastRunner, CongestAlgorithm, CongestRunner,
+        Message, MessageWriter,
     };
     pub use beep_core::{
         baseline, lower_bound, BroadcastSimulator, CongestAdapter, SimulatedBroadcastRunner,

@@ -82,17 +82,25 @@ fn tdma_baseline_and_algorithm1_agree_on_outputs() {
 
     let params = SimulationParams::calibrated(0.0);
     let runner = SimulatedBroadcastRunner::new(&g, bits, seed, params, Noise::Noiseless);
-    let mut ours: Vec<Box<algorithms::LubyMis>> =
-        (0..n).map(|_| Box::new(algorithms::LubyMis::new(iters))).collect();
+    let mut ours: Vec<Box<algorithms::LubyMis>> = (0..n)
+        .map(|_| Box::new(algorithms::LubyMis::new(iters)))
+        .collect();
     runner
         .run_to_completion(&mut ours, algorithms::LubyMis::rounds_for(iters))
         .expect("algorithm 1 run");
 
     let tdma = TdmaSimulator::new(&g, bits, 0.0);
-    let mut base: Vec<Box<algorithms::LubyMis>> =
-        (0..n).map(|_| Box::new(algorithms::LubyMis::new(iters))).collect();
-    tdma.run_to_completion(&g, Noise::Noiseless, seed, &mut base, algorithms::LubyMis::rounds_for(iters))
-        .expect("tdma run");
+    let mut base: Vec<Box<algorithms::LubyMis>> = (0..n)
+        .map(|_| Box::new(algorithms::LubyMis::new(iters)))
+        .collect();
+    tdma.run_to_completion(
+        &g,
+        Noise::Noiseless,
+        seed,
+        &mut base,
+        algorithms::LubyMis::rounds_for(iters),
+    )
+    .expect("tdma run");
 
     for v in 0..n {
         assert_eq!(ours[v].output(), base[v].output(), "node {v}");
@@ -113,8 +121,9 @@ fn beep_wave_and_simulated_flood_deliver_the_same_payload() {
 
     let params = SimulationParams::calibrated(0.0);
     let runner = SimulatedBroadcastRunner::new(&g, 16, 3, params, Noise::Noiseless);
-    let mut floods: Vec<Box<algorithms::Flood>> =
-        (0..n).map(|_| Box::new(algorithms::Flood::new(0, payload, 16))).collect();
+    let mut floods: Vec<Box<algorithms::Flood>> = (0..n)
+        .map(|_| Box::new(algorithms::Flood::new(0, payload, 16)))
+        .collect();
     runner.run_to_completion(&mut floods, n).unwrap();
     assert!(floods.iter().all(|f| f.output() == Some(payload)));
 
@@ -137,7 +146,13 @@ fn distributed_setup_feeds_the_tdma_baseline() {
     let iters = Distance2Coloring::suggested_iterations(n);
     let runner = CongestRunner::new(&g, bits, 7);
     let mut algos: Vec<Box<Distance2Coloring>> = (0..n)
-        .map(|v| Box::new(Distance2Coloring::new(delta, g.neighbors(v).to_vec(), iters)))
+        .map(|v| {
+            Box::new(Distance2Coloring::new(
+                delta,
+                g.neighbors(v).to_vec(),
+                iters,
+            ))
+        })
         .collect();
     runner
         .run_to_completion(&mut algos, Distance2Coloring::rounds_for(iters))
@@ -149,8 +164,9 @@ fn distributed_setup_feeds_the_tdma_baseline() {
 
     // The distributed coloring drives the baseline simulator.
     let tdma = TdmaSimulator::with_coloring(&g, coloring, 16, 0.0);
-    let mut floods: Vec<Box<algorithms::Flood>> =
-        (0..n).map(|_| Box::new(algorithms::Flood::new(0, 0x77, 16))).collect();
+    let mut floods: Vec<Box<algorithms::Flood>> = (0..n)
+        .map(|_| Box::new(algorithms::Flood::new(0, 0x77, 16)))
+        .collect();
     let report = tdma
         .run_to_completion(&g, Noise::Noiseless, 9, &mut floods, n)
         .expect("tdma run");
@@ -164,8 +180,9 @@ fn energy_accounting_is_consistent() {
     let g = topology::cycle(6).unwrap();
     let params = SimulationParams::calibrated(0.0);
     let runner = SimulatedBroadcastRunner::new(&g, 8, 1, params, Noise::Noiseless);
-    let mut algos: Vec<Box<algorithms::LeaderElection>> =
-        (0..6).map(|_| Box::new(algorithms::LeaderElection::new(4))).collect();
+    let mut algos: Vec<Box<algorithms::LeaderElection>> = (0..6)
+        .map(|_| Box::new(algorithms::LeaderElection::new(4)))
+        .collect();
     let report = runner.run_to_completion(&mut algos, 6).unwrap();
     assert!(report.beeps <= (report.beep_rounds as u64) * 6);
     assert!(report.beeps > 0);

@@ -19,8 +19,13 @@ fn graphs() -> Vec<(&'static str, Graph)> {
 }
 
 /// Runs the same algorithm constructor both ways and compares outputs.
-fn assert_equivalent<A, F, O>(graph: &Graph, bits: usize, budget: usize, make: F, output: impl Fn(&A) -> O)
-where
+fn assert_equivalent<A, F, O>(
+    graph: &Graph,
+    bits: usize,
+    budget: usize,
+    make: F,
+    output: impl Fn(&A) -> O,
+) where
     A: noisy_beeps::congest::BroadcastAlgorithm,
     F: Fn() -> A,
     O: std::fmt::Debug + PartialEq,
@@ -30,16 +35,28 @@ where
 
     let native_runner = BroadcastRunner::new(graph, bits, seed);
     let mut native: Vec<Box<A>> = (0..n).map(|_| Box::new(make())).collect();
-    native_runner.run_to_completion(&mut native, budget).expect("native run");
+    native_runner
+        .run_to_completion(&mut native, budget)
+        .expect("native run");
 
     let params = SimulationParams::calibrated(0.0);
     let sim_runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, Noise::Noiseless);
     let mut simulated: Vec<Box<A>> = (0..n).map(|_| Box::new(make())).collect();
-    let report = sim_runner.run_to_completion(&mut simulated, budget).expect("simulated run");
-    assert!(report.stats.all_perfect(), "noiseless simulation must be perfect: {:?}", report.stats);
+    let report = sim_runner
+        .run_to_completion(&mut simulated, budget)
+        .expect("simulated run");
+    assert!(
+        report.stats.all_perfect(),
+        "noiseless simulation must be perfect: {:?}",
+        report.stats
+    );
 
     for v in 0..n {
-        assert_eq!(output(&native[v]), output(&simulated[v]), "node {v} diverged");
+        assert_eq!(
+            output(&native[v]),
+            output(&simulated[v]),
+            "node {v} diverged"
+        );
     }
 }
 
@@ -48,7 +65,13 @@ fn bfs_native_equals_simulated_everywhere() {
     for (name, g) in graphs() {
         let n = g.node_count();
         let bits = BfsTree::required_message_bits(n);
-        assert_equivalent(&g, bits, n + 1, || BfsTree::new(0), |a: &BfsTree| a.output());
+        assert_equivalent(
+            &g,
+            bits,
+            n + 1,
+            || BfsTree::new(0),
+            |a: &BfsTree| a.output(),
+        );
         let _ = name;
     }
 }
@@ -126,10 +149,15 @@ fn simulation_is_deterministic_in_the_seed() {
     let iters = MaximalMatching::suggested_iterations(n);
     let run = |seed: u64, eps: f64| {
         let params = SimulationParams::calibrated(eps);
-        let noise = if eps == 0.0 { Noise::Noiseless } else { Noise::bernoulli(eps) };
+        let noise = if eps == 0.0 {
+            Noise::Noiseless
+        } else {
+            Noise::bernoulli(eps)
+        };
         let runner = SimulatedBroadcastRunner::new(&g, bits, seed, params, noise);
-        let mut algos: Vec<Box<MaximalMatching>> =
-            (0..n).map(|_| Box::new(MaximalMatching::new(iters))).collect();
+        let mut algos: Vec<Box<MaximalMatching>> = (0..n)
+            .map(|_| Box::new(MaximalMatching::new(iters)))
+            .collect();
         let report = runner
             .run_to_completion(&mut algos, MaximalMatching::rounds_for(iters))
             .expect("run");

@@ -1,0 +1,79 @@
+//! Facade smoke test: `noisy_beeps::prelude::*` must keep re-exporting the
+//! workspace's main entry points, and the re-exported items must be the
+//! same types the sub-crates define (not accidental shadows).
+
+use noisy_beeps::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn prelude_reexports_resolve_and_work() {
+    // bits layer.
+    let v = BitVec::zeros(16);
+    assert_eq!(v.len(), 16);
+
+    // net layer: topology constructors, graph accessors, noise, actions.
+    let g: Graph = topology::grid(3, 3).unwrap();
+    assert_eq!(g.node_count(), 9);
+    let noise = Noise::bernoulli(0.1);
+    assert!(noise.epsilon() > 0.0);
+    let mut net = BeepNetwork::new(g.clone(), Noise::Noiseless, 1);
+    let heard = net.run_round(&[Action::Listen; 9]).unwrap();
+    assert!(heard.iter().all(|&b| !b));
+
+    // congest layer: message plumbing and the runner types.
+    let msg = MessageWriter::new().push_uint(5, 8).finish(8);
+    assert_eq!(Message::from_bits(&msg.to_bitvec()), msg);
+    let _native: BroadcastRunner = BroadcastRunner::new(&g, 8, 1);
+    let _full: CongestRunner = CongestRunner::new(&g, 8, 1);
+
+    // core layer: params + simulated runners exist and agree with net types.
+    let params = SimulationParams::calibrated(0.05);
+    let _sim = SimulatedBroadcastRunner::new(&g, 8, 1, params, Noise::bernoulli(0.05));
+    let _adapter_type_exists: Option<CongestAdapter<algorithms::Flood>> = None;
+    let _sim_congest_exists: Option<SimulatedCongestRunner> = None;
+    let _bsim_exists: Option<BroadcastSimulator> = None;
+
+    // baseline / lower_bound modules are reachable through the prelude.
+    let tdma = baseline::TdmaSimulator::new(&g, 8, 0.0);
+    assert!(tdma.rounds_per_congest_round() > 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let inst = lower_bound::LocalBroadcastInstance::random(2, 4, 4, &mut rng);
+    drop(inst);
+}
+
+#[test]
+fn prelude_apps_solvers_run() {
+    let g = topology::grid(3, 3).unwrap();
+
+    let matching = maximal_matching(&g, 0.0, 3).unwrap();
+    assert_eq!(matching.output.len(), 9);
+    assert!(validate::check_matching(&g, &matching.output).is_empty());
+
+    let mis = maximal_independent_set(&g, 0.0, 4).unwrap();
+    assert!(validate::check_mis(&g, &mis.output).is_empty());
+
+    let colors = coloring(&g, 0.0, 5).unwrap();
+    let as_options: Vec<Option<u64>> = colors.output.iter().copied().map(Some).collect();
+    assert!(validate::check_coloring(&g, &as_options).is_empty());
+
+    let wave = beep_wave_broadcast(&g, 0, &BitVec::from_u64_lsb(0xAB, 8), 6).unwrap();
+    assert_eq!(wave.received.len(), 9);
+    assert!(wave
+        .received
+        .iter()
+        .all(|r| r.as_ref() == Some(&BitVec::from_u64_lsb(0xAB, 8))));
+
+    let d = g.diameter().unwrap();
+    let leader = beep_leader_election(&g, d + 1, 7).unwrap();
+    assert!(leader.leader < 9);
+}
+
+#[test]
+fn facade_modules_alias_the_subcrates() {
+    // The module aliases and the prelude must expose the same types.
+    let a: noisy_beeps::bits::BitVec = BitVec::zeros(4);
+    let b: noisy_beeps::prelude::BitVec = a;
+    assert_eq!(b.len(), 4);
+    let p: noisy_beeps::core::SimulationParams = SimulationParams::calibrated(0.1);
+    assert_eq!(p.epsilon, 0.1);
+}

@@ -24,12 +24,17 @@ fn adversarial_noise_yields_decode_failures_not_panics() {
         .collect();
     let mut imperfect = 0;
     for _ in 0..5 {
-        let outcome = sim.simulate_round(&mut net, &outgoing, &mut rng).expect("no panic");
+        let outcome = sim
+            .simulate_round(&mut net, &outgoing, &mut rng)
+            .expect("no panic");
         if !outcome.stats.all_perfect() {
             imperfect += 1;
         }
     }
-    assert!(imperfect > 0, "ε = 0.45 with undersized constants should corrupt something");
+    assert!(
+        imperfect > 0,
+        "ε = 0.45 with undersized constants should corrupt something"
+    );
 }
 
 #[test]
@@ -45,7 +50,9 @@ fn degree_larger_than_code_overlap_still_runs() {
     let outgoing: Vec<Option<Message>> = (0..6u64)
         .map(|v| Some(MessageWriter::new().push_uint(v, 8).finish(8)))
         .collect();
-    let outcome = sim.simulate_round(&mut net, &outgoing, &mut rng).expect("no panic");
+    let outcome = sim
+        .simulate_round(&mut net, &outgoing, &mut rng)
+        .expect("no panic");
     assert_eq!(outcome.delivered.len(), 6);
 }
 
@@ -72,11 +79,14 @@ fn error_paths_are_reported_as_errors() {
 
     // Round budget exhaustion surfaces as an error with the budget.
     let runner = SimulatedBroadcastRunner::new(&g, 8, 0, params, Noise::Noiseless);
-    let mut stuck: Vec<Box<algorithms::LeaderElection>> =
-        (0..3).map(|_| Box::new(algorithms::LeaderElection::new(100))).collect();
+    let mut stuck: Vec<Box<algorithms::LeaderElection>> = (0..3)
+        .map(|_| Box::new(algorithms::LeaderElection::new(100)))
+        .collect();
     assert!(matches!(
         runner.run_to_completion(&mut stuck, 1),
-        Err(SimError::Congest(CongestError::RoundBudgetExhausted { budget: 1 }))
+        Err(SimError::Congest(CongestError::RoundBudgetExhausted {
+            budget: 1
+        }))
     ));
 }
 
@@ -93,7 +103,10 @@ fn theory_profile_works_at_toy_scale() {
     let codes = params.codes_for(2, 1).expect("valid construction");
     let c = params.expansion;
     assert_eq!(codes.beep.params().length(), c * c * c * 2 * 2);
-    assert_eq!(codes.beep.params().weight(), codes.distance.params().length());
+    assert_eq!(
+        codes.beep.params().weight(),
+        codes.distance.params().length()
+    );
 }
 
 #[test]
@@ -130,7 +143,11 @@ fn oversized_messages_are_rejected_cleanly() {
     let mut algos: Vec<Box<WrongWidth>> = vec![Box::new(WrongWidth), Box::new(WrongWidth)];
     assert!(matches!(
         runner.run_to_completion(&mut algos, 4),
-        Err(SimError::Congest(CongestError::MessageWidth { expected: 8, actual: 16, node: 0 }))
+        Err(SimError::Congest(CongestError::MessageWidth {
+            expected: 8,
+            actual: 16,
+            node: 0
+        }))
     ));
     let _ = Flood::new(0, 1, 16); // keep the import exercised
 }

@@ -15,8 +15,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..10).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
         prop::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|(a, b)| a != b).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|(a, b)| a != b).collect();
             Graph::from_edges(n, &edges).expect("filtered to valid edges")
         })
     })

@@ -1,0 +1,538 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! subset of the proptest API that this repository's property suites use is
+//! vendored here: the [`proptest!`] macro (with `#![proptest_config]`),
+//! `prop_assert*`, [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! [`any`], [`strategy::Just`], range and tuple strategies, and the
+//! `prop::{collection, bool, option}` modules.
+//!
+//! Semantics: each test body runs for `cases` random inputs drawn from the
+//! strategies (seeded deterministically per test, so CI runs are
+//! reproducible). Unlike real proptest there is no shrinking — a failing
+//! case panics with the assertion message directly. Deleting
+//! `vendor/proptest` and pointing the workspace dependency at crates.io
+//! restores the real crate; call sites do not change.
+
+/// Strategies: composable descriptions of how to generate random values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A generator of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Test-runner configuration and the RNG driving the generators.
+pub mod test_runner {
+    /// The RNG that drives strategy sampling.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG, seeded from the test's full path so runs
+    /// are reproducible and tests are decorrelated from each other.
+    #[must_use]
+    pub fn rng_for(test_path: &str) -> TestRng {
+        use rand::SeedableRng;
+        // FNV-1a over the path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+/// The `Arbitrary` trait and the [`any`] entry point.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use rand::RngExt;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of type `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies: `vec` and `hash_set`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// An inclusive size band for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    // i32 impls exist because bare integer literals (`vec(s, 10)`, `1..8`)
+    // fall back to i32 during inference.
+    impl From<i32> for SizeRange {
+        fn from(exact: i32) -> Self {
+            let exact = usize::try_from(exact).expect("negative collection size");
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    macro_rules! impl_size_range_from_ranges {
+        ($($t:ty),*) => {$(
+            impl From<core::ops::Range<$t>> for SizeRange {
+                fn from(r: core::ops::Range<$t>) -> Self {
+                    assert!(r.start < r.end, "empty collection size range");
+                    let lo = usize::try_from(r.start).expect("negative collection size");
+                    let hi = usize::try_from(r.end).expect("negative collection size") - 1;
+                    SizeRange { lo, hi }
+                }
+            }
+
+            impl From<core::ops::RangeInclusive<$t>> for SizeRange {
+                fn from(r: core::ops::RangeInclusive<$t>) -> Self {
+                    assert!(r.start() <= r.end(), "empty collection size range");
+                    let lo = usize::try_from(*r.start()).expect("negative collection size");
+                    let hi = usize::try_from(*r.end()).expect("negative collection size");
+                    SizeRange { lo, hi }
+                }
+            }
+        )*};
+    }
+
+    impl_size_range_from_ranges!(usize, i32);
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Duplicates don't grow the set; bound the retries so a
+            // small-domain element strategy cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 100 * (target + 1) {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// A strategy for `HashSet`s whose size lies in `size` (best effort when
+    /// the element domain is small) and whose elements come from `element`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// A fair coin flip.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = core::primitive::bool;
+
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.random()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Matches real proptest's default: Some three times out of four.
+            if rng.random_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// A strategy yielding `None` sometimes and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The items a property test needs, importable in one line.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access to the strategy modules (`prop::collection::vec`,
+    /// `prop::bool::ANY`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for many random samples.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..10, 0..=8)
+    }
+
+    proptest! {
+        #[test]
+        fn vec_respects_size_and_element_bounds(v in small_vec()) {
+            prop_assert!(v.len() <= 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn flat_map_links_dependent_values(
+            (len, below) in (1usize..20).prop_flat_map(|n| (Just(n), 0..n)),
+        ) {
+            prop_assert!(below < len);
+        }
+
+        #[test]
+        fn tuples_and_any_compose((a, b) in (any::<u64>(), prop::bool::ANY)) {
+            // Exercises sampling both tuple components.
+            let description = format!("{a}:{b}");
+            prop_assert!(description.contains(':'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_cases_is_respected(_x in 0u32..10) {
+            // Runs exactly 7 times; failure would show up as a hang or
+            // mis-seeded determinism regression in CI timing, and the body
+            // asserts nothing — the point is the macro path with a config.
+        }
+    }
+
+    #[test]
+    fn hash_set_strategy_reaches_target_size() {
+        use crate::strategy::Strategy;
+        let strat = prop::collection::hash_set(0u64..1_000_000, 5..=5);
+        let mut rng = crate::test_runner::rng_for("hash_set_target");
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        use crate::strategy::Strategy;
+        let strat = prop::option::of(0u32..100);
+        let mut rng = crate::test_runner::rng_for("option_of");
+        let draws: Vec<_> = (0..200).map(|_| strat.sample(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn rng_for_is_deterministic_and_path_sensitive() {
+        use rand::Rng;
+        let mut a = crate::test_runner::rng_for("path::one");
+        let mut b = crate::test_runner::rng_for("path::one");
+        let mut c = crate::test_runner::rng_for("path::two");
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+}
