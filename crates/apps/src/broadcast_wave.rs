@@ -155,18 +155,18 @@ pub fn beep_wave_broadcast(
         })
         .collect();
     let budget = MESSAGE_START + 3 * b + n + 4;
-    let mut actions = vec![Action::Listen; n];
+    let mut beepers = BitVec::zeros(n);
     let mut rounds = 0;
     for round in 0..budget {
         if nodes.iter().all(WaveNode::is_done) {
             break;
         }
         for (v, node) in nodes.iter_mut().enumerate() {
-            actions[v] = node.act(round);
+            beepers.set(v, node.act(round) == Action::Beep);
         }
-        let received = net.run_round(&actions)?;
+        let received = net.run_round_bitset(&beepers)?;
         for (v, node) in nodes.iter_mut().enumerate() {
-            node.feedback(round, received[v]);
+            node.feedback(round, received.get(v));
         }
         rounds = round + 1;
     }

@@ -11,7 +11,8 @@
 //! every node has reconstructed the winner's id bit by bit.
 
 use crate::error::AppError;
-use beep_net::{Action, BeepNetwork, Graph, Noise};
+use beep_bits::BitVec;
+use beep_net::{BeepNetwork, Graph, Noise};
 
 /// Outcome of a leader election.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +50,7 @@ pub fn beep_leader_election(
 
     let mut candidate = vec![true; n];
     let mut learned: Vec<usize> = vec![0; n]; // winner id, reconstructed MSB-first
-    let mut actions = vec![Action::Listen; n];
+    let mut beepers = BitVec::zeros(n);
     for bit in (0..id_bits).rev() {
         // One wave window.
         let mut heard = vec![false; n];
@@ -58,19 +59,16 @@ pub fn beep_leader_election(
             for v in 0..n {
                 let initiates = t == 0 && candidate[v] && (v >> bit) & 1 == 1;
                 let relays = t > 0 && heard[v] && !relayed[v];
-                actions[v] = if initiates || relays {
+                let fires = initiates || relays;
+                if fires {
                     relayed[v] = true;
                     heard[v] = true; // initiators count as having the wave
-                    Action::Beep
-                } else {
-                    Action::Listen
-                };
-            }
-            let received = net.run_round(&actions)?;
-            for v in 0..n {
-                if received[v] {
-                    heard[v] = true;
                 }
+                beepers.set(v, fires);
+            }
+            let received = net.run_round_bitset(&beepers)?;
+            for v in received.iter_ones() {
+                heard[v] = true;
             }
         }
         // Window verdict: wave present ⇔ some candidate bid 1.

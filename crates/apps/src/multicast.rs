@@ -27,7 +27,7 @@
 use crate::error::AppError;
 use beep_bits::BitVec;
 use beep_codes::KautzSingleton;
-use beep_net::{Action, BeepNetwork, Graph, Noise};
+use beep_net::{BeepNetwork, Graph, Noise};
 
 /// Outcome of a multi-source broadcast.
 #[derive(Debug, Clone)]
@@ -103,7 +103,7 @@ pub fn multi_source_broadcast(
     let window = diameter_bound + 1;
     // Per-node reconstructed superimposition.
     let mut heard_bits: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(len)).collect();
-    let mut actions = vec![Action::Listen; n];
+    let mut beepers = BitVec::zeros(n);
     for bit in 0..len {
         // One OR-wave window for codeword bit `bit`.
         let mut heard = vec![false; n];
@@ -118,18 +118,14 @@ pub fn multi_source_broadcast(
                 // Fire once: sources in the window's first round, relays
                 // one round after first hearing the wave.
                 let fire = heard[v] && !relayed[v];
-                actions[v] = if fire {
+                if fire {
                     relayed[v] = true;
-                    Action::Beep
-                } else {
-                    Action::Listen
-                };
-            }
-            let received = net.run_round(&actions)?;
-            for (v, &r) in received.iter().enumerate() {
-                if r {
-                    heard[v] = true;
                 }
+                beepers.set(v, fire);
+            }
+            let received = net.run_round_bitset(&beepers)?;
+            for v in received.iter_ones() {
+                heard[v] = true;
             }
         }
         for v in 0..n {

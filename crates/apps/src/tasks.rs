@@ -16,11 +16,15 @@ pub struct TaskReport<T> {
     pub report: SimReport,
 }
 
-fn noise_for(epsilon: f64) -> Noise {
+/// Maps a caller-supplied noise rate to a channel through the fallible
+/// constructor: `ε = 0` is the noiseless model, anything else must lie in
+/// the paper's open interval `(0, ½)` or the task returns
+/// [`AppError::Net`] instead of panicking deep inside the engine.
+fn noise_for(epsilon: f64) -> Result<Noise, AppError> {
     if epsilon == 0.0 {
-        Noise::Noiseless
+        Ok(Noise::Noiseless)
     } else {
-        Noise::bernoulli(epsilon)
+        Ok(Noise::try_bernoulli(epsilon)?)
     }
 }
 
@@ -43,8 +47,9 @@ pub fn maximal_matching(
     let n = graph.node_count();
     let bits = MaximalMatching::required_message_bits(n);
     let iters = MaximalMatching::suggested_iterations(n);
+    let noise = noise_for(epsilon)?;
     let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise_for(epsilon));
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise);
     let mut algos: Vec<Box<MaximalMatching>> = (0..n)
         .map(|_| Box::new(MaximalMatching::new(iters)))
         .collect();
@@ -76,8 +81,9 @@ pub fn maximal_independent_set(
     let n = graph.node_count();
     let bits = LubyMis::required_message_bits(n);
     let iters = LubyMis::suggested_iterations(n);
+    let noise = noise_for(epsilon)?;
     let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise_for(epsilon));
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise);
     let mut algos: Vec<Box<LubyMis>> = (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
     let report = runner.run_to_completion(&mut algos, LubyMis::rounds_for(iters))?;
     let output: Vec<bool> = algos
@@ -103,8 +109,9 @@ pub fn coloring(graph: &Graph, epsilon: f64, seed: u64) -> Result<TaskReport<u64
     let n = graph.node_count();
     let bits = RandomColoring::required_message_bits(n);
     let iters = RandomColoring::suggested_iterations(n);
+    let noise = noise_for(epsilon)?;
     let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise_for(epsilon));
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise);
     let mut algos: Vec<Box<RandomColoring>> = (0..n)
         .map(|_| Box::new(RandomColoring::new(iters)))
         .collect();
@@ -165,6 +172,18 @@ mod tests {
         colors.sort_unstable();
         colors.dedup();
         assert_eq!(colors.len(), 3, "K₃ needs 3 distinct colors");
+    }
+
+    #[test]
+    fn invalid_noise_rate_is_an_error_not_a_panic() {
+        let g = topology::path(4).unwrap();
+        for bad in [0.5, 0.75, -0.1] {
+            let err = maximal_matching(&g, bad, 0).unwrap_err();
+            assert!(
+                matches!(err, AppError::Net(beep_net::NetError::InvalidNoise { .. })),
+                "ε = {bad}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! E8: round-engine throughput — the scalar reference `run_round` versus
+//! the bit-parallel `run_round_bitset` kernel, on sparse-beeper rounds at
+//! n ∈ {1k, 10k, 100k} (the regime every protocol phase lives in: a few
+//! transmitters, everyone else listening).
+//!
+//! Besides the per-kernel timings, the bench measures and prints the
+//! scalar/bitset speedup directly; the acceptance bar for the engine
+//! refactor is ≥ 5× at n = 100 000.
+
+use beep_bits::BitVec;
+use beep_net::{topology, Action, BeepNetwork, Graph, Noise};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEGREE: usize = 8;
+const BEEPERS: usize = 16;
+
+fn sparse_instance(n: usize) -> (Graph, Vec<Action>, BitVec) {
+    let mut rng = StdRng::seed_from_u64(0xE8);
+    let graph = topology::random_regular(n, DEGREE, &mut rng).unwrap();
+    // A few spread-out beepers, everyone else listening.
+    let beeper_ids: Vec<usize> = (0..BEEPERS).map(|i| i * (n / BEEPERS)).collect();
+    let mut actions = vec![Action::Listen; n];
+    for &v in &beeper_ids {
+        actions[v] = Action::Beep;
+    }
+    let beepers = BitVec::from_indices(n, beeper_ids);
+    (graph, actions, beepers)
+}
+
+/// Median wall-clock of `samples` runs of `f` (separate from the criterion
+/// reporting: used to print the speedup ratio the acceptance bar names).
+fn median_nanos(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+fn bench_round_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_engine");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (graph, actions, beepers) = sparse_instance(n);
+
+        let mut scalar_net = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
+        group.bench_function(format!("scalar n={n} beepers={BEEPERS}"), |b| {
+            b.iter(|| black_box(scalar_net.run_round(black_box(&actions)).unwrap()));
+        });
+
+        let mut bitset_net = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
+        group.bench_function(format!("bitset n={n} beepers={BEEPERS}"), |b| {
+            b.iter(|| black_box(bitset_net.run_round_bitset(black_box(&beepers)).unwrap()));
+        });
+
+        let mut noisy_net = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.1), 1);
+        group.bench_function(format!("bitset noisy ε=0.1 n={n}"), |b| {
+            b.iter(|| black_box(noisy_net.run_round_bitset(black_box(&beepers)).unwrap()));
+        });
+
+        // Direct speedup measurement for the acceptance criterion.
+        let mut s_net = BeepNetwork::new(graph.clone(), Noise::Noiseless, 2);
+        let scalar_ns = median_nanos(30, || {
+            black_box(s_net.run_round(black_box(&actions)).unwrap());
+        });
+        let mut b_net = BeepNetwork::new(graph, Noise::Noiseless, 2);
+        let bitset_ns = median_nanos(30, || {
+            black_box(b_net.run_round_bitset(black_box(&beepers)).unwrap());
+        });
+        println!(
+            "speedup n={n}: scalar {scalar_ns:.0} ns / bitset {bitset_ns:.0} ns = {:.1}x",
+            scalar_ns / bitset_ns
+        );
+    }
+    group.finish();
+}
+
+fn bench_frame_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_engine");
+    let n = 10_000;
+    let len = 64;
+    let (graph, _, _) = sparse_instance(n);
+    // 16 transmitters with dense 64-bit frames, the rest silent.
+    let mut rng = StdRng::seed_from_u64(3);
+    let frames: Vec<Option<BitVec>> = (0..n)
+        .map(|v| (v % (n / BEEPERS) == 0).then(|| BitVec::random_uniform(len, &mut rng)))
+        .collect();
+    let mut net = BeepNetwork::new(graph, Noise::Noiseless, 4);
+    group.bench_function(format!("run_frame n={n} len={len}"), |b| {
+        b.iter(|| black_box(net.run_frame(black_box(&frames)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_round_kernels, bench_frame_kernel
+}
+criterion_main!(benches);

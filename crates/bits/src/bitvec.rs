@@ -162,6 +162,16 @@ impl BitVec {
         }
     }
 
+    /// Resets every bit to 0, keeping the length (and allocation).
+    ///
+    /// The engine's frame loop reuses one beeper bitmap across rounds; this
+    /// is the word-level wipe that makes that reuse allocation-free.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
     /// Flips bit `i`, returning its new value.
     ///
     /// # Panics
@@ -266,6 +276,15 @@ mod tests {
         assert!(!v.flip(0));
         assert!(v.flip(1));
         assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn clear_zeroes_everything_and_keeps_len() {
+        let mut v = BitVec::ones(130);
+        v.clear();
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v, BitVec::zeros(130));
     }
 
     #[test]

@@ -110,6 +110,23 @@ impl BitVec {
             .sum()
     }
 
+    /// Whether `self ∧ other ≠ 0`, i.e. the two strings share at least one
+    /// 1-position — `d_intersects(other, 1)` with word-level early exit.
+    ///
+    /// The lower-bound transcript projection asks this question once per
+    /// recorded round; answering it a word at a time (instead of testing
+    /// observed positions one by one) is what keeps that path on the fast
+    /// side.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        self.assert_same_len(other, "intersects");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
     /// Whether `self ∧ other == self`, i.e. every 1 of `self` is also a 1 of
     /// `other`. A codeword is subsumed by a superimposition containing it.
     ///
@@ -136,8 +153,67 @@ impl BitVec {
     /// Panics if any position is out of range.
     #[must_use]
     pub fn extract(&self, positions: impl IntoIterator<Item = usize>) -> BitVec {
-        let bits: Vec<bool> = positions.into_iter().map(|p| self.get(p)).collect();
-        BitVec::from_bools(&bits)
+        // Accumulate output words directly — no intermediate `Vec<bool>`.
+        let mut words = Vec::new();
+        let mut acc = 0u64;
+        let mut len = 0usize;
+        for p in positions {
+            if self.get(p) {
+                acc |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(acc);
+                acc = 0;
+            }
+        }
+        if !len.is_multiple_of(64) {
+            words.push(acc);
+        }
+        BitVec { words, len }
+    }
+
+    /// Extracts the subsequence of `self` at the 1-positions of `mask`
+    /// (ascending) — `extract(mask.iter_ones())`, but computed a word at a
+    /// time: zero mask words are skipped outright and set bits are peeled
+    /// with bit tricks instead of per-position bounds-checked `get` calls.
+    ///
+    /// This is the paper's phase-2 projection `y_{v,w}` (Lemma 10): the
+    /// received string restricted to a carrier codeword's 1-positions. It
+    /// sits on the decode hot path, executed once per (node, candidate)
+    /// pair per simulated round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn extract_mask(&self, mask: &BitVec) -> BitVec {
+        self.assert_same_len(mask, "extract_mask");
+        let mut out = BitVec::zeros(mask.count_ones());
+        let mut out_word = 0usize;
+        let mut out_bit = 0usize;
+        let mut acc = 0u64;
+        for (&src, &m) in self.words.iter().zip(&mask.words) {
+            let mut m = m;
+            while m != 0 {
+                let low = m & m.wrapping_neg();
+                if src & low != 0 {
+                    acc |= 1u64 << out_bit;
+                }
+                out_bit += 1;
+                if out_bit == 64 {
+                    out.words[out_word] = acc;
+                    out_word += 1;
+                    out_bit = 0;
+                    acc = 0;
+                }
+                m &= m - 1;
+            }
+        }
+        if out_bit > 0 {
+            out.words[out_word] = acc;
+        }
+        out
     }
 }
 
@@ -262,6 +338,41 @@ mod tests {
         assert_eq!(sub, bv("1110"));
         let empty = y.extract(std::iter::empty());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn extract_mask_matches_extract() {
+        let y = bv("10110100");
+        let mask = bv("10110001");
+        assert_eq!(y.extract_mask(&mask), y.extract(mask.iter_ones()));
+        // Cross word boundaries and straddle the 64-bit output packing.
+        let wide = BitVec::from_indices(300, (0..300).filter(|i| i % 3 == 0));
+        let mask = BitVec::from_indices(300, (0..300).filter(|i| i % 2 == 0));
+        let sub = wide.extract_mask(&mask);
+        assert_eq!(sub.len(), 150);
+        assert_eq!(sub, wide.extract(mask.iter_ones()));
+        // Empty mask gives the empty string.
+        assert!(wide.extract_mask(&BitVec::zeros(300)).is_empty());
+        // Full mask is the identity.
+        assert_eq!(wide.extract_mask(&BitVec::ones(300)), wide);
+    }
+
+    #[test]
+    fn intersects_matches_counting() {
+        let a = bv("110101110010");
+        let b = bv("011100101011");
+        assert_eq!(a.intersects(&b), a.intersection_count(&b) > 0);
+        let disjoint = BitVec::from_indices(200, [0, 64, 128]);
+        let other = BitVec::from_indices(200, [1, 65, 129]);
+        assert!(!disjoint.intersects(&other));
+        assert!(disjoint.intersects(&disjoint));
+        assert!(!BitVec::zeros(200).intersects(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_extract_mask_panics() {
+        let _ = bv("10").extract_mask(&bv("100"));
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl CombinedCode {
                 actual: received.len(),
             });
         }
-        Ok(received.extract(carrier.iter_ones()))
+        Ok(received.extract_mask(carrier))
     }
 }
 

@@ -6,7 +6,7 @@ use crate::round_sim::RoundOutcome;
 use crate::stats::RoundStats;
 use beep_bits::BitVec;
 use beep_congest::{BroadcastAlgorithm, CongestError, Message, NodeCtx};
-use beep_net::{Action, BeepNetwork, Graph, Noise};
+use beep_net::{BeepNetwork, Graph, Noise};
 
 use super::g2_coloring::{distance2_coloring, num_colors};
 
@@ -169,23 +169,9 @@ impl TdmaSimulator {
                 })
             })
             .collect();
-        // Drive the network bit-round by bit-round.
-        let mut heard: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(total)).collect();
-        let mut actions = vec![Action::Listen; n];
-        for i in 0..total {
-            for (v, frame) in frames.iter().enumerate() {
-                actions[v] = match frame {
-                    Some(f) if f.get(i) => Action::Beep,
-                    _ => Action::Listen,
-                };
-            }
-            let received = net.run_round(&actions)?;
-            for (v, &bit) in received.iter().enumerate() {
-                if bit {
-                    heard[v].set(i, true);
-                }
-            }
-        }
+        // Drive the network through the bit-parallel frame kernel (the
+        // explicit length keeps an all-silent round occupying its slots).
+        let heard = net.run_frame_of_len(&frames, total)?;
         // Decode: per node, per neighbor slot, majority-vote.
         let graph = net.graph();
         let half = self.repetition / 2;

@@ -10,7 +10,7 @@
 
 use super::local_broadcast::LocalBroadcastInstance;
 use beep_bits::BitVec;
-use beep_net::{Action, BeepNetwork, Noise};
+use beep_net::{BeepNetwork, Noise};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,13 +84,15 @@ pub fn tdma_local_broadcast_census(
         let mut net = BeepNetwork::new(inst.graph.clone(), Noise::Noiseless, seed ^ 0x7AB5);
         net.record_transcript();
         let n = inst.graph.node_count();
+        let mut beepers = BitVec::zeros(n);
         for round in 0..rounds_budget.min(input_bits) {
             let beeper = round / (delta * message_bits); // left node on duty
-            let mut actions = vec![Action::Listen; n];
+            beepers.clear();
             if schedule.get(round) {
-                actions[beeper] = Action::Beep;
+                beepers.set(beeper, true);
             }
-            net.run_round(&actions).expect("action count matches");
+            net.run_round_bitset(&beepers)
+                .expect("beeper bitmap matches node count");
         }
         // The right part's view: the OR of left beeps per round.
         let view = net

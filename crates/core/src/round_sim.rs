@@ -6,7 +6,7 @@ use crate::stats::RoundStats;
 use beep_bits::BitVec;
 use beep_codes::{MessageDecoder, SetDecoder};
 use beep_congest::{CongestError, Message};
-use beep_net::{Action, BeepNetwork};
+use beep_net::BeepNetwork;
 use rand::rngs::StdRng;
 use std::collections::HashSet;
 
@@ -177,30 +177,16 @@ impl BroadcastSimulator {
 
     /// Transmits one frame per node (None = listen throughout), returning
     /// what every node heard, bit by bit.
+    ///
+    /// Runs on the engine's bit-parallel frame kernel; the explicit length
+    /// keeps an all-silent phase occupying its `phase_len()` rounds in the
+    /// paper's accounting.
     fn run_phase(
         &self,
         net: &mut BeepNetwork,
         frames: &[Option<BitVec>],
     ) -> Result<Vec<BitVec>, SimError> {
-        let n = frames.len();
-        let len = self.codes.phase_len();
-        let mut heard: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(len)).collect();
-        let mut actions = vec![Action::Listen; n];
-        for i in 0..len {
-            for (v, frame) in frames.iter().enumerate() {
-                actions[v] = match frame {
-                    Some(f) if f.get(i) => Action::Beep,
-                    _ => Action::Listen,
-                };
-            }
-            let received = net.run_round(&actions)?;
-            for (v, &bit) in received.iter().enumerate() {
-                if bit {
-                    heard[v].set(i, true);
-                }
-            }
-        }
-        Ok(heard)
+        Ok(net.run_frame_of_len(frames, self.codes.phase_len())?)
     }
 
     /// The Section 4 decoder at every node, with candidate + decoy scoring

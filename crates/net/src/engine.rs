@@ -9,6 +9,55 @@ use beep_bits::BitVec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Word budget for the precomputed dense adjacency bitmasks: `n` rows of
+/// `⌈n/64⌉` words each are only materialized when they fit in this many
+/// `u64`s (16 MiB). Beyond it the sparse CSR kernel is used.
+const DENSE_WORD_BUDGET: usize = 1 << 21;
+
+/// How [`BeepNetwork::run_round_bitset`] computes the neighborhood OR.
+#[derive(Debug)]
+enum AdjKernel {
+    /// Iterate the set bits of the beeper bitmap and scatter each beeper's
+    /// CSR adjacency list into the received bitmap: `O(Σ deg(beeper))`.
+    Sparse,
+    /// Dense rows selected but not yet materialized: a network that only
+    /// ever runs the scalar path (or is constructed per bench iteration)
+    /// must not pay the `O(n²/64)` build in `new`. The first bitset round
+    /// promotes this to [`AdjKernel::Dense`].
+    DensePending,
+    /// Per-node neighbor bitmasks, OR'd a whole row (word-parallel) per
+    /// beeper: `O(#beepers · n/64)` words. Wins on small or dense graphs.
+    Dense(Vec<BitVec>),
+}
+
+impl AdjKernel {
+    /// Auto-selects the kernel: dense rows when they fit the
+    /// [`DENSE_WORD_BUDGET`] *and* the graph is dense enough that a row OR
+    /// (`⌈n/64⌉` words) beats scattering an average adjacency list
+    /// (`2m/n` bit-writes), i.e. roughly when `128·m ≥ n²`. The rows
+    /// themselves are built lazily on first use.
+    fn auto(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let words_per_row = n.div_ceil(64);
+        let fits = n.saturating_mul(words_per_row) <= DENSE_WORD_BUDGET;
+        let dense_enough = 128usize.saturating_mul(graph.edge_count()) >= n.saturating_mul(n);
+        if n > 0 && fits && dense_enough {
+            AdjKernel::DensePending
+        } else {
+            AdjKernel::Sparse
+        }
+    }
+
+    fn dense(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        AdjKernel::Dense(
+            (0..n)
+                .map(|v| BitVec::from_indices(n, graph.neighbors(v).iter().copied()))
+                .collect(),
+        )
+    }
+}
+
 /// A beeping network: a graph, a channel model, and a seeded RNG.
 ///
 /// The engine implements the models of Section 1.1 exactly:
@@ -23,6 +72,20 @@ use rand::SeedableRng;
 /// default, so the engine matches the analysis verbatim; call
 /// [`set_self_hearing_noisy(false)`](Self::set_self_hearing_noisy) for the
 /// (easier) realistic semantics where a node knows it beeped.
+///
+/// # Two round kernels
+///
+/// [`run_round`](Self::run_round) is the scalar reference implementation:
+/// one pass over the nodes, one neighborhood scan and (under noise) one RNG
+/// draw each. [`run_round_bitset`](Self::run_round_bitset) is the
+/// bit-parallel production kernel: beepers come in as a [`BitVec`], the
+/// received OR is computed sparsely from the set bits (or via precomputed
+/// adjacency bitmask rows on small/dense graphs), and channel noise is
+/// applied with batched geometric-skip sampling. The two are bit-identical
+/// under [`Noise::Noiseless`] (asserted by the `bitset_oracle` test suite);
+/// under noise each is deterministic in `(graph, noise, seed, actions)` but
+/// they consume the RNG stream differently, so their noisy runs are equal
+/// in distribution, not bit-equal.
 #[derive(Debug)]
 pub struct BeepNetwork {
     graph: Graph,
@@ -32,6 +95,7 @@ pub struct BeepNetwork {
     beeps_per_node: Vec<u64>,
     self_hearing_noisy: bool,
     transcript: Option<Transcript>,
+    kernel: AdjKernel,
 }
 
 impl BeepNetwork {
@@ -40,6 +104,7 @@ impl BeepNetwork {
     #[must_use]
     pub fn new(graph: Graph, noise: Noise, seed: u64) -> Self {
         let beeps_per_node = vec![0; graph.node_count()];
+        let kernel = AdjKernel::auto(&graph);
         BeepNetwork {
             graph,
             noise,
@@ -48,6 +113,7 @@ impl BeepNetwork {
             beeps_per_node,
             self_hearing_noisy: true,
             transcript: None,
+            kernel,
         }
     }
 
@@ -81,6 +147,19 @@ impl BeepNetwork {
     /// noisy channel (default `true`, matching the paper's footnote 2).
     pub fn set_self_hearing_noisy(&mut self, noisy: bool) {
         self.self_hearing_noisy = noisy;
+    }
+
+    /// Overrides the auto-selected bitset kernel: `true` materializes the
+    /// `n × n` adjacency bitmask rows (word-parallel row ORs per beeper),
+    /// `false` uses the sparse CSR scatter. A tuning knob — results are
+    /// identical either way; only [`run_round_bitset`](Self::run_round_bitset)
+    /// throughput changes.
+    pub fn set_dense_adjacency(&mut self, dense: bool) {
+        self.kernel = if dense {
+            AdjKernel::DensePending
+        } else {
+            AdjKernel::Sparse
+        };
     }
 
     /// Starts recording a [`Transcript`] of beep bitmaps from the next
@@ -145,8 +224,159 @@ impl BeepNetwork {
         Ok(received)
     }
 
+    /// Executes one synchronous round from a beeper bitmap — the
+    /// bit-parallel kernel. `beepers` has bit `v` set iff node `v` beeps;
+    /// the returned bitmap has bit `v` set iff node `v` receives a `1`.
+    ///
+    /// Semantics (beeper set, received OR, noise, stats, transcript) are
+    /// exactly [`run_round`](Self::run_round)'s; only the cost model
+    /// differs. The received OR is built from the *set bits only* — each
+    /// beeper scatters its CSR adjacency list (or ORs its precomputed
+    /// adjacency bitmask row, see [`set_dense_adjacency`](Self::set_dense_adjacency))
+    /// — so a sparse-beeper round is `O(Σ deg(beeper) + n/64)` instead of
+    /// the scalar path's `O(n + m)`. Under [`Noise::Bernoulli`] the channel
+    /// is applied with geometric-skip batch sampling (`O(ε·n)` expected RNG
+    /// draws); see [`Noise::apply_frame`] for the RNG-stream caveat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ActionCount`] if `beepers.len()` differs from
+    /// the node count.
+    pub fn run_round_bitset(&mut self, beepers: &BitVec) -> Result<BitVec, NetError> {
+        let n = self.graph.node_count();
+        if beepers.len() != n {
+            return Err(NetError::ActionCount {
+                expected: n,
+                actual: beepers.len(),
+            });
+        }
+        if matches!(self.kernel, AdjKernel::DensePending) {
+            self.kernel = AdjKernel::dense(&self.graph);
+        }
+        // Self-hearing (Section 1.5) plus the neighborhood OR.
+        let mut received = beepers.clone();
+        match &self.kernel {
+            AdjKernel::Dense(rows) => {
+                for u in beepers.iter_ones() {
+                    received.or_assign(&rows[u]);
+                }
+            }
+            AdjKernel::Sparse => {
+                for u in beepers.iter_ones() {
+                    for &w in self.graph.neighbors(u) {
+                        received.set(w, true);
+                    }
+                }
+            }
+            AdjKernel::DensePending => unreachable!("promoted to Dense above"),
+        }
+        let protect = (!self.self_hearing_noisy).then_some(beepers);
+        self.noise
+            .apply_frame(&mut received, protect, &mut self.rng);
+        let beep_count = beepers.count_ones();
+        self.stats.rounds += 1;
+        self.stats.beeps += beep_count as u64;
+        self.stats.listens += (n - beep_count) as u64;
+        for u in beepers.iter_ones() {
+            self.beeps_per_node[u] += 1;
+        }
+        if let Some(t) = &mut self.transcript {
+            t.push(beepers.clone());
+        }
+        Ok(received)
+    }
+
+    /// Runs a whole batch of rounds from per-node transmit frames:
+    /// `frames[v]` is node `v`'s schedule (bit `i` set ⇒ beep in round
+    /// `i`), `None` means listen throughout. Returns what each node heard,
+    /// as one [`BitVec`] per node covering all rounds.
+    ///
+    /// The round count is inferred from the first transmitted frame (0 if
+    /// every node listens); every transmitted frame must have that length.
+    /// Use [`run_frame_of_len`](Self::run_frame_of_len) when silent batches
+    /// must still consume rounds.
+    ///
+    /// This is the frame-level API the phase simulators run on: each round
+    /// touches only the transmitting nodes to assemble the beeper bitmap,
+    /// then goes through [`run_round_bitset`](Self::run_round_bitset).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::ActionCount`] if `frames.len()` differs from the node
+    ///   count.
+    /// * [`NetError::FrameLength`] if two transmitted frames disagree on
+    ///   length.
+    pub fn run_frame(&mut self, frames: &[Option<BitVec>]) -> Result<Vec<BitVec>, NetError> {
+        let rounds = frames.iter().flatten().map(BitVec::len).next().unwrap_or(0);
+        self.run_frame_of_len(frames, rounds)
+    }
+
+    /// [`run_frame`](Self::run_frame) with an explicit round count: runs
+    /// exactly `rounds` rounds even when every node listens (an all-silent
+    /// phase still occupies its slot in the paper's round accounting).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::ActionCount`] if `frames.len()` differs from the node
+    ///   count.
+    /// * [`NetError::FrameLength`] if a transmitted frame's length is not
+    ///   `rounds`.
+    pub fn run_frame_of_len(
+        &mut self,
+        frames: &[Option<BitVec>],
+        rounds: usize,
+    ) -> Result<Vec<BitVec>, NetError> {
+        let n = self.graph.node_count();
+        if frames.len() != n {
+            return Err(NetError::ActionCount {
+                expected: n,
+                actual: frames.len(),
+            });
+        }
+        let mut transmitters: Vec<(usize, &BitVec)> = Vec::new();
+        for (v, frame) in frames.iter().enumerate() {
+            if let Some(f) = frame {
+                if f.len() != rounds {
+                    return Err(NetError::FrameLength {
+                        node: v,
+                        expected: rounds,
+                        actual: f.len(),
+                    });
+                }
+                transmitters.push((v, f));
+            }
+        }
+        let mut heard: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(rounds)).collect();
+        let mut beepers = BitVec::zeros(n);
+        for i in 0..rounds {
+            beepers.clear();
+            for &(v, f) in &transmitters {
+                if f.get(i) {
+                    beepers.set(v, true);
+                }
+            }
+            let received = self.run_round_bitset(&beepers)?;
+            for v in received.iter_ones() {
+                heard[v].set(i, true);
+            }
+        }
+        Ok(heard)
+    }
+
     /// Drives one [`BeepProtocol`] instance per node until all report done
     /// or the round budget runs out. Returns the number of rounds executed.
+    ///
+    /// # Contract
+    ///
+    /// Done-ness is sampled only at round boundaries, and only the
+    /// conjunction over *all* nodes stops the run: a protocol whose
+    /// [`is_done`](BeepProtocol::is_done) already returns `true` keeps
+    /// receiving [`act`](BeepProtocol::act) and
+    /// [`feedback`](BeepProtocol::feedback) every remaining round (real
+    /// beeping devices cannot leave the network either — a "done" node
+    /// still occupies the channel, and several protocols in this workspace
+    /// rely on done nodes continuing to relay). Pinned by a regression
+    /// test.
     ///
     /// # Errors
     ///
@@ -166,17 +396,17 @@ impl BeepNetwork {
                 actual: protocols.len(),
             });
         }
-        let mut actions = vec![Action::Listen; n];
+        let mut beepers = BitVec::zeros(n);
         for round in 0..max_rounds {
             if protocols.iter().all(|p| p.is_done()) {
                 return Ok(round);
             }
             for (v, p) in protocols.iter_mut().enumerate() {
-                actions[v] = p.act(round);
+                beepers.set(v, p.act(round) == Action::Beep);
             }
-            let received = self.run_round(&actions)?;
+            let received = self.run_round_bitset(&beepers)?;
             for (v, p) in protocols.iter_mut().enumerate() {
-                p.feedback(round, received[v]);
+                p.feedback(round, received.get(v));
             }
         }
         if protocols.iter().all(|p| p.is_done()) {
@@ -387,6 +617,165 @@ mod tests {
         let rounds = net.run_protocols(&mut protos, 100).unwrap();
         assert_eq!(rounds, 3);
         assert_eq!(net.stats().rounds, 3);
+    }
+
+    #[test]
+    fn run_round_bitset_matches_scalar_semantics() {
+        // Spot-check on a path; the exhaustive cross-topology oracle lives
+        // in tests/bitset_oracle.rs.
+        let g = topology::path(5).unwrap();
+        let mut scalar = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+        let mut bitset = BeepNetwork::new(g, Noise::Noiseless, 0);
+        let mut actions = all_listen(5);
+        actions[2] = Action::Beep;
+        let beepers = BitVec::from_indices(5, [2]);
+        let via_scalar = scalar.run_round(&actions).unwrap();
+        let via_bitset = bitset.run_round_bitset(&beepers).unwrap();
+        assert_eq!(via_scalar, via_bitset.iter_bits().collect::<Vec<_>>());
+        assert_eq!(scalar.stats(), bitset.stats());
+        assert_eq!(scalar.beeps_by_node(), bitset.beeps_by_node());
+    }
+
+    #[test]
+    fn run_round_bitset_rejects_wrong_length() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        assert_eq!(
+            net.run_round_bitset(&BitVec::zeros(2)),
+            Err(NetError::ActionCount {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn run_frame_transmits_frames_bit_by_bit() {
+        // Node 0 sends 101, node 2 sends 011 on a path 0-1-2; check what
+        // node 1 (hearing both) and the endpoints reconstruct.
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        let frames = vec![
+            Some(BitVec::from_indices(3, [0, 2])),
+            None,
+            Some(BitVec::from_indices(3, [1, 2])),
+        ];
+        let heard = net.run_frame(&frames).unwrap();
+        assert_eq!(heard[0].to_string(), "101"); // own beeps
+        assert_eq!(heard[1].to_string(), "111"); // OR of both neighbors
+        assert_eq!(heard[2].to_string(), "011"); // own beeps
+        assert_eq!(net.stats().rounds, 3);
+        assert_eq!(net.stats().beeps, 4);
+    }
+
+    #[test]
+    fn run_frame_infers_zero_rounds_when_all_silent() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        let heard = net.run_frame(&[None, None, None]).unwrap();
+        assert!(heard.iter().all(BitVec::is_empty));
+        assert_eq!(net.stats().rounds, 0);
+        // The explicit-length variant still burns the rounds.
+        let heard = net.run_frame_of_len(&[None, None, None], 4).unwrap();
+        assert!(heard.iter().all(|h| h.len() == 4 && h.count_ones() == 0));
+        assert_eq!(net.stats().rounds, 4);
+    }
+
+    #[test]
+    fn run_frame_rejects_mismatched_frames() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        let frames = vec![
+            Some(BitVec::zeros(3)),
+            None,
+            Some(BitVec::zeros(2)), // wrong length
+        ];
+        assert_eq!(
+            net.run_frame(&frames),
+            Err(NetError::FrameLength {
+                node: 2,
+                expected: 3,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            net.run_frame(&[None, None]),
+            Err(NetError::ActionCount {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn dense_and_sparse_kernels_agree() {
+        let g = topology::grid(4, 4).unwrap();
+        let beepers = BitVec::from_indices(16, [0, 5, 10, 15]);
+        let mut dense = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+        dense.set_dense_adjacency(true);
+        let mut sparse = BeepNetwork::new(g, Noise::Noiseless, 0);
+        sparse.set_dense_adjacency(false);
+        assert_eq!(
+            dense.run_round_bitset(&beepers).unwrap(),
+            sparse.run_round_bitset(&beepers).unwrap()
+        );
+    }
+
+    // Regression: run_protocols keeps driving act()/feedback() on nodes
+    // whose is_done() already returns true, until *all* nodes are done
+    // (the documented contract). Counters are shared out through Rc so the
+    // boxed trait objects can be inspected after the run.
+    struct DoneButCounting {
+        rounds_to_run: usize,
+        feedbacks: std::rc::Rc<std::cell::Cell<usize>>,
+        acts_while_done: std::rc::Rc<std::cell::Cell<usize>>,
+    }
+    impl BeepProtocol for DoneButCounting {
+        fn act(&mut self, _round: usize) -> Action {
+            if self.is_done() {
+                self.acts_while_done.set(self.acts_while_done.get() + 1);
+            }
+            Action::Listen
+        }
+        fn feedback(&mut self, _round: usize, _received: bool) {
+            self.feedbacks.set(self.feedbacks.get() + 1);
+        }
+        fn is_done(&self) -> bool {
+            self.feedbacks.get() >= self.rounds_to_run
+        }
+    }
+
+    #[test]
+    fn run_protocols_keeps_driving_done_nodes() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        // Node 0 is done after 1 round, node 1 after 5: node 0 must still
+        // be asked to act (and given feedback) in rounds 1..4.
+        type Counters = (Rc<Cell<usize>>, Rc<Cell<usize>>);
+        let counters: Vec<Counters> = (0..2).map(|_| Default::default()).collect();
+        let mut protos: Vec<Box<dyn BeepProtocol>> = counters
+            .iter()
+            .zip([1usize, 5])
+            .map(|((feedbacks, acts_while_done), rounds_to_run)| {
+                Box::new(DoneButCounting {
+                    rounds_to_run,
+                    feedbacks: Rc::clone(feedbacks),
+                    acts_while_done: Rc::clone(acts_while_done),
+                }) as Box<dyn BeepProtocol>
+            })
+            .collect();
+        let g = topology::path(2).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::Noiseless, 0);
+        let rounds = net.run_protocols(&mut protos, 100).unwrap();
+        assert_eq!(rounds, 5);
+        let (node0_feedbacks, node0_acts_while_done) = &counters[0];
+        assert_eq!(
+            node0_feedbacks.get(),
+            5,
+            "done node stopped receiving feedback"
+        );
+        assert_eq!(
+            node0_acts_while_done.get(),
+            4,
+            "done node stopped being asked to act"
+        );
+        assert_eq!(counters[1].0.get(), 5);
     }
 
     #[test]

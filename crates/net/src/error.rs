@@ -42,7 +42,7 @@ impl fmt::Display for GraphError {
 impl Error for GraphError {}
 
 /// Errors from running a [`crate::BeepNetwork`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum NetError {
     /// The action slice length did not match the node count.
@@ -51,6 +51,22 @@ pub enum NetError {
         expected: usize,
         /// Provided number of actions.
         actual: usize,
+    },
+    /// A frame in a [`crate::BeepNetwork::run_frame`] batch had the wrong
+    /// length (all transmitted frames must cover the same bit-rounds).
+    FrameLength {
+        /// The node whose frame was malformed.
+        node: usize,
+        /// Expected frame length in bit-rounds.
+        expected: usize,
+        /// Provided frame length.
+        actual: usize,
+    },
+    /// A noise rate outside the paper's open interval `ε ∈ (0, ½)` was
+    /// requested (see [`crate::Noise::try_bernoulli`]).
+    InvalidNoise {
+        /// The rejected flip probability.
+        epsilon: f64,
     },
     /// A protocol run exceeded its round budget without completing.
     RoundBudgetExhausted {
@@ -64,6 +80,19 @@ impl fmt::Display for NetError {
         match self {
             NetError::ActionCount { expected, actual } => {
                 write!(f, "got {actual} actions for {expected} nodes")
+            }
+            NetError::FrameLength {
+                node,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "node {node}'s frame is {actual} bits but the batch runs {expected} rounds"
+                )
+            }
+            NetError::InvalidNoise { epsilon } => {
+                write!(f, "noise rate ε = {epsilon} outside (0, 1/2)")
             }
             NetError::RoundBudgetExhausted { budget } => {
                 write!(f, "protocols did not complete within {budget} rounds")
@@ -93,5 +122,15 @@ mod tests {
         assert!(NetError::RoundBudgetExhausted { budget: 100 }
             .to_string()
             .contains("100"));
+        assert!(NetError::InvalidNoise { epsilon: 0.7 }
+            .to_string()
+            .contains("0.7"));
+        assert!(NetError::FrameLength {
+            node: 2,
+            expected: 8,
+            actual: 6
+        }
+        .to_string()
+        .contains('6'));
     }
 }

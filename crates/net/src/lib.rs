@@ -24,6 +24,12 @@
 //! The engine is deterministic given a seed: every experiment in the
 //! workspace is exactly reproducible.
 //!
+//! Rounds run on one of two equivalent kernels: the scalar reference
+//! [`BeepNetwork::run_round`] (kept as a differential-testing oracle) and
+//! the bit-parallel [`BeepNetwork::run_round_bitset`] /
+//! [`BeepNetwork::run_frame`], which the simulators and protocols in the
+//! workspace use.
+//!
 //! # Example
 //!
 //! ```

@@ -1,5 +1,7 @@
 //! The noisy beeping channel (Ashkenazi, Gelles & Leshem).
 
+use crate::error::NetError;
+use beep_bits::BitVec;
 use rand::{Rng, RngExt};
 
 /// The channel model applied to every bit a node receives.
@@ -18,16 +20,33 @@ impl Noise {
     /// open interval the paper requires (at `ε = ½` the channel carries no
     /// information; at `ε = 0` use [`Noise::Noiseless`]).
     ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidNoise`] if `epsilon` is outside
+    /// `(0, 0.5)` (including NaN).
+    pub fn try_bernoulli(epsilon: f64) -> Result<Self, NetError> {
+        if epsilon > 0.0 && epsilon < 0.5 {
+            Ok(Noise::Bernoulli(epsilon))
+        } else {
+            Err(NetError::InvalidNoise { epsilon })
+        }
+    }
+
+    /// [`Noise::try_bernoulli`] for contexts where `ε` is a literal or
+    /// otherwise known-valid — the panicking convenience every example and
+    /// test uses.
+    ///
     /// # Panics
     ///
-    /// Panics if `epsilon` is outside `(0, 0.5)`.
+    /// Panics if `epsilon` is outside `(0, 0.5)`. Use
+    /// [`Noise::try_bernoulli`] when `ε` comes from user input or
+    /// configuration.
     #[must_use]
     pub fn bernoulli(epsilon: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon < 0.5,
-            "noise rate ε = {epsilon} outside (0, 1/2)"
-        );
-        Noise::Bernoulli(epsilon)
+        match Self::try_bernoulli(epsilon) {
+            Ok(noise) => noise,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The flip probability (0 for the noiseless channel).
@@ -51,6 +70,48 @@ impl Noise {
                     bit
                 }
             }
+        }
+    }
+
+    /// Passes a whole frame of received bits through the channel at once:
+    /// each bit of `bits` is flipped independently with probability `ε`,
+    /// except at positions set in `protect` (the engine passes the beeper
+    /// set there when self-hearing is configured noise-free).
+    ///
+    /// Instead of one Bernoulli draw per bit, flip positions are generated
+    /// by geometric gap sampling (inversion of the geometric CDF), so a
+    /// frame of `n` bits costs `O(ε·n + 1)` RNG draws — the batching that
+    /// makes the noisy channel as cheap as the noiseless one at simulation
+    /// scale. The per-bit marginal is exactly `Bernoulli(ε)` and flips stay
+    /// i.i.d.; only the *stream* of RNG draws differs from bit-by-bit
+    /// [`Noise::apply`], so scalar and batched runs under noise are each
+    /// deterministic in `(graph, noise, seed, actions)` but not bit-equal
+    /// to one another.
+    pub fn apply_frame<R: Rng + ?Sized>(
+        &self,
+        bits: &mut BitVec,
+        protect: Option<&BitVec>,
+        rng: &mut R,
+    ) {
+        let Noise::Bernoulli(e) = *self else {
+            return;
+        };
+        let n = bits.len();
+        // gap = ⌊ln(1−U)/ln(1−ε)⌋ is Geometric(ε) on {0, 1, 2, …}: the
+        // number of unflipped bits before the next flip.
+        let denom = (1.0 - e).ln();
+        let mut i = 0usize;
+        while i < n {
+            let u: f64 = rng.random();
+            let gap = (1.0 - u).ln() / denom;
+            if gap >= (n - i) as f64 {
+                break;
+            }
+            i += gap as usize;
+            if !protect.is_some_and(|p| p.get(i)) {
+                bits.flip(i);
+            }
+            i += 1;
         }
     }
 }
@@ -100,5 +161,83 @@ mod tests {
     #[should_panic(expected = "outside (0, 1/2)")]
     fn epsilon_half_rejected() {
         let _ = Noise::bernoulli(0.5);
+    }
+
+    #[test]
+    fn try_bernoulli_validates_without_panicking() {
+        assert_eq!(Noise::try_bernoulli(0.25), Ok(Noise::Bernoulli(0.25)));
+        for bad in [0.0, 0.5, 1.0, -0.1, f64::NAN] {
+            let err = Noise::try_bernoulli(bad).unwrap_err();
+            assert!(matches!(err, NetError::InvalidNoise { .. }), "ε = {bad}");
+        }
+    }
+
+    #[test]
+    fn batched_flip_rate_matches_epsilon() {
+        // Statistical contract of the geometric-skip sampler: the per-bit
+        // flip marginal is ε, within binomial tolerance.
+        let mut rng = StdRng::seed_from_u64(4);
+        for eps in [0.05, 0.2, 0.45] {
+            let noise = Noise::bernoulli(eps);
+            let n = 40_000;
+            let mut bits = BitVec::zeros(n);
+            noise.apply_frame(&mut bits, None, &mut rng);
+            let rate = bits.count_ones() as f64 / n as f64;
+            let sigma = (eps * (1.0 - eps) / n as f64).sqrt();
+            assert!(
+                (rate - eps).abs() < 5.0 * sigma,
+                "ε = {eps}: measured {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_flips_are_position_uniform() {
+        // Every position must be flippable — guards against off-by-one in
+        // the gap arithmetic (first and last bit included).
+        let mut rng = StdRng::seed_from_u64(5);
+        let noise = Noise::bernoulli(0.3);
+        let n = 64;
+        let mut seen = vec![0usize; n];
+        for _ in 0..2_000 {
+            let mut bits = BitVec::zeros(n);
+            noise.apply_frame(&mut bits, None, &mut rng);
+            for i in bits.iter_ones() {
+                seen[i] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c > 0),
+            "positions never flipped: {:?}",
+            seen.iter().enumerate().filter(|(_, &c)| c == 0).count()
+        );
+        // First and last position flip at rate ≈ ε like any other.
+        for &edge in &[0, n - 1] {
+            let rate = seen[edge] as f64 / 2_000.0;
+            assert!((rate - 0.3).abs() < 0.06, "position {edge}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn protected_positions_never_flip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let noise = Noise::bernoulli(0.45);
+        let n = 500;
+        let protect = BitVec::from_fn(n, |i| i % 3 == 0);
+        let mut bits = BitVec::zeros(n);
+        for _ in 0..50 {
+            noise.apply_frame(&mut bits, Some(&protect), &mut rng);
+            assert!(!bits.intersects(&protect), "a protected bit flipped");
+            bits.clear();
+        }
+    }
+
+    #[test]
+    fn noiseless_apply_frame_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bits = BitVec::from_fn(100, |i| i % 7 == 0);
+        let before = bits.clone();
+        Noise::Noiseless.apply_frame(&mut bits, None, &mut rng);
+        assert_eq!(bits, before);
     }
 }

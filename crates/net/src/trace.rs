@@ -79,9 +79,14 @@ impl Transcript {
     /// Panics if an index in `observed` is out of range for the bitmaps.
     #[must_use]
     pub fn or_projection(&self, observed: &[usize]) -> BitVec {
-        BitVec::from_fn(self.rows.len(), |r| {
-            observed.iter().any(|&v| self.rows[r].get(v))
-        })
+        // Build the observer mask once, then answer each round with a
+        // word-level intersection test instead of per-position bit probes
+        // (this sits on the lower-bound census hot path).
+        let Some(first) = self.rows.first() else {
+            return BitVec::zeros(0);
+        };
+        let mask = BitVec::from_indices(first.len(), observed.iter().copied());
+        BitVec::from_fn(self.rows.len(), |r| self.rows[r].intersects(&mask))
     }
 
     /// Iterates over the recorded rounds.

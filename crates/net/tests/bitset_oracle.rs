@@ -1,0 +1,212 @@
+//! Differential oracle: the bit-parallel kernel (`run_round_bitset`,
+//! `run_frame`) against the scalar reference `run_round`, bit-exact under
+//! `Noise::Noiseless`, across **every** `topology::*` generator and both
+//! adjacency kernels — plus the statistical contract of the batched noisy
+//! channel.
+//!
+//! CI runs this file explicitly (and fails if it vanishes or stops
+//! executing tests): it is the proof that the production kernel and the
+//! reference implementation are the same model.
+
+use beep_bits::BitVec;
+use beep_net::{topology, Action, BeepNetwork, Graph, Noise};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Every topology generator in `beep_net::topology`, instantiated at small
+/// but structurally interesting sizes.
+fn all_topologies() -> Vec<(String, Graph)> {
+    let mut rng = StdRng::seed_from_u64(0xBEE9);
+    vec![
+        ("complete(9)".into(), topology::complete(9).unwrap()),
+        (
+            "complete_bipartite(4,7)".into(),
+            topology::complete_bipartite(4, 7).unwrap(),
+        ),
+        (
+            "complete_bipartite_with_isolated(3,11)".into(),
+            topology::complete_bipartite_with_isolated(3, 11).unwrap(),
+        ),
+        ("path(13)".into(), topology::path(13).unwrap()),
+        ("cycle(10)".into(), topology::cycle(10).unwrap()),
+        ("star(12)".into(), topology::star(12).unwrap()),
+        ("grid(3,5)".into(), topology::grid(3, 5).unwrap()),
+        ("binary_tree(14)".into(), topology::binary_tree(14).unwrap()),
+        ("hypercube(4)".into(), topology::hypercube(4).unwrap()),
+        (
+            "gnp(15,0.3)".into(),
+            topology::gnp(15, 0.3, &mut rng).unwrap(),
+        ),
+        (
+            "random_geometric(15,0.4)".into(),
+            topology::random_geometric(15, 0.4, &mut rng).unwrap().0,
+        ),
+        (
+            "random_regular(14,4)".into(),
+            topology::random_regular(14, 4, &mut rng).unwrap(),
+        ),
+        (
+            "random_tree(16)".into(),
+            topology::random_tree(16, &mut rng).unwrap(),
+        ),
+    ]
+}
+
+/// Random beep probability per round, chosen to cover silent, sparse and
+/// dense beeper sets.
+fn random_actions(n: usize, density: f64, rng: &mut StdRng) -> Vec<Action> {
+    (0..n)
+        .map(|_| Action::from_bit(rng.random_bool(density)))
+        .collect()
+}
+
+fn beeper_bitmap(actions: &[Action]) -> BitVec {
+    BitVec::from_fn(actions.len(), |v| actions[v] == Action::Beep)
+}
+
+#[test]
+fn bitset_kernel_is_bit_identical_to_scalar_on_every_topology() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        for dense in [false, true] {
+            let mut scalar = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
+            let mut bitset = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
+            bitset.set_dense_adjacency(dense);
+            scalar.record_transcript();
+            bitset.record_transcript();
+            for round in 0..12 {
+                let density = [0.0, 0.05, 0.3, 1.0][round % 4];
+                let actions = random_actions(n, density, &mut rng);
+                let beepers = beeper_bitmap(&actions);
+                let via_scalar = scalar.run_round(&actions).unwrap();
+                let via_bitset = bitset.run_round_bitset(&beepers).unwrap();
+                assert_eq!(
+                    via_scalar,
+                    via_bitset.iter_bits().collect::<Vec<bool>>(),
+                    "{name} (dense={dense}) round {round}"
+                );
+            }
+            // Bookkeeping must agree too: stats, per-node energy,
+            // transcript.
+            assert_eq!(scalar.stats(), bitset.stats(), "{name} stats");
+            assert_eq!(
+                scalar.beeps_by_node(),
+                bitset.beeps_by_node(),
+                "{name} energy"
+            );
+            assert_eq!(
+                scalar.transcript(),
+                bitset.transcript(),
+                "{name} transcript"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_frame_matches_round_by_round_scalar_driving() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let len = 24;
+        // Half the nodes transmit a random frame, half listen.
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 2 == 0).then(|| BitVec::random_uniform(len, &mut rng)))
+            .collect();
+        let mut scalar = BeepNetwork::new(graph.clone(), Noise::Noiseless, 2);
+        let mut batched = BeepNetwork::new(graph.clone(), Noise::Noiseless, 2);
+        let mut expected: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(len)).collect();
+        let mut actions = vec![Action::Listen; n];
+        for i in 0..len {
+            for (v, frame) in frames.iter().enumerate() {
+                actions[v] = match frame {
+                    Some(f) if f.get(i) => Action::Beep,
+                    _ => Action::Listen,
+                };
+            }
+            for (v, &bit) in scalar.run_round(&actions).unwrap().iter().enumerate() {
+                if bit {
+                    expected[v].set(i, true);
+                }
+            }
+        }
+        let heard = batched.run_frame(&frames).unwrap();
+        assert_eq!(heard, expected, "{name}");
+        assert_eq!(scalar.stats(), batched.stats(), "{name} stats");
+    }
+}
+
+#[test]
+fn batched_noise_phantom_rate_matches_epsilon() {
+    // Statistical oracle for the geometric-skip channel through the full
+    // engine: with everyone silent, each node's phantom-beep rate must be
+    // ≈ ε (the batched analogue of the scalar noise tests in
+    // tests/oracle.rs).
+    let eps = 0.2;
+    let n = 64;
+    let rounds = 3_000;
+    let g = topology::cycle(n).unwrap();
+    let mut net = BeepNetwork::new(g, Noise::bernoulli(eps), 11);
+    let silent = BitVec::zeros(n);
+    let mut phantom = vec![0usize; n];
+    for _ in 0..rounds {
+        for v in net.run_round_bitset(&silent).unwrap().iter_ones() {
+            phantom[v] += 1;
+        }
+    }
+    let global = phantom.iter().sum::<usize>() as f64 / (n * rounds) as f64;
+    assert!((global - eps).abs() < 0.01, "global phantom rate {global}");
+    for (v, &count) in phantom.iter().enumerate() {
+        let rate = count as f64 / rounds as f64;
+        assert!((rate - eps).abs() < 0.05, "node {v}: rate {rate}");
+    }
+}
+
+#[test]
+fn batched_noise_flips_ones_to_zeros_too() {
+    // Everyone beeps: received is all-ones pre-noise, so the observed zero
+    // rate is the flip rate.
+    let eps = 0.3;
+    let n = 50;
+    let rounds = 2_000;
+    let g = topology::complete(n).unwrap();
+    let mut net = BeepNetwork::new(g, Noise::bernoulli(eps), 12);
+    let everyone = BitVec::ones(n);
+    let mut dropped = 0usize;
+    for _ in 0..rounds {
+        dropped += net.run_round_bitset(&everyone).unwrap().count_zeros();
+    }
+    let rate = dropped as f64 / (n * rounds) as f64;
+    assert!((rate - eps).abs() < 0.01, "drop rate {rate}");
+}
+
+#[test]
+fn batched_self_hearing_flag_protects_beepers() {
+    // With noise-free self-hearing, a beeping node's own 1 never flips on
+    // the bitset path either.
+    let eps = 0.4;
+    let n = 10;
+    let g = topology::complete(n).unwrap();
+    let mut net = BeepNetwork::new(g, Noise::bernoulli(eps), 13);
+    net.set_self_hearing_noisy(false);
+    let everyone = BitVec::ones(n);
+    for _ in 0..500 {
+        let received = net.run_round_bitset(&everyone).unwrap();
+        assert_eq!(received.count_ones(), n, "a beeper's own bit flipped");
+    }
+}
+
+#[test]
+fn noisy_bitset_runs_are_deterministic_in_the_seed() {
+    let run = |seed: u64| {
+        let g = topology::random_regular(30, 4, &mut StdRng::seed_from_u64(1)).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::bernoulli(0.25), seed);
+        let beepers = BitVec::from_indices(30, [0, 7, 19]);
+        (0..40)
+            .map(|_| net.run_round_bitset(&beepers).unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6), "different seeds should differ somewhere");
+}

@@ -31,7 +31,8 @@ fn main() {
     // The paper's simulator with calibrated constants for ε = 0.1.
     let params = SimulationParams::calibrated(epsilon);
     let simulator = BroadcastSimulator::new(params, message_bits, delta).expect("valid parameters");
-    let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(epsilon), 42);
+    let noise = Noise::try_bernoulli(epsilon).expect("ε must lie in (0, 1/2)");
+    let mut net = BeepNetwork::new(graph.clone(), noise, 42);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
 
     println!("n = 10 cycle, Δ = {delta}, ε = {epsilon}");
