@@ -156,6 +156,7 @@ pub fn beep_wave_broadcast(
         .collect();
     let budget = MESSAGE_START + 3 * b + n + 4;
     let mut beepers = BitVec::zeros(n);
+    let mut received = BitVec::zeros(n);
     let mut rounds = 0;
     for round in 0..budget {
         if nodes.iter().all(WaveNode::is_done) {
@@ -164,7 +165,7 @@ pub fn beep_wave_broadcast(
         for (v, node) in nodes.iter_mut().enumerate() {
             beepers.set(v, node.act(round) == Action::Beep);
         }
-        let received = net.run_round_bitset(&beepers)?;
+        net.run_round_bitset_into(&beepers, &mut received)?;
         for (v, node) in nodes.iter_mut().enumerate() {
             node.feedback(round, received.get(v));
         }

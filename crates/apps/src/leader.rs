@@ -51,6 +51,7 @@ pub fn beep_leader_election(
     let mut candidate = vec![true; n];
     let mut learned: Vec<usize> = vec![0; n]; // winner id, reconstructed MSB-first
     let mut beepers = BitVec::zeros(n);
+    let mut received = BitVec::zeros(n);
     for bit in (0..id_bits).rev() {
         // One wave window.
         let mut heard = vec![false; n];
@@ -66,7 +67,7 @@ pub fn beep_leader_election(
                 }
                 beepers.set(v, fires);
             }
-            let received = net.run_round_bitset(&beepers)?;
+            net.run_round_bitset_into(&beepers, &mut received)?;
             for v in received.iter_ones() {
                 heard[v] = true;
             }

@@ -15,7 +15,7 @@
 //! | Maximal independent set | [`maximal_independent_set`] | noisy beeps | `O(Δ log² n)` |
 //! | (Δ+1)-coloring | [`coloring`] | noisy beeps | `O(Δ log² n)` |
 //! | Single-source broadcast | [`beep_wave_broadcast`] | noiseless beeps | `O(D + b)` |
-//! | Multi-source broadcast | [`multi_source_broadcast`] | noiseless beeps | `O(q²·D)` (superimposed codes, [6]) |
+//! | Multi-source broadcast | [`multi_source_broadcast`] | noiseless beeps | `O(q²·D)` (superimposed codes, \[6\]) |
 //! | Leader election | [`beep_leader_election`] | noiseless beeps | `O(D log n)` |
 
 mod broadcast_wave;

@@ -104,6 +104,7 @@ pub fn multi_source_broadcast(
     // Per-node reconstructed superimposition.
     let mut heard_bits: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(len)).collect();
     let mut beepers = BitVec::zeros(n);
+    let mut received = BitVec::zeros(n);
     for bit in 0..len {
         // One OR-wave window for codeword bit `bit`.
         let mut heard = vec![false; n];
@@ -123,7 +124,7 @@ pub fn multi_source_broadcast(
                 }
                 beepers.set(v, fire);
             }
-            let received = net.run_round_bitset(&beepers)?;
+            net.run_round_bitset_into(&beepers, &mut received)?;
             for v in received.iter_ones() {
                 heard[v] = true;
             }

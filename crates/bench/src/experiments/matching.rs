@@ -96,8 +96,8 @@ sandwich the pipeline to within the paper's log n gap.",
 }
 
 /// E11 — Section 6's improvement claim: `≈ Δ³/log n` over the prior
-/// state of the art (the `O(Δ + log* n)` CONGEST matching of [26] under
-/// [4]'s simulation), in the closed-form cost models.
+/// state of the art (the `O(Δ + log* n)` CONGEST matching of \[26\] under
+/// \[4\]'s simulation), in the closed-form cost models.
 #[must_use]
 pub fn e11_matching_cost_crossover() -> Table {
     let n = 1 << 16;

@@ -83,7 +83,7 @@ ours wins outright, with the gap still growing in Δ. Model columns use unit con
 /// random-regular graphs, measures its round count, and converts it to
 /// beep rounds at the Corollary 12 rate — the *cheapest conceivable*
 /// distributed setup, already orders of magnitude above our zero (the
-/// real [7]/[4] protocols pay the model columns).
+/// real \[7\]/\[4\] protocols pay the model columns).
 #[must_use]
 pub fn e5b_setup_cost(seed: u64) -> Table {
     use beep_congest::algorithms::Distance2Coloring;

@@ -20,6 +20,19 @@ const WORD_BITS: usize = 64;
 /// otherwise, mirroring how slice indexing panics: a length mismatch is a
 /// programming error in code-construction logic, never a data-dependent
 /// condition.
+///
+/// # Example
+///
+/// ```
+/// use beep_bits::BitVec;
+///
+/// let mut s = BitVec::zeros(70);
+/// s.set(0, true);
+/// s.set(69, true);
+/// assert_eq!(s.count_ones(), 2);
+/// assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 69]);
+/// assert_eq!(s, BitVec::from_indices(70, [0, 69]));
+/// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
     pub(crate) words: Vec<u64>,
@@ -219,6 +232,38 @@ impl BitVec {
         None
     }
 
+    /// The packed `u64` words backing the string, bit `i` of the string in
+    /// bit `i % 64` of word `i / 64`. Unused high bits of the last word are
+    /// always zero.
+    ///
+    /// This is the escape hatch for word-granular consumers — the sharded
+    /// round engine hands disjoint sub-slices of a frame to worker threads.
+    ///
+    /// ```
+    /// use beep_bits::BitVec;
+    ///
+    /// let v = BitVec::from_indices(130, [0, 64, 129]);
+    /// assert_eq!(v.as_words(), &[1, 1, 2]);
+    /// ```
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed words (see [`as_words`](Self::as_words)
+    /// for the layout).
+    ///
+    /// # Invariant
+    ///
+    /// Callers must leave the unused high bits of the last word zero —
+    /// every other method relies on it (popcount, equality, hashing).
+    /// Writing only bit positions `< len` (e.g. OR-ing in words of another
+    /// `BitVec` of the same length) preserves it automatically.
+    #[must_use]
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Zeroes any bits beyond `len` in the last word (internal invariant).
     pub(crate) fn mask_tail(&mut self) {
         let tail = self.len % WORD_BITS;
@@ -357,6 +402,18 @@ mod tests {
         for i in 1..=70 {
             assert_eq!(v.position_of_nth_one(i), Some(i - 1));
         }
+    }
+
+    #[test]
+    fn word_views_round_trip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.as_words().len(), 3);
+        // Writing through the word view is visible bit-wise, and writes
+        // below `len` keep the tail invariant by construction.
+        v.as_words_mut()[1] = 0b101;
+        assert!(v.get(64) && !v.get(65) && v.get(66));
+        assert_eq!(v.count_ones(), 2);
+        assert_eq!(v, BitVec::from_indices(130, [64, 66]));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! root; an undiscovered node hearing the wave joins at distance `r+1`,
 //! taking the smallest heard id as parent. `D+1` rounds on a connected
 //! graph — the classic `O(D)` global primitive, and the message-passing
-//! analogue of the beep waves the paper cites ([19], [9]).
+//! analogue of the beep waves the paper cites (\[19\], \[9\]).
 
 use crate::message::{Message, MessageWriter};
 use crate::model::{BroadcastAlgorithm, NodeCtx};

@@ -1,7 +1,7 @@
 //! Distributed distance-2 coloring in CONGEST.
 //!
 //! This is the *setup primitive* behind the prior-work simulations the
-//! paper improves on ([7], [4]): before their TDMA schedules can run, the
+//! paper improves on (\[7\], \[4\]): before their TDMA schedules can run, the
 //! network must color `G²` so that no two nodes within distance 2 share a
 //! color. Computing such a coloring distributedly is exactly where those
 //! works pay `Δ⁶` / `Δ⁴ log n` setup rounds; this module provides a

@@ -3,7 +3,7 @@
 //! The source broadcasts its payload in round 0; every node re-broadcasts
 //! once upon first reception. After `D` rounds every node in the source's
 //! component holds the payload — the message-passing counterpart of the
-//! `O(D + b)` beep-wave broadcast the paper cites from [19]/[9].
+//! `O(D + b)` beep-wave broadcast the paper cites from \[19\]/\[9\].
 
 use crate::message::{Message, MessageWriter};
 use crate::model::{BroadcastAlgorithm, NodeCtx};

@@ -12,7 +12,7 @@
 //! * [`LubyMis`] — maximal independent set (Luby 1986).
 //! * [`RandomColoring`] — randomized (Δ+1)-coloring by repeated trials.
 //! * [`Distance2Coloring`] — distributed G² coloring in CONGEST: the
-//!   *setup primitive* of the prior-work TDMA simulations ([7], [4]).
+//!   *setup primitive* of the prior-work TDMA simulations (\[7\], \[4\]).
 //! * [`BfsTree`] — breadth-first tree construction by wave flooding.
 //! * [`LeaderElection`] — leader election by max-ID flooding.
 //! * [`Flood`] — single-source message dissemination.

@@ -5,31 +5,31 @@
 //! O(·) are unknown, so these models set them to 1 — ratios and crossover
 //! *shapes* are meaningful; absolute values are not.
 
-/// Setup cost of Beauquier et al. [7]: `Δ⁶` rounds.
+/// Setup cost of Beauquier et al. \[7\]: `Δ⁶` rounds.
 #[must_use]
 pub fn beauquier_setup(delta: usize) -> f64 {
     (delta as f64).powi(6)
 }
 
-/// Per-CONGEST-round cost of Beauquier et al. [7]: `Δ⁴·log n`.
+/// Per-CONGEST-round cost of Beauquier et al. \[7\]: `Δ⁴·log n`.
 #[must_use]
 pub fn beauquier_per_round(delta: usize, n: usize) -> f64 {
     (delta as f64).powi(4) * log2(n)
 }
 
-/// Setup cost of Ashkenazi–Gelles–Leshem [4]: `Δ⁴·log n`.
+/// Setup cost of Ashkenazi–Gelles–Leshem \[4\]: `Δ⁴·log n`.
 #[must_use]
 pub fn agl_setup(delta: usize, n: usize) -> f64 {
     (delta as f64).powi(4) * log2(n)
 }
 
-/// Per-CONGEST-round cost of [4]: `Δ·log n·min{n, Δ²}`.
+/// Per-CONGEST-round cost of \[4\]: `Δ·log n·min{n, Δ²}`.
 #[must_use]
 pub fn agl_congest_overhead(delta: usize, n: usize) -> f64 {
     delta as f64 * log2(n) * (n.min(delta * delta) as f64)
 }
 
-/// The Broadcast CONGEST analogue of [4]'s TDMA approach:
+/// The Broadcast CONGEST analogue of \[4\]'s TDMA approach:
 /// `min{n, Δ²}·log n` (one slot per G² color class, `Θ(log n)` bits).
 #[must_use]
 pub fn agl_broadcast_overhead(delta: usize, n: usize) -> f64 {
@@ -52,8 +52,8 @@ pub fn ours_congest_overhead(expansion: usize, delta: usize, message_bits: usize
 
 /// Total beep rounds for maximal matching via the previous state of the
 /// art (Section 6): the `O(Δ + log* n)` CONGEST algorithm of Panconesi &
-/// Rizzi [26] under [4]'s simulation —
-/// `O(Δ⁴ log n + Δ³ log n log* n)` plus [4]'s setup.
+/// Rizzi \[26\] under \[4\]'s simulation —
+/// `O(Δ⁴ log n + Δ³ log n log* n)` plus \[4\]'s setup.
 #[must_use]
 pub fn matching_beeps_prior(delta: usize, n: usize) -> f64 {
     let d = delta as f64;

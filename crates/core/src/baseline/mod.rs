@@ -8,11 +8,11 @@
 //!   baseline gets the coloring for free (centralized), so every comparison
 //!   in the experiments is *generous to the baseline*.
 //! * [`TdmaSimulator`] — a Broadcast CONGEST round simulator in the style
-//!   of [7]/[4]: color classes of `G²` transmit one after another,
+//!   of \[7\]/\[4\]: color classes of `G²` transmit one after another,
 //!   bit-by-bit, each bit repeated and majority-voted under noise. Its
 //!   per-round cost is `#colors·(B+1)·ρ = Θ(min{n, Δ²}·B·ρ)`, the
 //!   `Θ(min{n/Δ, Δ})`-factor gap the paper closes.
-//! * [`cost_model`] — closed-form round counts for [7], [4] and this
+//! * the cost-model functions (re-exported here) — closed-form round counts for \[7\], \[4\] and this
 //!   paper, used by experiments E5/E11.
 
 mod cost_model;

@@ -1,5 +1,5 @@
 //! The TDMA / G²-coloring baseline simulator (in the style of Beauquier et
-//! al. [7] and Ashkenazi–Gelles–Leshem [4]).
+//! al. \[7\] and Ashkenazi–Gelles–Leshem \[4\]).
 
 use crate::error::SimError;
 use crate::round_sim::RoundOutcome;
@@ -23,11 +23,11 @@ use super::g2_coloring::{distance2_coloring, num_colors};
 /// Per-round cost: `#colors·(B+1)·ρ`. On dense graphs `#colors =
 /// Θ(min{n, Δ²})`, which is exactly the overhead gap to the paper's
 /// `Θ(Δ)` (experiment E5). Under noise, `ρ = Θ(log n)` keeps the
-/// per-bit majority reliable, mirroring how [4] pays for robustness.
+/// per-bit majority reliable, mirroring how \[4\] pays for robustness.
 ///
 /// The coloring itself is computed centrally and handed to every node —
-/// *free setup* that the real distributed protocols pay `Δ⁶` ([7]) or
-/// `Δ⁴ log n` ([4]) rounds for.
+/// *free setup* that the real distributed protocols pay `Δ⁶` (\[7\]) or
+/// `Δ⁴ log n` (\[4\]) rounds for.
 #[derive(Debug)]
 pub struct TdmaSimulator {
     coloring: Vec<usize>,

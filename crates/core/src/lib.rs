@@ -22,8 +22,8 @@
 //!   [`beep_congest::CongestAlgorithm`] to Broadcast CONGEST at a `Δ`
 //!   factor, for `O(Δ² log n)` total overhead over beeps.
 //! * [`baseline`] — the prior-work comparison points: a distance-2-coloring
-//!   TDMA simulator in the style of Beauquier et al. [7] and
-//!   Ashkenazi–Gelles–Leshem [4], plus closed-form cost models.
+//!   TDMA simulator in the style of Beauquier et al. \[7\] and
+//!   Ashkenazi–Gelles–Leshem \[4\], plus closed-form cost models.
 //! * [`lower_bound`] — the Section 5 apparatus: the B-bit Local Broadcast
 //!   hard instance and the transcript-counting argument of Lemma 14 /
 //!   Theorem 22, run as experiments.

@@ -85,13 +85,14 @@ pub fn tdma_local_broadcast_census(
         net.record_transcript();
         let n = inst.graph.node_count();
         let mut beepers = BitVec::zeros(n);
+        let mut received = BitVec::zeros(n);
         for round in 0..rounds_budget.min(input_bits) {
             let beeper = round / (delta * message_bits); // left node on duty
             beepers.clear();
             if schedule.get(round) {
                 beepers.set(beeper, true);
             }
-            net.run_round_bitset(&beepers)
+            net.run_round_bitset_into(&beepers, &mut received)
                 .expect("beeper bitmap matches node count");
         }
         // The right part's view: the OR of left beeps per round.

@@ -167,26 +167,32 @@ impl BroadcastSimulator {
             }
         }
 
-        // --- Run both phases on the network, bit-round by bit-round.
-        let heard1 = self.run_phase(net, &phase1_frames)?;
-        let heard2 = self.run_phase(net, &phase2_frames)?;
+        // --- Run both phases on the network, bit-round by bit-round,
+        // through the reuse-buffer frame API (one allocation per phase
+        // output; the engine reuses its per-round scratch internally).
+        let mut heard1 = Vec::new();
+        let mut heard2 = Vec::new();
+        self.run_phase(net, &phase1_frames, &mut heard1)?;
+        self.run_phase(net, &phase2_frames, &mut heard2)?;
 
         // --- Decode at every node.
         self.decode_all(net, outgoing, &inputs, &drawn, &heard1, &heard2, rng)
     }
 
-    /// Transmits one frame per node (None = listen throughout), returning
-    /// what every node heard, bit by bit.
+    /// Transmits one frame per node (None = listen throughout), writing
+    /// what every node heard, bit by bit, into `heard`.
     ///
-    /// Runs on the engine's bit-parallel frame kernel; the explicit length
-    /// keeps an all-silent phase occupying its `phase_len()` rounds in the
-    /// paper's accounting.
+    /// Runs on the engine's sharded bit-parallel frame kernel via the
+    /// reuse-buffer variant; the explicit length keeps an all-silent phase
+    /// occupying its `phase_len()` rounds in the paper's accounting.
     fn run_phase(
         &self,
         net: &mut BeepNetwork,
         frames: &[Option<BitVec>],
-    ) -> Result<Vec<BitVec>, SimError> {
-        Ok(net.run_frame_of_len(frames, self.codes.phase_len())?)
+        heard: &mut Vec<BitVec>,
+    ) -> Result<(), SimError> {
+        net.run_frame_into(frames, self.codes.phase_len(), heard)?;
+        Ok(())
     }
 
     /// The Section 4 decoder at every node, with candidate + decoy scoring

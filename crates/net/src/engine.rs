@@ -3,7 +3,7 @@
 use crate::error::NetError;
 use crate::graph::Graph;
 use crate::node::{Action, BeepProtocol};
-use crate::noise::Noise;
+use crate::noise::{noise_stream_seed, Noise};
 use crate::trace::{NetStats, Transcript};
 use beep_bits::BitVec;
 use rand::rngs::StdRng;
@@ -13,6 +13,24 @@ use rand::SeedableRng;
 /// `⌈n/64⌉` words each are only materialized when they fit in this many
 /// `u64`s (16 MiB). Beyond it the sparse CSR kernel is used.
 const DENSE_WORD_BUDGET: usize = 1 << 21;
+
+/// Default shard count `S` of the sharded round kernel. Part of the
+/// determinism tuple `(graph, noise, seed, actions, shard_count)`, so it is
+/// a fixed constant — never derived from the machine. Override with
+/// [`BeepNetwork::set_shard_count`].
+const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// Auto-parallelism budget: with `n + 2m` below this, a round is too small
+/// for thread spawn/join to pay off and the auto heuristic stays on one
+/// thread. Roughly the work of a 64k-node sparse round (~a few tens of
+/// microseconds); scope spawn/join costs single-digit microseconds.
+const PARALLEL_WORK_BUDGET: usize = 1 << 16;
+
+/// Beeper-density threshold of the sparse kernel's per-shard strategy: at
+/// `16·#beepers ≥ n` the destination-side gather (early-exit neighbor scan
+/// per node) beats source-side scatter (binary-searched adjacency slices
+/// per beeper). Cost-only — both strategies write the same bits.
+const GATHER_DENSITY_FACTOR: usize = 16;
 
 /// How [`BeepNetwork::run_round_bitset`] computes the neighborhood OR.
 #[derive(Debug)]
@@ -58,6 +76,110 @@ impl AdjKernel {
     }
 }
 
+/// [`std::thread::available_parallelism`], queried once per process: the
+/// auto heuristic consults it every round, and on Linux the std call
+/// re-reads cgroup quota files — far too slow for a microsecond-scale
+/// round loop.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// The read-only inputs one round of the sharded kernel shares across
+/// worker threads. Everything here is borrowed immutably, so shards can be
+/// computed in any order, on any thread, with identical results.
+struct ShardCtx<'a> {
+    graph: &'a Graph,
+    /// Dense adjacency rows when the dense kernel is active.
+    rows: Option<&'a [BitVec]>,
+    beepers: &'a BitVec,
+    /// The set bits of `beepers`, materialized once per round: the dense
+    /// and scatter kernels walk the beeper set once *per shard*, and
+    /// re-scanning the whole bitmap S times would dominate sparse rounds.
+    /// Left empty in gather mode, which never iterates beepers.
+    beeper_list: &'a [usize],
+    /// Bits that must not be flipped by noise (the beeper set when
+    /// self-hearing is configured noise-free).
+    protect: Option<&'a BitVec>,
+    noise: Noise,
+    seed: u64,
+    round: u64,
+    /// Sparse-kernel strategy for this round: destination-side gather
+    /// (dense beeper sets) vs source-side scatter (sparse ones).
+    gather: bool,
+}
+
+impl ShardCtx<'_> {
+    /// Computes one shard of the received frame: bits `lo..hi` of the
+    /// round's output, written into `out` (whose first word is global word
+    /// `lo / 64`). Pure in `(self, shard, lo, hi)` — thread-safe by
+    /// construction because every shard owns a disjoint word range.
+    fn compute(&self, shard: usize, lo: usize, hi: usize, out: &mut [u64]) {
+        self.or_into(lo, hi, out);
+        self.noise_into(shard, lo, hi, out);
+    }
+
+    /// The pre-noise received bits of `lo..hi`: self-hearing copy plus the
+    /// neighborhood OR. A pure function of `(graph, beepers)` — shard
+    /// boundaries only restrict *where* it writes, so the serial path can
+    /// call it once over the whole frame.
+    fn or_into(&self, lo: usize, hi: usize, out: &mut [u64]) {
+        let w_lo = lo / 64;
+        // Self-hearing (Section 1.5): start from the beeper bits.
+        out.copy_from_slice(&self.beepers.as_words()[w_lo..w_lo + out.len()]);
+        if let Some(rows) = self.rows {
+            // Dense kernel: OR each beeper's adjacency-bitmask row,
+            // restricted to this shard's words.
+            for &u in self.beeper_list {
+                let row = &rows[u].as_words()[w_lo..w_lo + out.len()];
+                for (dst, src) in out.iter_mut().zip(row) {
+                    *dst |= src;
+                }
+            }
+        } else if self.gather {
+            // Dense beeper set: scan each shard node's neighborhood with
+            // early exit — at ≥ n/16 beepers a hit comes fast.
+            for v in lo..hi {
+                let mask = 1u64 << (v % 64);
+                if out[(v - lo) / 64] & mask != 0 {
+                    continue; // beeped itself: already receives a 1
+                }
+                if self.graph.neighbors(v).iter().any(|&u| self.beepers.get(u)) {
+                    out[(v - lo) / 64] |= mask;
+                }
+            }
+        } else {
+            // Sparse beeper set: scatter each beeper's CSR adjacency list,
+            // binary-searched down to this shard's node range.
+            for &u in self.beeper_list {
+                let adj = self.graph.neighbors(u);
+                let start = adj.partition_point(|&w| w < lo);
+                for &w in &adj[start..] {
+                    if w >= hi {
+                        break;
+                    }
+                    out[(w - lo) / 64] |= 1u64 << (w % 64);
+                }
+            }
+        }
+    }
+
+    /// Channel noise for bits `lo..hi`, from the `(round, shard)` cell's
+    /// own counter-keyed stream — identical no matter which thread runs
+    /// the shard. Unlike [`or_into`](Self::or_into), this MUST be called
+    /// with the exact shard boundaries: the flips are what the
+    /// determinism contract keys per shard.
+    fn noise_into(&self, shard: usize, lo: usize, hi: usize, out: &mut [u64]) {
+        if matches!(self.noise, Noise::Bernoulli(_)) {
+            let mut rng =
+                StdRng::seed_from_u64(noise_stream_seed(self.seed, self.round, shard as u64));
+            self.noise
+                .apply_to_words(out, lo, hi, self.protect, &mut rng);
+        }
+    }
+}
+
 /// A beeping network: a graph, a channel model, and a seeded RNG.
 ///
 /// The engine implements the models of Section 1.1 exactly:
@@ -73,34 +195,69 @@ impl AdjKernel {
 /// [`set_self_hearing_noisy(false)`](Self::set_self_hearing_noisy) for the
 /// (easier) realistic semantics where a node knows it beeped.
 ///
-/// # Two round kernels
+/// # Round kernels
 ///
-/// [`run_round`](Self::run_round) is the scalar reference implementation:
-/// one pass over the nodes, one neighborhood scan and (under noise) one RNG
-/// draw each. [`run_round_bitset`](Self::run_round_bitset) is the
-/// bit-parallel production kernel: beepers come in as a [`BitVec`], the
-/// received OR is computed sparsely from the set bits (or via precomputed
-/// adjacency bitmask rows on small/dense graphs), and channel noise is
-/// applied with batched geometric-skip sampling. The two are bit-identical
-/// under [`Noise::Noiseless`] (asserted by the `bitset_oracle` test suite);
-/// under noise each is deterministic in `(graph, noise, seed, actions)` but
-/// they consume the RNG stream differently, so their noisy runs are equal
-/// in distribution, not bit-equal.
+/// Three implementations of the same model:
+///
+/// * [`run_round`](Self::run_round) — the scalar reference: one pass over
+///   the nodes, one neighborhood scan and (under noise) one RNG draw each.
+///   Kept as the differential-testing oracle.
+/// * [`run_round_bitset`](Self::run_round_bitset) — the bit-parallel
+///   production kernel: beepers come in as a [`BitVec`], the received OR is
+///   computed from the set bits (or via precomputed adjacency bitmask rows
+///   on small/dense graphs), and channel noise is applied with batched
+///   geometric-skip sampling.
+/// * The **sharded multi-threaded path** inside the bitset kernel: the
+///   received frame is split into [`shard_count`](Self::shard_count)
+///   word-aligned shards, each computed independently (and, above a work
+///   budget or with [`set_parallelism`](Self::set_parallelism), on worker
+///   threads writing disjoint word ranges).
+///
+/// # Determinism contract
+///
+/// Scalar and bitset kernels are bit-identical under [`Noise::Noiseless`]
+/// (asserted by the `bitset_oracle` test suite). Under noise, the scalar
+/// kernel draws bit-by-bit from the network's sequential RNG, while the
+/// bitset kernel draws each round's flips from per-shard counter-keyed
+/// streams ([`noise_stream_seed`](crate::noise_stream_seed)`(seed, round,
+/// shard)`). A noisy bitset transcript is therefore a pure function of
+/// `(graph, noise, seed, actions, shard_count)` — the thread count and
+/// thread scheduling are **not** part of the stream, so any parallelism
+/// setting (including 1) reproduces it bit-identically. Scalar and bitset
+/// noisy runs are equal in distribution, not bit-equal.
+///
+/// # Example
+///
+/// ```
+/// use beep_bits::BitVec;
+/// use beep_net::{topology, BeepNetwork, Noise};
+///
+/// let mut net = BeepNetwork::new(topology::star(5).unwrap(), Noise::Noiseless, 7);
+/// // Leaf 3 beeps: the hub (node 0) hears it, the other leaves don't.
+/// let received = net.run_round_bitset(&BitVec::from_indices(5, [3])).unwrap();
+/// assert_eq!(received.to_string(), "10010");
+/// assert_eq!(net.stats().rounds, 1);
+/// ```
 #[derive(Debug)]
 pub struct BeepNetwork {
     graph: Graph,
     noise: Noise,
+    seed: u64,
     rng: StdRng,
     stats: NetStats,
     beeps_per_node: Vec<u64>,
     self_hearing_noisy: bool,
     transcript: Option<Transcript>,
     kernel: AdjKernel,
+    shard_count: usize,
+    /// Worker threads for the sharded kernel; 0 = auto heuristic.
+    threads: usize,
 }
 
 impl BeepNetwork {
     /// Creates a network over `graph` with the given channel and RNG seed.
-    /// Runs are fully deterministic in `(graph, noise, seed, actions)`.
+    /// Runs are fully deterministic in `(graph, noise, seed, actions)` plus,
+    /// for noisy bitset rounds, the [`shard_count`](Self::shard_count).
     #[must_use]
     pub fn new(graph: Graph, noise: Noise, seed: u64) -> Self {
         let beeps_per_node = vec![0; graph.node_count()];
@@ -108,12 +265,15 @@ impl BeepNetwork {
         BeepNetwork {
             graph,
             noise,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
             beeps_per_node,
             self_hearing_noisy: true,
             transcript: None,
             kernel,
+            shard_count: DEFAULT_SHARD_COUNT,
+            threads: 0,
         }
     }
 
@@ -160,6 +320,83 @@ impl BeepNetwork {
         } else {
             AdjKernel::Sparse
         };
+    }
+
+    /// Sets how many worker threads the sharded bitset kernel may use.
+    /// `0` (the default) means *auto*: one thread for small rounds, all
+    /// available cores once the per-round work (`n + 2m`) crosses a budget
+    /// where spawn/join overhead is amortized.
+    ///
+    /// Purely a performance knob: results are bit-identical for every
+    /// setting, because channel noise is keyed by `(seed, round, shard)`
+    /// — see [`noise_stream_seed`](crate::noise_stream_seed) — never by
+    /// which thread computed a shard.
+    ///
+    /// ```
+    /// use beep_bits::BitVec;
+    /// use beep_net::{topology, BeepNetwork, Noise};
+    ///
+    /// let g = topology::cycle(200).unwrap();
+    /// let beepers = BitVec::from_indices(200, [0, 63, 130]);
+    /// let mut serial = BeepNetwork::new(g.clone(), Noise::bernoulli(0.2), 9);
+    /// serial.set_parallelism(1);
+    /// let mut threaded = BeepNetwork::new(g, Noise::bernoulli(0.2), 9);
+    /// threaded.set_parallelism(4);
+    /// for _ in 0..8 {
+    ///     assert_eq!(
+    ///         serial.run_round_bitset(&beepers).unwrap(),
+    ///         threaded.run_round_bitset(&beepers).unwrap(),
+    ///     );
+    /// }
+    /// ```
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured worker-thread setting (`0` = auto heuristic).
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the shard count `S` of the sharded bitset kernel.
+    ///
+    /// Unlike the thread count, `S` **is** part of the determinism tuple:
+    /// under [`Noise::Bernoulli`] each shard draws its flips from its own
+    /// `(seed, round, shard)`-keyed stream, so changing `S` changes the
+    /// noisy transcript (noiseless results never change). Keep the default
+    /// when reproducing recorded experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn set_shard_count(&mut self, shards: usize) {
+        assert!(shards > 0, "shard count must be at least 1");
+        self.shard_count = shards;
+    }
+
+    /// The shard count `S` of the sharded bitset kernel.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Worker threads the next bitset round will actually use, resolving
+    /// the auto heuristic: parallel only when `n + 2m` crosses
+    /// the spawn/join amortization budget, and never more threads than
+    /// shards (a thread with no shard would be pure overhead).
+    fn effective_threads(&self) -> usize {
+        let configured = if self.threads == 0 {
+            let work = self.graph.node_count() + 2 * self.graph.edge_count();
+            if work >= PARALLEL_WORK_BUDGET {
+                available_cores()
+            } else {
+                1
+            }
+        } else {
+            self.threads
+        };
+        configured.clamp(1, self.shard_count)
     }
 
     /// Starts recording a [`Transcript`] of beep bitmaps from the next
@@ -230,19 +467,56 @@ impl BeepNetwork {
     ///
     /// Semantics (beeper set, received OR, noise, stats, transcript) are
     /// exactly [`run_round`](Self::run_round)'s; only the cost model
-    /// differs. The received OR is built from the *set bits only* — each
+    /// differs. The round is computed in [`shard_count`](Self::shard_count)
+    /// word-aligned shards, each owning a disjoint word range of the
+    /// output and computed independently — serially, or on worker threads
+    /// (see [`set_parallelism`](Self::set_parallelism)). Per shard the
+    /// received OR is built from the beeper set's *set bits only* — each
     /// beeper scatters its CSR adjacency list (or ORs its precomputed
-    /// adjacency bitmask row, see [`set_dense_adjacency`](Self::set_dense_adjacency))
-    /// — so a sparse-beeper round is `O(Σ deg(beeper) + n/64)` instead of
-    /// the scalar path's `O(n + m)`. Under [`Noise::Bernoulli`] the channel
-    /// is applied with geometric-skip batch sampling (`O(ε·n)` expected RNG
-    /// draws); see [`Noise::apply_frame`] for the RNG-stream caveat.
+    /// adjacency bitmask row, see [`set_dense_adjacency`](Self::set_dense_adjacency)),
+    /// switching to an early-exit neighborhood gather when beepers are
+    /// dense — so a sparse-beeper round is `O(Σ deg(beeper) + n/64)`
+    /// instead of the scalar path's `O(n + m)`. Under [`Noise::Bernoulli`]
+    /// the channel is applied with geometric-skip batch sampling (`O(ε·n)`
+    /// expected RNG draws) from per-shard counter-keyed streams; see the
+    /// type-level determinism contract.
+    ///
+    /// ```
+    /// use beep_bits::BitVec;
+    /// use beep_net::{topology, BeepNetwork, Noise};
+    ///
+    /// let mut net = BeepNetwork::new(topology::path(5).unwrap(), Noise::Noiseless, 0);
+    /// // Node 2 beeps: itself and both neighbors receive a 1.
+    /// let received = net.run_round_bitset(&BitVec::from_indices(5, [2])).unwrap();
+    /// assert_eq!(received.to_string(), "01110");
+    /// ```
     ///
     /// # Errors
     ///
     /// Returns [`NetError::ActionCount`] if `beepers.len()` differs from
     /// the node count.
     pub fn run_round_bitset(&mut self, beepers: &BitVec) -> Result<BitVec, NetError> {
+        let mut received = BitVec::zeros(self.graph.node_count());
+        self.run_round_bitset_into(beepers, &mut received)?;
+        Ok(received)
+    }
+
+    /// [`run_round_bitset`](Self::run_round_bitset) writing into a caller
+    /// buffer: `received` is entirely overwritten (and reallocated only if
+    /// its length is wrong), so a round loop reuses one allocation.
+    /// [`run_frame`](Self::run_frame) and
+    /// [`run_protocols`](Self::run_protocols) drive their per-round loops
+    /// through this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ActionCount`] if `beepers.len()` differs from
+    /// the node count.
+    pub fn run_round_bitset_into(
+        &mut self,
+        beepers: &BitVec,
+        received: &mut BitVec,
+    ) -> Result<(), NetError> {
         let n = self.graph.node_count();
         if beepers.len() != n {
             return Err(NetError::ActionCount {
@@ -253,27 +527,75 @@ impl BeepNetwork {
         if matches!(self.kernel, AdjKernel::DensePending) {
             self.kernel = AdjKernel::dense(&self.graph);
         }
-        // Self-hearing (Section 1.5) plus the neighborhood OR.
-        let mut received = beepers.clone();
-        match &self.kernel {
-            AdjKernel::Dense(rows) => {
-                for u in beepers.iter_ones() {
-                    received.or_assign(&rows[u]);
-                }
-            }
-            AdjKernel::Sparse => {
-                for u in beepers.iter_ones() {
-                    for &w in self.graph.neighbors(u) {
-                        received.set(w, true);
-                    }
-                }
-            }
-            AdjKernel::DensePending => unreachable!("promoted to Dense above"),
+        if received.len() != n {
+            *received = BitVec::zeros(n);
         }
-        let protect = (!self.self_hearing_noisy).then_some(beepers);
-        self.noise
-            .apply_frame(&mut received, protect, &mut self.rng);
         let beep_count = beepers.count_ones();
+        let rows = match &self.kernel {
+            AdjKernel::Dense(rows) => Some(rows.as_slice()),
+            _ => None,
+        };
+        let gather = rows.is_none() && GATHER_DENSITY_FACTOR * beep_count >= n;
+        let beeper_list: Vec<usize> = if gather {
+            Vec::new()
+        } else {
+            beepers.iter_ones().collect()
+        };
+        let ctx = ShardCtx {
+            graph: &self.graph,
+            rows,
+            beepers,
+            beeper_list: &beeper_list,
+            protect: (!self.self_hearing_noisy).then_some(beepers),
+            noise: self.noise,
+            seed: self.seed,
+            round: self.stats.rounds as u64,
+            gather,
+        };
+        // Word-aligned shard layout: shard `s` owns global words
+        // `[s·per, (s+1)·per)`, i.e. bits `[s·per·64, …)`. The layout is a
+        // pure function of `(n, shard_count)`, never of the thread count.
+        let words = received.as_words_mut();
+        let per = words.len().div_ceil(self.shard_count).max(1);
+        // A thread per populated shard at most: spare threads would only
+        // spawn, find an empty queue, and join.
+        let threads = self
+            .effective_threads()
+            .min(words.len().div_ceil(per).max(1));
+        if threads <= 1 {
+            // Serial fast path: the OR is shard-agnostic (a pure function
+            // of graph and beepers), so run it in one unsharded pass —
+            // no per-shard adjacency re-walks — and only the noise, which
+            // the determinism contract keys per (round, shard), is applied
+            // shard by shard. Noiseless rounds skip that loop's body
+            // entirely.
+            ctx.or_into(0, n, words);
+            for (s, chunk) in words.chunks_mut(per).enumerate() {
+                let lo = s * per * 64;
+                ctx.noise_into(s, lo, (lo + chunk.len() * 64).min(n), chunk);
+            }
+        } else {
+            // Deal shards round-robin onto `threads` workers; the last
+            // queue runs on the calling thread so a scope spawns T−1.
+            let mut queues: Vec<Vec<(usize, &mut [u64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (s, chunk) in words.chunks_mut(per).enumerate() {
+                queues[s % threads].push((s, chunk));
+            }
+            let own = queues.pop().expect("threads >= 2 queues");
+            let run_queue = |queue: Vec<(usize, &mut [u64])>| {
+                for (s, chunk) in queue {
+                    let lo = s * per * 64;
+                    ctx.compute(s, lo, (lo + chunk.len() * 64).min(n), chunk);
+                }
+            };
+            std::thread::scope(|scope| {
+                for queue in queues {
+                    scope.spawn(|| run_queue(queue));
+                }
+                run_queue(own);
+            });
+        }
         self.stats.rounds += 1;
         self.stats.beeps += beep_count as u64;
         self.stats.listens += (n - beep_count) as u64;
@@ -283,7 +605,7 @@ impl BeepNetwork {
         if let Some(t) = &mut self.transcript {
             t.push(beepers.clone());
         }
-        Ok(received)
+        Ok(())
     }
 
     /// Runs a whole batch of rounds from per-node transmit frames:
@@ -298,7 +620,19 @@ impl BeepNetwork {
     ///
     /// This is the frame-level API the phase simulators run on: each round
     /// touches only the transmitting nodes to assemble the beeper bitmap,
-    /// then goes through [`run_round_bitset`](Self::run_round_bitset).
+    /// then goes through the sharded bitset kernel.
+    ///
+    /// ```
+    /// use beep_bits::BitVec;
+    /// use beep_net::{topology, BeepNetwork, Noise};
+    ///
+    /// let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+    /// // Node 0 transmits 101 over three rounds; 1 and 2 listen.
+    /// let frames = vec![Some(BitVec::from_str_01("101").unwrap()), None, None];
+    /// let heard = net.run_frame(&frames).unwrap();
+    /// assert_eq!(heard[1].to_string(), "101"); // neighbor hears the frame
+    /// assert_eq!(heard[2].to_string(), "000"); // out of range
+    /// ```
     ///
     /// # Errors
     ///
@@ -326,6 +660,31 @@ impl BeepNetwork {
         frames: &[Option<BitVec>],
         rounds: usize,
     ) -> Result<Vec<BitVec>, NetError> {
+        let mut heard = Vec::new();
+        self.run_frame_into(frames, rounds, &mut heard)?;
+        Ok(heard)
+    }
+
+    /// [`run_frame_of_len`](Self::run_frame_of_len) writing into a caller
+    /// buffer: `heard` is resized to one `rounds`-bit string per node and
+    /// entirely overwritten, reusing its allocations when the shapes
+    /// already match. A phase loop that runs many frames back to back
+    /// (e.g. the Algorithm 1 simulator) allocates its output once instead
+    /// of `O(n)` strings per phase; the per-round `received` scratch is
+    /// reused internally either way.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::ActionCount`] if `frames.len()` differs from the node
+    ///   count.
+    /// * [`NetError::FrameLength`] if a transmitted frame's length is not
+    ///   `rounds`.
+    pub fn run_frame_into(
+        &mut self,
+        frames: &[Option<BitVec>],
+        rounds: usize,
+        heard: &mut Vec<BitVec>,
+    ) -> Result<(), NetError> {
         let n = self.graph.node_count();
         if frames.len() != n {
             return Err(NetError::ActionCount {
@@ -346,8 +705,17 @@ impl BeepNetwork {
                 transmitters.push((v, f));
             }
         }
-        let mut heard: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(rounds)).collect();
+        heard.truncate(n);
+        for h in heard.iter_mut() {
+            if h.len() == rounds {
+                h.clear();
+            } else {
+                *h = BitVec::zeros(rounds);
+            }
+        }
+        heard.resize_with(n, || BitVec::zeros(rounds));
         let mut beepers = BitVec::zeros(n);
+        let mut received = BitVec::zeros(n);
         for i in 0..rounds {
             beepers.clear();
             for &(v, f) in &transmitters {
@@ -355,12 +723,12 @@ impl BeepNetwork {
                     beepers.set(v, true);
                 }
             }
-            let received = self.run_round_bitset(&beepers)?;
+            self.run_round_bitset_into(&beepers, &mut received)?;
             for v in received.iter_ones() {
                 heard[v].set(i, true);
             }
         }
-        Ok(heard)
+        Ok(())
     }
 
     /// Drives one [`BeepProtocol`] instance per node until all report done
@@ -397,6 +765,7 @@ impl BeepNetwork {
             });
         }
         let mut beepers = BitVec::zeros(n);
+        let mut received = BitVec::zeros(n);
         for round in 0..max_rounds {
             if protocols.iter().all(|p| p.is_done()) {
                 return Ok(round);
@@ -404,7 +773,7 @@ impl BeepNetwork {
             for (v, p) in protocols.iter_mut().enumerate() {
                 beepers.set(v, p.act(round) == Action::Beep);
             }
-            let received = self.run_round_bitset(&beepers)?;
+            self.run_round_bitset_into(&beepers, &mut received)?;
             for (v, p) in protocols.iter_mut().enumerate() {
                 p.feedback(round, received.get(v));
             }
@@ -701,6 +1070,129 @@ mod tests {
                 actual: 2
             })
         );
+    }
+
+    #[test]
+    fn shard_and_thread_counts_do_not_change_noiseless_results() {
+        // Noiseless output is a pure function of (graph, beepers): shard
+        // layout and threading must be invisible.
+        let g = topology::grid(9, 9).unwrap(); // 81 nodes: 2 words
+        let beepers = BitVec::from_indices(81, [0, 13, 64, 80]);
+        let mut reference = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+        let expected = reference.run_round_bitset(&beepers).unwrap();
+        for shards in [1, 2, 3, 8, 64] {
+            for threads in [1, 2, 4, 8] {
+                let mut net = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+                net.set_shard_count(shards);
+                net.set_parallelism(threads);
+                assert_eq!(
+                    net.run_round_bitset(&beepers).unwrap(),
+                    expected,
+                    "shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_noisy_results() {
+        // The determinism contract: with the shard count fixed, the noisy
+        // transcript is identical for every parallelism setting.
+        let g = topology::cycle(300).unwrap();
+        let beepers = BitVec::from_indices(300, [5, 77, 200]);
+        let run = |threads: usize| {
+            let mut net = BeepNetwork::new(g.clone(), Noise::bernoulli(0.3), 42);
+            net.set_parallelism(threads);
+            (0..12)
+                .map(|_| net.run_round_bitset(&beepers).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_strategies_agree() {
+        // Force both sides of the per-round density heuristic on the same
+        // beeper set by driving the density across the threshold.
+        let g = topology::grid(8, 8).unwrap();
+        let n = 64;
+        for ones in [1, 3, n / 4, n] {
+            let beepers = BitVec::from_fn(n, |v| v % (n / ones).max(1) == 0);
+            let mut sparse = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+            sparse.set_dense_adjacency(false);
+            let mut dense = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+            dense.set_dense_adjacency(true);
+            let mut scalar = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+            let actions: Vec<Action> = (0..n).map(|v| Action::from_bit(beepers.get(v))).collect();
+            let expected: BitVec = BitVec::from_bools(&scalar.run_round(&actions).unwrap());
+            assert_eq!(sparse.run_round_bitset(&beepers).unwrap(), expected);
+            assert_eq!(dense.run_round_bitset(&beepers).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn run_round_bitset_into_reuses_and_resizes() {
+        let mut net = BeepNetwork::new(topology::path(5).unwrap(), Noise::Noiseless, 0);
+        let beepers = BitVec::from_indices(5, [2]);
+        // Wrong-length buffer is replaced; stale contents are overwritten.
+        let mut received = BitVec::ones(3);
+        net.run_round_bitset_into(&beepers, &mut received).unwrap();
+        assert_eq!(received.to_string(), "01110");
+        received = BitVec::ones(5);
+        net.run_round_bitset_into(&beepers, &mut received).unwrap();
+        assert_eq!(received.to_string(), "01110");
+    }
+
+    #[test]
+    fn run_frame_into_matches_run_frame_and_reuses_buffers() {
+        let g = topology::path(3).unwrap();
+        let frames = vec![
+            Some(BitVec::from_indices(3, [0, 2])),
+            None,
+            Some(BitVec::from_indices(3, [1, 2])),
+        ];
+        let mut fresh = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+        let expected = fresh.run_frame(&frames).unwrap();
+        let mut reused = BeepNetwork::new(g, Noise::Noiseless, 0);
+        // Pre-populate with wrong shapes and stale bits.
+        let mut heard = vec![BitVec::ones(3), BitVec::ones(7)];
+        reused.run_frame_into(&frames, 3, &mut heard).unwrap();
+        assert_eq!(heard, expected);
+        // Second run with now-matching shapes must also fully overwrite.
+        reused.run_frame_into(&frames, 3, &mut heard).unwrap();
+        assert_eq!(heard, expected);
+    }
+
+    #[test]
+    fn parallelism_and_shard_count_knobs_round_trip() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        assert_eq!(net.parallelism(), 0, "auto by default");
+        net.set_parallelism(4);
+        assert_eq!(net.parallelism(), 4);
+        let default_shards = net.shard_count();
+        assert!(default_shards >= 1);
+        net.set_shard_count(3);
+        assert_eq!(net.shard_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shard_count_rejected() {
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        net.set_shard_count(0);
+    }
+
+    #[test]
+    fn empty_graph_round_is_a_no_op() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let mut net = BeepNetwork::new(g, Noise::bernoulli(0.3), 1);
+        net.set_parallelism(4);
+        let received = net.run_round_bitset(&BitVec::zeros(0)).unwrap();
+        assert!(received.is_empty());
+        assert_eq!(net.stats().rounds, 1);
     }
 
     #[test]

@@ -24,11 +24,16 @@
 //! The engine is deterministic given a seed: every experiment in the
 //! workspace is exactly reproducible.
 //!
-//! Rounds run on one of two equivalent kernels: the scalar reference
-//! [`BeepNetwork::run_round`] (kept as a differential-testing oracle) and
-//! the bit-parallel [`BeepNetwork::run_round_bitset`] /
-//! [`BeepNetwork::run_frame`], which the simulators and protocols in the
-//! workspace use.
+//! Rounds run on one of three equivalent kernels: the scalar reference
+//! [`BeepNetwork::run_round`] (kept as a differential-testing oracle), the
+//! bit-parallel [`BeepNetwork::run_round_bitset`] /
+//! [`BeepNetwork::run_frame`] that the simulators and protocols in the
+//! workspace use, and — inside the bitset kernel — a sharded
+//! multi-threaded execution path ([`BeepNetwork::set_parallelism`]) whose
+//! noisy transcripts are bit-identical at every thread count because
+//! channel noise is keyed by `(seed, round, shard)`
+//! ([`noise_stream_seed`]). See ARCHITECTURE.md at the repository root for
+//! the full determinism contract.
 //!
 //! # Example
 //!
@@ -54,5 +59,5 @@ pub use engine::BeepNetwork;
 pub use error::{GraphError, NetError};
 pub use graph::{Graph, NodeId};
 pub use node::{Action, BeepProtocol};
-pub use noise::Noise;
+pub use noise::{noise_stream_seed, Noise};
 pub use trace::{NetStats, Transcript};

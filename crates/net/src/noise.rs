@@ -4,7 +4,43 @@ use crate::error::NetError;
 use beep_bits::BitVec;
 use rand::{Rng, RngExt};
 
+/// Derives the seed of the noise RNG stream for one `(seed, round, shard)`
+/// cell — the determinism contract of the sharded round engine.
+///
+/// Every noisy round of the bit-parallel kernel draws its channel flips
+/// from `StdRng::seed_from_u64(noise_stream_seed(seed, round, shard))`, one
+/// independent stream per shard per round. Because the stream is keyed by
+/// *position* rather than threaded through one sequential RNG, the noisy
+/// transcript depends only on `(graph, noise, seed, actions, shard_count)`
+/// — never on how many threads computed it, nor on their scheduling.
+///
+/// The two multipliers are distinct odd 64-bit mixing constants
+/// (SplitMix64's golden-ratio increment and the rrmxmx mixer multiplier),
+/// so `(round, shard)` and `(shard, round)` key different streams; a plain
+/// `seed ^ round ^ shard` would collide on every swapped pair. This
+/// function is pinned by the golden-transcript tests: changing it silently
+/// shifts every recorded noisy experiment, so it fails loudly instead.
+#[must_use]
+pub fn noise_stream_seed(seed: u64, round: u64, shard: u64) -> u64 {
+    seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shard.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+}
+
 /// The channel model applied to every bit a node receives.
+///
+/// ```
+/// use beep_net::Noise;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // The noiseless channel is the identity; ε ∈ (0, ½) flips each bit
+/// // independently with probability ε.
+/// assert!(Noise::Noiseless.apply(true, &mut rng));
+/// let noisy = Noise::bernoulli(0.25);
+/// assert_eq!(noisy.epsilon(), 0.25);
+/// let flips = (0..10_000).filter(|_| noisy.apply(false, &mut rng)).count();
+/// assert!((2_000..3_000).contains(&flips));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Noise {
     /// The noiseless beeping model of Cornejo & Kuhn: received bits are
@@ -93,23 +129,55 @@ impl Noise {
         protect: Option<&BitVec>,
         rng: &mut R,
     ) {
+        let hi = bits.len();
+        self.apply_to_words(bits.as_words_mut(), 0, hi, protect, rng);
+    }
+
+    /// The word-slice core of [`apply_frame`](Self::apply_frame): flips
+    /// bits at *global* positions `lo..hi` (with `lo` word-aligned) inside
+    /// `words`, whose first word holds bits `lo..lo + 64`. `protect` is
+    /// indexed by global position.
+    ///
+    /// This is the form the sharded round engine uses: each shard owns a
+    /// disjoint word range of the received frame and passes it here with
+    /// its own counter-keyed RNG stream (see [`noise_stream_seed`]), so
+    /// channel
+    /// noise is identical no matter how many threads ran the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is not a multiple of 64, or if `hi - lo` exceeds the
+    /// bit capacity of `words`.
+    pub fn apply_to_words<R: Rng + ?Sized>(
+        &self,
+        words: &mut [u64],
+        lo: usize,
+        hi: usize,
+        protect: Option<&BitVec>,
+        rng: &mut R,
+    ) {
         let Noise::Bernoulli(e) = *self else {
             return;
         };
-        let n = bits.len();
+        assert!(lo.is_multiple_of(64), "shard start {lo} not word-aligned");
+        assert!(
+            hi.saturating_sub(lo) <= words.len() * 64,
+            "range {lo}..{hi} exceeds {} words",
+            words.len()
+        );
         // gap = ⌊ln(1−U)/ln(1−ε)⌋ is Geometric(ε) on {0, 1, 2, …}: the
         // number of unflipped bits before the next flip.
         let denom = (1.0 - e).ln();
-        let mut i = 0usize;
-        while i < n {
+        let mut i = lo;
+        while i < hi {
             let u: f64 = rng.random();
             let gap = (1.0 - u).ln() / denom;
-            if gap >= (n - i) as f64 {
+            if gap >= (hi - i) as f64 {
                 break;
             }
             i += gap as usize;
             if !protect.is_some_and(|p| p.get(i)) {
-                bits.flip(i);
+                words[(i - lo) / 64] ^= 1u64 << (i % 64);
             }
             i += 1;
         }
@@ -230,6 +298,54 @@ mod tests {
             assert!(!bits.intersects(&protect), "a protected bit flipped");
             bits.clear();
         }
+    }
+
+    #[test]
+    fn stream_seed_separates_round_and_shard() {
+        // The swapped-pair collision a plain XOR would have: (round, shard)
+        // and (shard, round) must key different streams.
+        assert_ne!(noise_stream_seed(7, 1, 3), noise_stream_seed(7, 3, 1));
+        assert_ne!(noise_stream_seed(7, 0, 1), noise_stream_seed(7, 1, 0));
+        // And the key is a pure function of its inputs.
+        assert_eq!(noise_stream_seed(7, 2, 5), noise_stream_seed(7, 2, 5));
+    }
+
+    #[test]
+    fn apply_to_words_stays_inside_its_range() {
+        // Flips land only in [lo, hi) even though the slice has headroom.
+        let noise = Noise::bernoulli(0.45);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let mut bits = BitVec::zeros(256);
+            let (lo, hi) = (64, 140);
+            let words = &mut bits.as_words_mut()[lo / 64..];
+            noise.apply_to_words(words, lo, hi, None, &mut rng);
+            for i in bits.iter_ones() {
+                assert!((lo..hi).contains(&i), "flip at {i} escaped {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_to_words_matches_apply_frame_at_full_range() {
+        // apply_frame is defined as the lo = 0, hi = len special case; the
+        // two must consume the RNG stream identically.
+        let noise = Noise::bernoulli(0.2);
+        let mut a = BitVec::zeros(300);
+        let mut b = BitVec::zeros(300);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        noise.apply_frame(&mut a, None, &mut rng_a);
+        noise.apply_to_words(b.as_words_mut(), 0, 300, None, &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn apply_to_words_rejects_unaligned_start() {
+        let mut words = [0u64; 2];
+        let mut rng = StdRng::seed_from_u64(10);
+        Noise::bernoulli(0.1).apply_to_words(&mut words, 3, 64, None, &mut rng);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Differential oracle: the bit-parallel kernel (`run_round_bitset`,
 //! `run_frame`) against the scalar reference `run_round`, bit-exact under
-//! `Noise::Noiseless`, across **every** `topology::*` generator and both
-//! adjacency kernels — plus the statistical contract of the batched noisy
-//! channel.
+//! `Noise::Noiseless`, across **every** `topology::*` generator, both
+//! adjacency kernels, and the sharded multi-threaded execution path at
+//! thread counts {1, 2, 4, 8} — plus the statistical contract of the
+//! batched noisy channel.
 //!
 //! CI runs this file explicitly (and fails if it vanishes or stops
 //! executing tests): it is the proof that the production kernel and the
@@ -134,6 +135,106 @@ fn run_frame_matches_round_by_round_scalar_driving() {
         let heard = batched.run_frame(&frames).unwrap();
         assert_eq!(heard, expected, "{name}");
         assert_eq!(scalar.stats(), batched.stats(), "{name} stats");
+    }
+}
+
+/// Thread counts the sharded-kernel oracles sweep (the acceptance
+/// criterion's {1, 2, 4, 8}).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn threaded_kernel_is_bit_identical_to_scalar_on_every_topology() {
+    // scalar ≡ bitset ≡ threaded, noiseless, for every topology generator,
+    // every swept thread count, and shard counts on both sides of the
+    // words-per-shard boundary.
+    let mut rng = StdRng::seed_from_u64(97);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let mut scalar = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
+        let mut threaded: Vec<BeepNetwork> = THREAD_COUNTS
+            .iter()
+            .flat_map(|&threads| {
+                [1, 2, 8].map(|shards| {
+                    let mut net = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
+                    net.set_parallelism(threads);
+                    net.set_shard_count(shards);
+                    net
+                })
+            })
+            .collect();
+        for round in 0..8 {
+            let density = [0.0, 0.05, 0.3, 1.0][round % 4];
+            let actions = random_actions(n, density, &mut rng);
+            let beepers = beeper_bitmap(&actions);
+            let expected = scalar.run_round(&actions).unwrap();
+            for net in &mut threaded {
+                let received = net.run_round_bitset(&beepers).unwrap();
+                assert_eq!(
+                    expected,
+                    received.iter_bits().collect::<Vec<bool>>(),
+                    "{name} round {round} threads={} shards={}",
+                    net.parallelism(),
+                    net.shard_count()
+                );
+            }
+        }
+        for net in &threaded {
+            assert_eq!(scalar.stats(), net.stats(), "{name} stats");
+            assert_eq!(scalar.beeps_by_node(), net.beeps_by_node(), "{name} energy");
+        }
+    }
+}
+
+#[test]
+fn noisy_transcripts_are_thread_count_invariant_on_every_topology() {
+    // The tentpole determinism contract: with (graph, noise, seed, actions,
+    // shard_count) fixed, every thread count — including 1 — produces a
+    // bit-identical noisy transcript.
+    let mut rng = StdRng::seed_from_u64(131);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let beeper_sets: Vec<BitVec> = (0..6)
+            .map(|round| {
+                let density = [0.0, 0.1, 0.5][round % 3];
+                beeper_bitmap(&random_actions(n, density, &mut rng))
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.25), 7);
+            net.set_parallelism(threads);
+            beeper_sets
+                .iter()
+                .map(|b| net.run_round_bitset(b).unwrap())
+                .collect::<Vec<BitVec>>()
+        };
+        let reference = run(THREAD_COUNTS[0]);
+        for &threads in &THREAD_COUNTS[1..] {
+            assert_eq!(run(threads), reference, "{name} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn run_frame_into_is_thread_count_invariant_under_noise() {
+    // The frame-level API inherits the per-round contract.
+    let mut rng = StdRng::seed_from_u64(163);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let len = 20;
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 3 != 1).then(|| BitVec::random_uniform(len, &mut rng)))
+            .collect();
+        let run = |threads: usize| {
+            let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.1), 5);
+            net.set_parallelism(threads);
+            let mut heard = Vec::new();
+            net.run_frame_into(&frames, len, &mut heard).unwrap();
+            heard
+        };
+        let reference = run(THREAD_COUNTS[0]);
+        for &threads in &THREAD_COUNTS[1..] {
+            assert_eq!(run(threads), reference, "{name} threads={threads}");
+        }
     }
 }
 

@@ -1,0 +1,145 @@
+//! Golden pins for the noisy RNG stream of the sharded bitset kernel.
+//!
+//! A noisy bitset transcript is a pure function of
+//! `(graph, noise, seed, actions, shard_count)` — that tuple is the
+//! reproducibility key every recorded experiment in the workspace relies
+//! on. These tests pin actual transcript bits per `(seed, ε, shard_count)`
+//! cell, so an accidental change to `noise_stream_seed`, to the geometric
+//! gap sampler, or to the shard layout fails loudly here instead of
+//! silently shifting every noisy result in the repository.
+//!
+//! If you change the stream *deliberately*, regenerate the constants below
+//! (run with `--nocapture`; each test prints its computed values) and
+//! document the break in CHANGES.md.
+//!
+//! Platform caveat: the geometric gap sampler computes `f64::ln`, which is
+//! not guaranteed bit-identical across libm implementations. The pinned
+//! transcripts are exact on the CI toolchain (glibc Linux); if a test
+//! fails on another platform with a *one-flip* divergence while
+//! `noise_stream_seed_is_pinned` still passes, suspect a last-ULP `ln`
+//! difference crossing an integer boundary, not a stream break.
+
+use beep_bits::BitVec;
+use beep_net::{noise_stream_seed, topology, BeepNetwork, Noise};
+
+/// FNV-1a over the words of a sequence of received frames — a stable,
+/// dependency-free transcript fingerprint.
+fn transcript_fingerprint(frames: &[BitVec]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for frame in frames {
+        for &word in frame.as_words() {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    hash
+}
+
+/// Runs `rounds` noisy bitset rounds on a cycle of `n` nodes with a fixed
+/// sparse beeper set and the given stream key.
+fn noisy_transcript(n: usize, seed: u64, eps: f64, shards: usize, rounds: usize) -> Vec<BitVec> {
+    let mut net = BeepNetwork::new(topology::cycle(n).unwrap(), Noise::bernoulli(eps), seed);
+    net.set_shard_count(shards);
+    let beepers = BitVec::from_fn(n, |v| v % 37 == 0);
+    (0..rounds)
+        .map(|_| net.run_round_bitset(&beepers).unwrap())
+        .collect()
+}
+
+#[test]
+fn noise_stream_seed_is_pinned() {
+    let computed: Vec<u64> = [
+        (0u64, 0u64, 0u64),
+        (1, 0, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (7, 3, 1),
+        (7, 1, 3),
+        (0xDEAD_BEEF, 41, 6),
+    ]
+    .iter()
+    .map(|&(seed, round, shard)| noise_stream_seed(seed, round, shard))
+    .collect();
+    println!("noise_stream_seed pins: {computed:#018X?}");
+    assert_eq!(
+        computed,
+        vec![
+            0x0000_0000_0000_0000,
+            0x0000_0000_0000_0001,
+            0x9E37_79B9_7F4A_7C15,
+            0x9FB2_1C65_1E98_DF25,
+            0x4514_7149_6347_AB1D,
+            0x4121_2C96_2480_E17D,
+            0xE8CE_D4EB_0BD5_5B6C,
+        ]
+    );
+}
+
+#[test]
+fn golden_noisy_transcripts_per_seed_eps_shards() {
+    let mut computed = Vec::new();
+    for &(seed, eps, shards) in &[
+        (1u64, 0.1f64, 1usize),
+        (1, 0.1, 2),
+        (1, 0.1, 8),
+        (1, 0.3, 8),
+        (9, 0.1, 8),
+        (9, 0.3, 2),
+    ] {
+        let frames = noisy_transcript(512, seed, eps, shards, 8);
+        computed.push(transcript_fingerprint(&frames));
+    }
+    println!("golden fingerprints: {computed:#018X?}");
+    assert_eq!(
+        computed,
+        vec![
+            0x921A_3CE2_256B_220F,
+            0x82B3_1D36_3CB4_E383,
+            0xF20B_61B1_63CB_81F1,
+            0x9680_2B6D_B193_2DD8,
+            0xDE08_FFD2_7515_D85D,
+            0x1535_F8E0_530E_2E9C,
+        ]
+    );
+}
+
+#[test]
+fn golden_small_transcript_is_bit_pinned() {
+    // One cell pinned bit-for-bit (not just fingerprinted), so a stream
+    // break shows the actual divergence in the failure message.
+    let frames = noisy_transcript(64, 3, 0.2, 1, 3);
+    let rendered: Vec<String> = frames.iter().map(BitVec::to_string).collect();
+    for f in &rendered {
+        println!("\"{f}\",");
+    }
+    assert_eq!(
+        rendered,
+        vec![
+            "0100010000000001000000001000011100000110110001101001100011000001",
+            "1100000000000000001000100000000000110101110011000110000001100001",
+            "1000000101000000101001001001000000011111000010000000001100110101",
+        ]
+    );
+}
+
+#[test]
+fn golden_transcripts_survive_any_thread_count() {
+    // The pinned stream is thread-count-invariant: the same fingerprints
+    // must come out of the parallel path.
+    for threads in [2, 4, 8] {
+        let mut net = BeepNetwork::new(topology::cycle(512).unwrap(), Noise::bernoulli(0.1), 1);
+        net.set_shard_count(8);
+        net.set_parallelism(threads);
+        let beepers = BitVec::from_fn(512, |v| v % 37 == 0);
+        let frames: Vec<BitVec> = (0..8)
+            .map(|_| net.run_round_bitset(&beepers).unwrap())
+            .collect();
+        assert_eq!(
+            transcript_fingerprint(&frames),
+            0xF20B_61B1_63CB_81F1,
+            "threads={threads}"
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! subset of the proptest API that this repository's property suites use is
 //! vendored here: the [`proptest!`] macro (with `#![proptest_config]`),
 //! `prop_assert*`, [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
-//! [`any`], [`strategy::Just`], range and tuple strategies, and the
+//! [`arbitrary::any`], [`strategy::Just`], range and tuple strategies, and the
 //! `prop::{collection, bool, option}` modules.
 //!
 //! Semantics: each test body runs for `cases` random inputs drawn from the
@@ -169,7 +169,7 @@ pub mod test_runner {
     }
 }
 
-/// The `Arbitrary` trait and the [`any`] entry point.
+/// The `Arbitrary` trait and the [`any`](arbitrary::any) entry point.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -278,7 +278,7 @@ pub mod collection {
 
     impl_size_range_from_ranges!(usize, i32);
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
