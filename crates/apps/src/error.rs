@@ -18,6 +18,13 @@ pub enum AppError {
         /// Human-readable description of the violations.
         detail: String,
     },
+    /// A noiseless-only primitive was asked to run with `ε > 0` (see
+    /// [`crate::Protocol::supports_noise`]). Campaign sweeps use this to
+    /// mark such cells as skipped rather than failed.
+    NoiseUnsupported {
+        /// Registry name of the protocol.
+        protocol: &'static str,
+    },
 }
 
 impl fmt::Display for AppError {
@@ -26,6 +33,12 @@ impl fmt::Display for AppError {
             AppError::Sim(e) => write!(f, "simulation: {e}"),
             AppError::Net(e) => write!(f, "network: {e}"),
             AppError::InvalidOutput { detail } => write!(f, "output failed validation: {detail}"),
+            AppError::NoiseUnsupported { protocol } => {
+                write!(
+                    f,
+                    "protocol {protocol:?} is noiseless-only (requested ε > 0)"
+                )
+            }
         }
     }
 }
@@ -35,7 +48,7 @@ impl Error for AppError {
         match self {
             AppError::Sim(e) => Some(e),
             AppError::Net(e) => Some(e),
-            AppError::InvalidOutput { .. } => None,
+            AppError::InvalidOutput { .. } | AppError::NoiseUnsupported { .. } => None,
         }
     }
 }

@@ -17,15 +17,22 @@
 //! | Single-source broadcast | [`beep_wave_broadcast`] | noiseless beeps | `O(D + b)` |
 //! | Multi-source broadcast | [`multi_source_broadcast`] | noiseless beeps | `O(q²·D)` (superimposed codes, \[6\]) |
 //! | Leader election | [`beep_leader_election`] | noiseless beeps | `O(D log n)` |
+//!
+//! Every task (plus the round-simulation, TDMA-baseline, and
+//! local-broadcast pipelines from `beep-core`) is also addressable *by
+//! name* through the [`Protocol`] registry — the uniform entry point the
+//! scenario-campaign layer (`beep-scenarios`) sweeps.
 
 mod broadcast_wave;
 mod error;
 mod leader;
 mod multicast;
+mod registry;
 mod tasks;
 
 pub use broadcast_wave::{beep_wave_broadcast, BeepWaveReport};
 pub use error::AppError;
 pub use leader::{beep_leader_election, LeaderReport};
 pub use multicast::{multi_source_broadcast, MulticastReport};
+pub use registry::{Protocol, ProtocolOutcome};
 pub use tasks::{coloring, maximal_independent_set, maximal_matching, TaskReport};

@@ -1,0 +1,407 @@
+//! Named protocol registry: every runnable workload in the workspace,
+//! addressable by a stable string name.
+//!
+//! This is the scenario layer's front door. A campaign cell names a
+//! protocol (`"matching"`, `"round_sim"`, …); the registry maps the name
+//! to a [`Protocol`] and runs it on an arbitrary graph under an arbitrary
+//! noise rate with one uniform outcome shape ([`ProtocolOutcome`]): beep
+//! rounds, beeps emitted, a success verdict, and protocol-specific
+//! metrics. Everything is deterministic given `(graph, epsilon, seed)`.
+//!
+//! Protocols come in two classes:
+//!
+//! * **noisy-capable** — the paper's simulation pipeline and its
+//!   baselines (`matching`, `mis`, `coloring`, `round_sim`, `tdma`,
+//!   `local_broadcast`): any `ε ∈ [0, ½)`;
+//! * **noiseless primitives** — the wave-based tools (`wave`, `leader`,
+//!   `multicast`): requesting `ε > 0` returns
+//!   [`AppError::NoiseUnsupported`] so sweeps can mark those cells as
+//!   skipped rather than failed.
+
+use crate::error::AppError;
+use crate::{
+    beep_leader_election, beep_wave_broadcast, coloring, maximal_independent_set, maximal_matching,
+    multi_source_broadcast,
+};
+use beep_bits::BitVec;
+use beep_congest::algorithms::Flood;
+use beep_core::baseline::TdmaSimulator;
+use beep_core::lower_bound::CongestLocalBroadcast;
+use beep_core::{SimReport, SimulatedBroadcastRunner, SimulatedCongestRunner, SimulationParams};
+use beep_net::{Graph, Noise};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Message width used by the registry's fixed-size workloads.
+const PAYLOAD_BITS: usize = 16;
+/// Message width for the wave/multicast primitives (kept small so the
+/// superimposed-code construction stays cheap at every campaign scale).
+const PRIMITIVE_BITS: usize = 6;
+
+/// Uniform outcome of one registry-driven protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolOutcome {
+    /// Beep rounds executed on the network.
+    pub rounds: usize,
+    /// Total beeps emitted (energy).
+    pub beeps: u64,
+    /// Whether the protocol's own correctness check passed this run.
+    pub success: bool,
+    /// Protocol-specific metrics (`congest_rounds`, …), name → value.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+/// A runnable workload, addressable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Protocol {
+    /// Single-source beep-wave broadcast (noiseless primitive).
+    Wave,
+    /// Wave-based leader election (noiseless primitive).
+    Leader,
+    /// Multi-source broadcast with superimposed codes (noiseless
+    /// primitive).
+    Multicast,
+    /// Maximal matching over the Theorem 11 simulation (Theorem 21).
+    Matching,
+    /// Maximal independent set over the Theorem 11 simulation.
+    Mis,
+    /// (Δ+1)-coloring over the Theorem 11 simulation.
+    Coloring,
+    /// Flood through Algorithm 1's round simulation — one protocol phase
+    /// per Broadcast CONGEST round.
+    RoundSim,
+    /// Flood through the TDMA / G²-coloring baseline simulator.
+    Tdma,
+    /// B-bit Local Broadcast (Definition 13) via the Corollary 12
+    /// CONGEST wrapper.
+    LocalBroadcast,
+}
+
+impl Protocol {
+    /// Every registered protocol, in display order.
+    pub const ALL: [Protocol; 9] = [
+        Protocol::Wave,
+        Protocol::Leader,
+        Protocol::Multicast,
+        Protocol::Matching,
+        Protocol::Mis,
+        Protocol::Coloring,
+        Protocol::RoundSim,
+        Protocol::Tdma,
+        Protocol::LocalBroadcast,
+    ];
+
+    /// The canonical registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Wave => "wave",
+            Protocol::Leader => "leader",
+            Protocol::Multicast => "multicast",
+            Protocol::Matching => "matching",
+            Protocol::Mis => "mis",
+            Protocol::Coloring => "coloring",
+            Protocol::RoundSim => "round_sim",
+            Protocol::Tdma => "tdma",
+            Protocol::LocalBroadcast => "local_broadcast",
+        }
+    }
+
+    /// Looks a protocol up by name (canonical names plus a few aliases).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        Some(match name {
+            "wave" | "broadcast_wave" => Protocol::Wave,
+            "leader" | "leader_election" => Protocol::Leader,
+            "multicast" | "multi_source" => Protocol::Multicast,
+            "matching" | "maximal_matching" => Protocol::Matching,
+            "mis" | "maximal_independent_set" => Protocol::Mis,
+            "coloring" => Protocol::Coloring,
+            "round_sim" | "flood" => Protocol::RoundSim,
+            "tdma" => Protocol::Tdma,
+            "local_broadcast" => Protocol::LocalBroadcast,
+            _ => return None,
+        })
+    }
+
+    /// Whether the protocol accepts `ε > 0` (the noiseless wave
+    /// primitives do not — a single flipped bit forks a phantom wave).
+    #[must_use]
+    pub fn supports_noise(&self) -> bool {
+        !matches!(
+            self,
+            Protocol::Wave | Protocol::Leader | Protocol::Multicast
+        )
+    }
+
+    /// Runs the protocol on `graph` at noise rate `epsilon` with the
+    /// given seed, returning the uniform outcome.
+    ///
+    /// # Errors
+    ///
+    /// * [`AppError::NoiseUnsupported`] if `epsilon > 0` on a noiseless
+    ///   primitive (see [`Protocol::supports_noise`]).
+    /// * [`AppError::Net`] / [`AppError::Sim`] on engine or simulation
+    ///   failures (invalid ε, exhausted round budgets on disconnected
+    ///   graphs, …).
+    /// * [`AppError::InvalidOutput`] if the w.h.p. guarantee failed this
+    ///   run.
+    pub fn run(&self, graph: &Graph, epsilon: f64, seed: u64) -> Result<ProtocolOutcome, AppError> {
+        if epsilon != 0.0 && !self.supports_noise() {
+            return Err(AppError::NoiseUnsupported {
+                protocol: self.name(),
+            });
+        }
+        match self {
+            Protocol::Wave => run_wave(graph, seed),
+            Protocol::Leader => run_leader(graph, seed),
+            Protocol::Multicast => run_multicast(graph, seed),
+            Protocol::Matching => {
+                let r = maximal_matching(graph, epsilon, seed)?;
+                Ok(outcome_from_sim(&r.report))
+            }
+            Protocol::Mis => {
+                let r = maximal_independent_set(graph, epsilon, seed)?;
+                Ok(outcome_from_sim(&r.report))
+            }
+            Protocol::Coloring => {
+                let r = coloring(graph, epsilon, seed)?;
+                Ok(outcome_from_sim(&r.report))
+            }
+            Protocol::RoundSim => run_flood_simulated(graph, epsilon, seed),
+            Protocol::Tdma => run_flood_tdma(graph, epsilon, seed),
+            Protocol::LocalBroadcast => run_local_broadcast(graph, epsilon, seed),
+        }
+    }
+}
+
+/// ε → channel through the fallible constructor (0 = noiseless model).
+fn noise_for(epsilon: f64) -> Result<Noise, AppError> {
+    if epsilon == 0.0 {
+        Ok(Noise::Noiseless)
+    } else {
+        Ok(Noise::try_bernoulli(epsilon)?)
+    }
+}
+
+/// A deterministic `bits`-wide payload derived from the seed.
+fn seeded_message(bits: usize, seed: u64) -> BitVec {
+    BitVec::from_fn(bits, |i| (seed >> (i % 64)) & 1 == 1)
+}
+
+fn outcome_from_sim(report: &SimReport) -> ProtocolOutcome {
+    ProtocolOutcome {
+        rounds: report.beep_rounds,
+        beeps: report.beeps,
+        success: true,
+        metrics: vec![
+            ("congest_rounds", report.congest_rounds as f64),
+            (
+                "beep_rounds_per_congest_round",
+                report.beep_rounds_per_congest_round as f64,
+            ),
+            ("imperfect_rounds", report.stats.imperfect_rounds as f64),
+        ],
+    }
+}
+
+fn run_wave(graph: &Graph, seed: u64) -> Result<ProtocolOutcome, AppError> {
+    let message = seeded_message(PRIMITIVE_BITS, seed | 1); // never all-zero
+    let report = beep_wave_broadcast(graph, 0, &message, seed)?;
+    let success = report.received.iter().all(|r| r.as_ref() == Some(&message));
+    Ok(ProtocolOutcome {
+        rounds: report.rounds,
+        beeps: report.beeps,
+        success,
+        metrics: vec![("message_bits", PRIMITIVE_BITS as f64)],
+    })
+}
+
+fn run_leader(graph: &Graph, seed: u64) -> Result<ProtocolOutcome, AppError> {
+    let n = graph.node_count();
+    let bound = graph.diameter().unwrap_or(n.saturating_sub(1)).max(1);
+    let report = beep_leader_election(graph, bound, seed)?;
+    Ok(ProtocolOutcome {
+        rounds: report.rounds,
+        beeps: report.beeps,
+        success: report.leader == n - 1,
+        metrics: vec![("diameter_bound", bound as f64)],
+    })
+}
+
+fn run_multicast(graph: &Graph, seed: u64) -> Result<ProtocolOutcome, AppError> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(AppError::InvalidOutput {
+            detail: "multicast needs at least two nodes".into(),
+        });
+    }
+    let bound = graph.diameter().unwrap_or(n - 1).max(1);
+    let m1 = seeded_message(PRIMITIVE_BITS, seed | 1);
+    let m2 = !&m1; // distinct from m1 by construction
+    let sources = vec![(0, m1.clone()), (n - 1, m2.clone())];
+    // Candidate universe: all 2^6 messages, as the multicast tests use.
+    let candidates: Vec<BitVec> = (0..1u64 << PRIMITIVE_BITS).map(seeded_value_bits).collect();
+    let report =
+        multi_source_broadcast(graph, &sources, 2, PRIMITIVE_BITS, bound, &candidates, seed)?;
+    let mut expected = vec![m1, m2];
+    expected.sort_unstable_by_key(BitVec::to_string);
+    let mut decoded = report.decoded.clone();
+    decoded.sort_unstable_by_key(BitVec::to_string);
+    Ok(ProtocolOutcome {
+        rounds: report.rounds,
+        beeps: report.beeps,
+        success: decoded == expected,
+        metrics: vec![("sources", 2.0)],
+    })
+}
+
+/// The `v`-th message of the `PRIMITIVE_BITS`-bit universe.
+fn seeded_value_bits(v: u64) -> BitVec {
+    BitVec::from_fn(PRIMITIVE_BITS, |i| (v >> i) & 1 == 1)
+}
+
+fn run_flood_simulated(
+    graph: &Graph,
+    epsilon: f64,
+    seed: u64,
+) -> Result<ProtocolOutcome, AppError> {
+    let n = graph.node_count();
+    let value = seed & 0xFFFF;
+    let noise = noise_for(epsilon)?;
+    let params = SimulationParams::calibrated(epsilon);
+    let runner = SimulatedBroadcastRunner::new(graph, PAYLOAD_BITS, seed, params, noise);
+    let mut algos: Vec<Box<Flood>> = (0..n)
+        .map(|_| Box::new(Flood::new(0, value, PAYLOAD_BITS)))
+        .collect();
+    let report = runner.run_to_completion(&mut algos, n + 1)?;
+    let success = algos.iter().all(|a| a.output() == Some(value));
+    let mut outcome = outcome_from_sim(&report);
+    outcome.success = success;
+    Ok(outcome)
+}
+
+fn run_flood_tdma(graph: &Graph, epsilon: f64, seed: u64) -> Result<ProtocolOutcome, AppError> {
+    let n = graph.node_count();
+    let value = seed & 0xFFFF;
+    let noise = noise_for(epsilon)?;
+    let sim = TdmaSimulator::new(graph, PAYLOAD_BITS, epsilon);
+    let mut algos: Vec<Box<Flood>> = (0..n)
+        .map(|_| Box::new(Flood::new(0, value, PAYLOAD_BITS)))
+        .collect();
+    let report = sim.run_to_completion(graph, noise, seed, &mut algos, n + 1)?;
+    let success = algos.iter().all(|a| a.output() == Some(value));
+    let mut outcome = outcome_from_sim(&report);
+    outcome.success = success;
+    Ok(outcome)
+}
+
+fn run_local_broadcast(
+    graph: &Graph,
+    epsilon: f64,
+    seed: u64,
+) -> Result<ProtocolOutcome, AppError> {
+    let n = graph.node_count();
+    let bits = 8;
+    // Per-directed-edge random inputs, drawn from a dedicated stream so
+    // the instance is a pure function of (graph, seed).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_1B0A);
+    let inputs: Vec<Vec<(usize, BitVec)>> = (0..n)
+        .map(|v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .map(|&u| (u, BitVec::from_fn(bits, |_| rng.random_bool(0.5))))
+                .collect()
+        })
+        .collect();
+    let algos: Vec<CongestLocalBroadcast> = inputs
+        .iter()
+        .map(|out| CongestLocalBroadcast::new(bits, out.clone()))
+        .collect();
+    let noise = noise_for(epsilon)?;
+    let params = SimulationParams::calibrated(epsilon);
+    let runner = SimulatedCongestRunner::new(graph, bits, seed, params, noise);
+    let budget = CongestLocalBroadcast::rounds_needed(bits, bits) + 3;
+    let (solved, report) = runner.run_to_completion(algos, budget)?;
+    let success = (0..n).all(|v| {
+        solved[v].output().iter().all(|(sender, msg)| {
+            inputs[*sender]
+                .iter()
+                .any(|(dest, truth)| dest == &v && truth == msg)
+        })
+    }) && (0..n).all(|v| solved[v].output().len() == graph.degree(v));
+    let mut outcome = outcome_from_sim(&report);
+    outcome.success = success;
+    // Consumers (e.g. experiment E6's lower-bound ratio) read the payload
+    // width from the run instead of duplicating the constant.
+    outcome.metrics.push(("message_bits", bits as f64));
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beep_net::topology;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::from_name(p.name()), Some(p), "{}", p.name());
+        }
+        assert_eq!(Protocol::from_name("flood"), Some(Protocol::RoundSim));
+        assert_eq!(Protocol::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_protocol_runs_noiseless_on_a_cycle() {
+        let g = topology::cycle(6).unwrap();
+        for p in Protocol::ALL {
+            let out = p
+                .run(&g, 0.0, 5)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(out.success, "{} did not succeed", p.name());
+            assert!(out.rounds > 0, "{} reported zero rounds", p.name());
+        }
+    }
+
+    #[test]
+    fn noisy_capable_protocols_run_at_eps() {
+        let g = topology::cycle(6).unwrap();
+        for p in Protocol::ALL.iter().filter(|p| p.supports_noise()) {
+            let out = p
+                .run(&g, 0.05, 7)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(out.rounds > 0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn noiseless_primitives_reject_noise_explicitly() {
+        let g = topology::path(4).unwrap();
+        for p in [Protocol::Wave, Protocol::Leader, Protocol::Multicast] {
+            assert!(matches!(
+                p.run(&g, 0.05, 1),
+                Err(AppError::NoiseUnsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        let g = topology::grid(3, 3).unwrap();
+        for p in [Protocol::Matching, Protocol::RoundSim, Protocol::Wave] {
+            let a = p.run(&g, 0.0, 11).unwrap();
+            let b = p.run(&g, 0.0, 11).unwrap();
+            assert_eq!(a, b, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn invalid_epsilon_is_an_error() {
+        let g = topology::path(4).unwrap();
+        let err = Protocol::Matching.run(&g, 0.7, 1).unwrap_err();
+        assert!(matches!(err, AppError::Net(_)), "{err}");
+    }
+}

@@ -4,8 +4,10 @@
 //! transmitters, everyone else listening).
 //!
 //! Besides the per-kernel timings, the bench measures and prints the
-//! scalar/bitset speedup directly; the acceptance bar for the engine
-//! refactor is ≥ 5× at n = 100 000.
+//! scalar/bitset speedup directly and writes the machine-readable
+//! `BENCH_e8.json` metrics file (see `beep_bench::perfjson`) that CI's
+//! perf bar parses; the acceptance bar for the engine refactor is ≥ 5×
+//! at n = 100 000.
 
 use beep_bits::BitVec;
 use beep_net::{topology, Action, BeepNetwork, Graph, Noise};
@@ -48,6 +50,7 @@ fn median_nanos(samples: usize, mut f: impl FnMut()) -> f64 {
 
 fn bench_round_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("round_engine");
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     for n in [1_000usize, 10_000, 100_000] {
         let (graph, actions, beepers) = sparse_instance(n);
 
@@ -79,8 +82,16 @@ fn bench_round_kernels(c: &mut Criterion) {
             "speedup n={n}: scalar {scalar_ns:.0} ns / bitset {bitset_ns:.0} ns = {:.1}x",
             scalar_ns / bitset_ns
         );
+        metrics.push((format!("scalar_ns_n{n}"), scalar_ns));
+        metrics.push((format!("bitset_ns_n{n}"), bitset_ns));
+        metrics.push((format!("speedup_n{n}"), scalar_ns / bitset_ns));
     }
     group.finish();
+    // The JSON file is CI's perf contract — a failed write must fail the
+    // bench, or the perf bar would validate stale cached metrics.
+    let path = beep_bench::perfjson::write_bench_json("e8", &metrics)
+        .expect("BENCH_e8.json must be written (CI's perf bar reads it)");
+    println!("metrics written to {}", path.display());
 }
 
 fn bench_frame_kernel(c: &mut Criterion) {

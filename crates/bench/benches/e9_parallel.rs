@@ -9,8 +9,10 @@
 //! semantic trade.
 //!
 //! Besides the criterion timings, the bench prints a direct
-//! `parallel speedup n=…` line per size. The acceptance bar — enforced by
-//! CI's bench smoke when the runner has ≥ 4 cores — is ≥ 2× at n = 1M.
+//! `parallel speedup n=…` line per size and writes the machine-readable
+//! `BENCH_e9.json` metrics file (see `beep_bench::perfjson`) that CI's
+//! perf bar parses. The acceptance bar — enforced by CI's bench smoke
+//! when the runner has ≥ 4 cores — is ≥ 2× at n = 1M.
 
 use beep_bits::BitVec;
 use beep_net::{topology, BeepNetwork, Graph, Noise};
@@ -57,6 +59,8 @@ fn median_nanos(samples: usize, mut f: impl FnMut()) -> f64 {
 fn bench_parallel_kernel(c: &mut Criterion) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut group = c.benchmark_group("parallel_engine");
+    #[allow(clippy::cast_precision_loss)]
+    let mut metrics: Vec<(String, f64)> = vec![("cores".into(), cores as f64)];
     for n in [100_000usize, 1_000_000] {
         let (graph, beepers) = instance(n);
         let n = graph.node_count();
@@ -97,8 +101,16 @@ fn bench_parallel_kernel(c: &mut Criterion) {
              = {:.1}x (cores={cores})",
             single_ns / multi_ns
         );
+        metrics.push((format!("single_ns_n{n}"), single_ns));
+        metrics.push((format!("multi_ns_n{n}"), multi_ns));
+        metrics.push((format!("speedup_n{n}"), single_ns / multi_ns));
     }
     group.finish();
+    // The JSON file is CI's perf contract — a failed write must fail the
+    // bench, or the perf bar would validate stale cached metrics.
+    let path = beep_bench::perfjson::write_bench_json("e9", &metrics)
+        .expect("BENCH_e9.json must be written (CI's perf bar reads it)");
+    println!("metrics written to {}", path.display());
 }
 
 criterion_group! {

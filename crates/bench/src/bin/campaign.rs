@@ -1,0 +1,206 @@
+//! Runs (or validates) a scenario campaign: the CLI over `beep-scenarios`.
+//!
+//! ```sh
+//! # From a checked-in spec file:
+//! cargo run --release -p beep-bench --bin campaign -- \
+//!     --spec scenarios/smoke.toml --out campaign_smoke.json
+//!
+//! # Inline, without a spec file:
+//! cargo run --release -p beep-bench --bin campaign -- \
+//!     --topologies cycle,torus,rgg --sizes 16,32 \
+//!     --epsilons 0.0,0.05 --protocols matching,round_sim --seeds 1,2
+//!
+//! # Validate an existing report against the schema (CI smoke):
+//! cargo run --release -p beep-bench --bin campaign -- --check report.json
+//! ```
+//!
+//! The human table always prints to stdout (suppress with `--quiet`);
+//! `--out` additionally writes the schema-versioned JSON report.
+//! `--no-timing` strips the wall-clock fields, making the JSON a pure
+//! function of the spec (the golden-fixture form).
+
+use beep_scenarios::json::Json;
+use beep_scenarios::{
+    run_campaign, validate_report, CampaignSpec, RunOptions, TopologyFamily, TopologySpec,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut threads = 0usize;
+    let mut include_timing = true;
+    let mut quiet = false;
+    let mut name: Option<String> = None;
+    let mut topologies: Option<Vec<String>> = None;
+    let mut sizes: Option<Vec<usize>> = None;
+    let mut epsilons: Option<Vec<f64>> = None;
+    let mut protocols: Option<Vec<String>> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| -> String {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--spec" => spec_path = Some(take("--spec")),
+            "--check" => check_path = Some(take("--check")),
+            "--out" => out_path = Some(take("--out")),
+            "--name" => name = Some(take("--name")),
+            "--threads" => threads = parse_or_die(&take("--threads"), "--threads"),
+            "--no-timing" => include_timing = false,
+            "--quiet" => quiet = true,
+            "--topologies" => topologies = Some(split_list(&take("--topologies"))),
+            "--sizes" => {
+                sizes = Some(
+                    split_list(&take("--sizes"))
+                        .iter()
+                        .map(|s| parse_or_die(s, "--sizes"))
+                        .collect(),
+                );
+            }
+            "--epsilons" => {
+                epsilons = Some(
+                    split_list(&take("--epsilons"))
+                        .iter()
+                        .map(|s| parse_or_die(s, "--epsilons"))
+                        .collect(),
+                );
+            }
+            "--protocols" => protocols = Some(split_list(&take("--protocols"))),
+            "--seeds" => {
+                // Parsed as i64 so every seed fits the JSON report's
+                // integer fields (spec files get the same bound).
+                seeds = Some(
+                    split_list(&take("--seeds"))
+                        .iter()
+                        .map(|s| {
+                            let v: i64 = parse_or_die(s, "--seeds");
+                            u64::try_from(v)
+                                .unwrap_or_else(|_| die(&format!("seed {v} must be non-negative")))
+                        })
+                        .collect(),
+                );
+            }
+            other => die(&format!("unknown flag {other:?} (see the module docs)")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        check(&path);
+        return;
+    }
+
+    let spec = match spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            CampaignSpec::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+        }
+        None => inline_spec(name, topologies, sizes, epsilons, protocols, seeds),
+    };
+
+    let report = run_campaign(&spec, &RunOptions { threads })
+        .unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+    if !quiet {
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = out_path {
+        let json = report.to_json(include_timing).to_pretty();
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        if !quiet {
+            println!("report written to {path}");
+        }
+    }
+    // A campaign where cells *failed* (as opposed to being skipped as
+    // structurally inapplicable) exits nonzero so CI notices.
+    let summary = report.summary();
+    if summary.failed > 0 {
+        eprintln!("campaign: {} cell(s) failed", summary.failed);
+        std::process::exit(1);
+    }
+}
+
+/// `--check`: parse + schema-validate an existing report, print its
+/// summary line, and exit 0 (valid) or 2 (invalid/empty).
+fn check(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let json = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    validate_report(&json).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let cells = json
+        .get("cells")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    let campaign = json
+        .get("campaign")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>");
+    println!("{path}: valid {campaign:?} report, {cells} cells");
+}
+
+fn inline_spec(
+    name: Option<String>,
+    topologies: Option<Vec<String>>,
+    sizes: Option<Vec<usize>>,
+    epsilons: Option<Vec<f64>>,
+    protocols: Option<Vec<String>>,
+    seeds: Option<Vec<u64>>,
+) -> CampaignSpec {
+    let topologies =
+        topologies.unwrap_or_else(|| die("need --spec FILE or --topologies + --protocols"));
+    let sizes = sizes.unwrap_or_else(|| vec![16, 32]);
+    let topologies = topologies
+        .iter()
+        .map(|name| TopologySpec {
+            family: TopologyFamily::from_name(name)
+                .unwrap_or_else(|| die(&format!("unknown topology family {name:?}"))),
+            sizes: sizes.clone(),
+        })
+        .collect();
+    let protocols = protocols
+        .unwrap_or_else(|| die("need --protocols (e.g. matching,round_sim)"))
+        .iter()
+        .map(|name| {
+            beep_apps::Protocol::from_name(name)
+                .unwrap_or_else(|| die(&format!("unknown protocol {name:?}")))
+        })
+        .collect();
+    let epsilons = epsilons.unwrap_or_else(|| vec![0.0]);
+    for &eps in &epsilons {
+        // Same domain check spec files get in CampaignSpec::parse — a
+        // typo'd ε must be a usage error, not an all-skipped green sweep.
+        if !(0.0..0.5).contains(&eps) {
+            die(&format!("epsilon {eps} outside the paper's [0, ½)"));
+        }
+    }
+    CampaignSpec {
+        name: name.unwrap_or_else(|| "cli".into()),
+        topologies,
+        epsilons,
+        protocols,
+        seeds: seeds.unwrap_or_else(|| vec![1]),
+    }
+}
+
+fn split_list(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(ToString::to_string)
+        .collect()
+}
+
+fn parse_or_die<T: std::str::FromStr>(text: &str, what: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| die(&format!("{what}: cannot parse {text:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("campaign: {msg}");
+    std::process::exit(2);
+}

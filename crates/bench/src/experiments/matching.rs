@@ -1,20 +1,31 @@
 //! E7, E11: the maximal matching application (Section 6).
 
-use super::fmt_f;
+use super::{campaign_metric, fmt_f, run_thin_campaign};
 use crate::Table;
-use beep_apps::maximal_matching;
+use beep_apps::{maximal_matching, Protocol};
 use beep_core::baseline::{log_star, matching_beeps_ours, matching_beeps_prior};
 use beep_net::topology;
+use beep_scenarios::{TopologyFamily, TopologySpec};
 
 /// E7 — Lemma 20 + Theorem 21: matching scales as `O(log n)` Broadcast
 /// CONGEST rounds and `O(Δ log² n)` noisy beep rounds.
 ///
-/// Runs the complete pipeline (Algorithm 3 → Algorithm 1 → noisy engine)
-/// on cycles of doubling size at ε = 0.05; every output is validated for
-/// symmetry and maximality before the row is emitted.
+/// A *thin campaign spec*: the sweep (cycles of doubling size × ε = 0.05
+/// × matching) is declared and handed to the scenario layer, which runs
+/// the complete pipeline (Algorithm 3 → Algorithm 1 → noisy engine) per
+/// cell and validates every output for symmetry and maximality.
 #[must_use]
 pub fn e7_matching_scaling(seed: u64) -> Table {
-    let eps = 0.05;
+    let report = run_thin_campaign(
+        "e7-matching-scaling",
+        vec![TopologySpec {
+            family: TopologyFamily::Cycle,
+            sizes: vec![8, 16, 32, 64],
+        }],
+        vec![0.05],
+        vec![Protocol::Matching],
+        seed,
+    );
     let mut t = Table::new(
         "E7 (Thm 21): maximal matching over noisy beeps (ε = 0.05), cycles",
         &[
@@ -27,25 +38,27 @@ pub fn e7_matching_scaling(seed: u64) -> Table {
             "valid",
         ],
     );
-    for n in [8usize, 16, 32, 64] {
-        let graph = topology::cycle(n).expect("valid cycle");
-        let result =
-            maximal_matching(&graph, eps, seed + n as u64).expect("matching succeeds w.h.p.");
-        let log_n = (n as f64).log2();
+    for cell in &report.cells {
+        let log_n = (cell.n as f64).log2();
+        let bc_rounds = campaign_metric(cell, "congest_rounds");
         t.push(vec![
-            n.to_string(),
-            graph.max_degree().to_string(),
-            result.report.congest_rounds.to_string(),
-            fmt_f(result.report.congest_rounds as f64 / log_n),
-            result.report.beep_rounds_per_congest_round.to_string(),
-            result.report.beep_rounds.to_string(),
-            "true".into(), // validation already enforced by maximal_matching
+            cell.n.to_string(),
+            cell.max_degree.to_string(),
+            format!("{bc_rounds:.0}"),
+            fmt_f(bc_rounds / log_n),
+            format!(
+                "{:.0}",
+                campaign_metric(cell, "beep_rounds_per_congest_round")
+            ),
+            cell.rounds.to_string(),
+            cell.success.to_string(),
         ]);
     }
     t.set_note(
         "BC/log₂n stays bounded (Lemma 20's O(log n) iterations, 4 communication rounds \
 each); beep/BC is the Θ(Δ log n) Theorem 11 overhead (message width B = Θ(log n) grows \
-with n). Total = product: the Θ(Δ log² n) of Theorem 21.",
+with n). Total = product: the Θ(Δ log² n) of Theorem 21. Rows are campaign cells (the \
+sweep is a declarative spec over the scenario layer).",
     );
     t
 }

@@ -60,6 +60,47 @@ pub fn by_name(name: &str, seed: u64) -> Option<Vec<Table>> {
     })
 }
 
+/// Runs a single-seed campaign for an experiment table and asserts every
+/// cell executed — experiments are reference output, so a failed or
+/// skipped cell is a bug, not data. The ported experiments (E6, E7) are
+/// *thin specs*: they declare the sweep and let the scenario layer drive
+/// the engine.
+pub(crate) fn run_thin_campaign(
+    name: &str,
+    topologies: Vec<beep_scenarios::TopologySpec>,
+    epsilons: Vec<f64>,
+    protocols: Vec<beep_apps::Protocol>,
+    seed: u64,
+) -> beep_scenarios::CampaignReport {
+    let spec = beep_scenarios::CampaignSpec {
+        name: name.into(),
+        topologies,
+        epsilons,
+        protocols,
+        seeds: vec![seed],
+    };
+    let report = beep_scenarios::run_campaign(&spec, &beep_scenarios::RunOptions::default())
+        .expect("experiment sweeps are non-empty");
+    for cell in &report.cells {
+        assert_eq!(
+            cell.status,
+            beep_scenarios::CellStatus::Ok,
+            "cell {} did not run: {}",
+            cell.id,
+            cell.detail
+        );
+    }
+    report
+}
+
+/// Looks a protocol metric up on a campaign cell (0 when absent).
+pub(crate) fn campaign_metric(cell: &beep_scenarios::CellResult, key: &str) -> f64 {
+    cell.metrics
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(0.0, |(_, v)| *v)
+}
+
 pub(crate) fn fmt_f(x: f64) -> String {
     if x == 0.0 {
         "0".into()

@@ -12,9 +12,19 @@
 //! ```
 //!
 //! Wall-clock performance (encode/decode/simulation throughput) lives in
-//! the Criterion benches (`cargo bench`).
+//! the Criterion benches (`cargo bench`); the engine benches additionally
+//! emit machine-readable `BENCH_*.json` metric files (see [`perfjson`])
+//! that CI's perf bars parse and archives as the perf trajectory.
+//!
+//! Scenario sweeps are driven by the `campaign` binary (a thin CLI over
+//! `beep-scenarios`):
+//!
+//! ```sh
+//! cargo run --release -p beep-bench --bin campaign -- --spec scenarios/smoke.toml
+//! ```
 
 pub mod experiments;
+pub mod perfjson;
 mod table;
 
 pub use table::Table;

@@ -130,6 +130,86 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     Graph::from_edges(rows * cols, &edges)
 }
 
+/// A `rows × cols` torus: the 4-neighbor grid with wraparound edges, so
+/// every node has degree exactly 4 when both dimensions are ≥ 3 — the
+/// boundary-free sensor sheet, and the scenario layer's fixed-degree
+/// contrast to [`grid`]. Node `(r, c)` has id `r·cols + c`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidTopology`] if either dimension is below 3
+/// (smaller wraparounds collapse to multi-edges).
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidTopology {
+            detail: format!("torus needs both dimensions ≥ 3, got {rows}×{cols}"),
+        });
+    }
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            edges.push((id, r * cols + (c + 1) % cols));
+            edges.push((id, ((r + 1) % rows) * cols + c));
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// A Barabási–Albert preferential-attachment graph: starts from a star on
+/// `m + 1` nodes, then each new node attaches `m` edges to distinct
+/// existing nodes chosen with probability proportional to their current
+/// degree (the classic repeated-endpoint urn). Produces the heavy-tailed
+/// hub-and-spoke degree profiles of scale-free overlays — the scenario
+/// layer's high-Δ-variance contrast to [`random_regular`].
+///
+/// Connected by construction, with `m·(n − m − 1) + m` edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidTopology`] if `m == 0` or `n < m + 1`.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidTopology {
+            detail: "preferential attachment needs m ≥ 1".into(),
+        });
+    }
+    if n < m + 1 {
+        return Err(GraphError::InvalidTopology {
+            detail: format!("n = {n} cannot seed preferential attachment with m = {m}"),
+        });
+    }
+    // Seed star on {0, …, m}: gives every seed node nonzero degree so the
+    // urn is well-defined from the first attachment step.
+    let mut edges: Vec<(NodeId, NodeId)> = (1..=m).map(|v| (0, v)).collect();
+    // The urn holds each edge's two endpoints: sampling a uniform entry
+    // selects a node with probability ∝ degree.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for &(a, b) in &edges {
+        urn.push(a);
+        urn.push(b);
+    }
+    for v in m + 1..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let target = urn[rng.random_range(0..urn.len())];
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &u in &chosen {
+            edges.push((v, u));
+            urn.push(v);
+            urn.push(u);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
 /// A complete binary tree on `n` nodes (heap indexing: children of `v` are
 /// `2v+1`, `2v+2`).
 ///
@@ -408,6 +488,57 @@ mod tests {
         assert_eq!(g.max_degree(), 4);
         assert_eq!(g.diameter(), Some(2 + 3));
         assert_eq!(grid(0, 5).unwrap().node_count(), 0);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5).unwrap();
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 2 * 20);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert!(g.is_connected());
+        assert!(torus(2, 5).is_err());
+        assert!(torus(5, 2).is_err());
+    }
+
+    #[test]
+    fn torus_wraps_both_dimensions() {
+        let g = torus(3, 4).unwrap();
+        // Row wrap: (0,3) – (0,0); column wrap: (2,1) – (0,1).
+        assert!(g.has_edge(3, 0));
+        assert!(g.has_edge(2 * 4 + 1, 1));
+        // Torus diameter = ⌊rows/2⌋ + ⌊cols/2⌋.
+        assert_eq!(g.diameter(), Some(1 + 2));
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, m) in [(5usize, 1usize), (30, 2), (64, 3)] {
+            let g = preferential_attachment(n, m, &mut rng).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), m + m * (n - m - 1), "n={n} m={m}");
+            assert!(g.is_connected(), "n={n} m={m}");
+            // Late arrivals have degree ≥ m; hubs should exceed it.
+            assert!(g.degree(n - 1) >= m);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_grows_hubs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = preferential_attachment(200, 2, &mut rng).unwrap();
+        // Scale-free signature: the max degree dwarfs the attachment count.
+        assert!(g.max_degree() >= 4 * 2, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(preferential_attachment(5, 0, &mut rng).is_err());
+        assert!(preferential_attachment(2, 2, &mut rng).is_err());
     }
 
     #[test]

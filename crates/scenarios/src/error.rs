@@ -1,0 +1,56 @@
+//! Scenario-layer error type.
+
+use crate::json::JsonError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing specs, expanding matrices, or validating reports.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The campaign spec is malformed.
+    Spec {
+        /// Line number (1-based) when known, 0 otherwise.
+        line: usize,
+        /// What is wrong.
+        detail: String,
+    },
+    /// The spec expanded to zero cells (empty sweep axes).
+    EmptyMatrix,
+    /// A report failed JSON parsing.
+    Json(JsonError),
+    /// A report parsed but violates the campaign-report schema.
+    Report {
+        /// What is wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Spec { line: 0, detail } => write!(f, "spec: {detail}"),
+            ScenarioError::Spec { line, detail } => write!(f, "spec line {line}: {detail}"),
+            ScenarioError::EmptyMatrix => {
+                write!(f, "campaign expands to zero cells (check the sweep axes)")
+            }
+            ScenarioError::Json(e) => write!(f, "report is not JSON: {e}"),
+            ScenarioError::Report { detail } => write!(f, "report schema violation: {detail}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for ScenarioError {
+    fn from(e: JsonError) -> Self {
+        ScenarioError::Json(e)
+    }
+}

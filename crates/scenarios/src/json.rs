@@ -1,0 +1,496 @@
+//! A minimal, dependency-free JSON value: deterministic writer plus a
+//! strict parser.
+//!
+//! The workspace builds hermetically (no registry access), so the report
+//! pipeline carries its own JSON layer instead of serde. The writer is
+//! byte-deterministic — object keys keep insertion order, floats render
+//! through Rust's shortest-roundtrip `Display` — which is what lets the
+//! golden-report tests pin campaign output bit for bit. The parser accepts
+//! exactly the JSON this crate (and the bench emitters) produce, plus
+//! ordinary interchange JSON; it exists for report validation
+//! (`campaign --check`) and the CI perf-bar checker.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (deterministic output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; never rendered with an exponent).
+    Int(i64),
+    /// A finite double. NaN/∞ are rejected at write time.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks a key up in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer (floats with zero fraction coerce).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            #[allow(clippy::cast_possible_truncation)]
+            Json::Float(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a double (integers coerce).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline —
+    /// the canonical on-disk form of every report in the workspace.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                assert!(v.is_finite(), "non-finite float in JSON output");
+                // Shortest-roundtrip Display; force a fraction marker so
+                // the value parses back as a float.
+                let s = v.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (one value, optionally surrounded by
+    /// whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-annotated message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing content after the JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            pos: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for the
+                            // workspace's ASCII-only reports.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("malformed number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_is_deterministic_and_ordered() {
+        let v = Json::obj(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("x", Json::Float(0.05)),
+        ]);
+        let s = v.to_pretty();
+        assert_eq!(s, v.to_pretty());
+        // Keys keep insertion order, not sorted order.
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.contains("0.05"));
+    }
+
+    #[test]
+    fn floats_always_carry_a_fraction_marker() {
+        assert!(Json::Float(2.0).to_pretty().contains("2.0"));
+        assert!(Json::Float(0.5).to_pretty().contains("0.5"));
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let v = Json::obj(vec![
+            ("schema", Json::Str("beep-campaign-report".into())),
+            ("version", Json::Int(1)),
+            ("eps", Json::Float(0.05)),
+            ("neg", Json::Int(-3)),
+            (
+                "cells",
+                Json::Arr(vec![Json::obj(vec![
+                    ("id", Json::Str("cycle/n8".into())),
+                    ("ok", Json::Bool(true)),
+                ])]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("quote", Json::Str("a \"b\" \n c".into())),
+        ]);
+        let parsed = Json::parse(&v.to_pretty()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parses_interchange_json() {
+        let v = Json::parse(r#" {"a": [1, 2.5, -3e2, "A"], "b": null} "#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[3].as_str(),
+            Some("A")
+        );
+        assert_eq!(v.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "nul", "01x", "\"abc", "{}{}"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_coerce_sensibly() {
+        assert_eq!(Json::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Json::Float(7.0).as_i64(), Some(7));
+        assert_eq!(Json::Float(7.5).as_i64(), None);
+        assert_eq!(Json::Str("x".into()).as_i64(), None);
+    }
+}

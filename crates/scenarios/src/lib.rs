@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Declarative scenario campaigns for the noisy-beeps workspace.
+//!
+//! A **campaign** sweeps `topology families × sizes × noise levels ×
+//! protocols × seeds` as one declarative spec ([`CampaignSpec`], parsed
+//! from a checked-in file or built in code), expands it into a cell
+//! matrix, executes every cell on the sharded bitset engine (in parallel
+//! across worker threads), and emits both a human table and a stable,
+//! schema-versioned JSON report ([`CampaignReport`]) suitable for
+//! perf-trajectory tracking in CI.
+//!
+//! The scenario layer is the workspace's front door for new workloads:
+//! instead of writing a bespoke experiment module per sweep, describe
+//! the grid and let [`run_campaign`] drive the
+//! [`beep_apps::Protocol`] registry.
+//!
+//! # Determinism
+//!
+//! With timing excluded ([`CampaignReport::to_json`] with
+//! `include_timing = false`), a report is a byte-for-byte pure function
+//! of its spec: cell seeds derive from cell *ids* (not positions), the
+//! topology instance is shared across the (ε, protocol) cells of one
+//! family × size × sweep-seed, and results land in matrix order at every
+//! thread count. `wall_ms` fields are the only nondeterministic output.
+//!
+//! # Example
+//!
+//! ```
+//! use beep_scenarios::{run_campaign, CampaignSpec, RunOptions};
+//!
+//! let spec = CampaignSpec::parse(r#"
+//!     name = "doc"
+//!     protocols = ["wave"]
+//!     [[topology]]
+//!     family = "cycle"
+//!     sizes = [6]
+//! "#).unwrap();
+//! let report = run_campaign(&spec, &RunOptions::default()).unwrap();
+//! assert_eq!(report.cells.len(), 1);
+//! assert!(report.cells[0].success);
+//! ```
+
+pub mod json;
+
+mod error;
+mod report;
+mod run;
+mod spec;
+
+pub use error::ScenarioError;
+pub use report::{
+    validate_report, CampaignReport, CellResult, CellStatus, Summary, SCHEMA_NAME, SCHEMA_VERSION,
+};
+pub use run::{run_campaign, RunOptions};
+pub use spec::{cell_seed, CampaignSpec, CellSpec, TopologyFamily, TopologySpec};

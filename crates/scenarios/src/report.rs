@@ -1,0 +1,508 @@
+//! Campaign results: per-cell records, the campaign summary, the
+//! schema-versioned JSON report, and a human-readable table.
+//!
+//! # Report schema (`beep-campaign-report`, version 1)
+//!
+//! ```json
+//! {
+//!   "schema": "beep-campaign-report",
+//!   "version": 1,
+//!   "campaign": "<name>",
+//!   "cells": [ { …one object per cell, in matrix order… } ],
+//!   "summary": { "cells": N, "ok": …, "failed": …, "skipped": …,
+//!                 "successes": …, "success_rate": …,
+//!                 "total_rounds": …, "total_beeps": … },
+//!   "wall_ms": 12.3
+//! }
+//! ```
+//!
+//! Everything except the `wall_ms` fields (one per cell plus the
+//! campaign-level one) is a pure function of the spec — re-running the
+//! same spec yields a byte-identical report when timing is excluded
+//! ([`CampaignReport::to_json`] with `include_timing = false`), which is
+//! what the golden-report test pins. Bump [`SCHEMA_VERSION`] on any
+//! structural change.
+
+use crate::error::ScenarioError;
+use crate::json::Json;
+
+/// Schema identifier carried by every report.
+pub const SCHEMA_NAME: &str = "beep-campaign-report";
+/// Current schema version. Bump on structural change and record the
+/// break in CHANGES.md.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// How a cell's execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The protocol ran to completion (its verdict is in `success`).
+    Ok,
+    /// The protocol errored (budget exhausted, validation failed, …).
+    Failed,
+    /// The cell is structurally inapplicable (noiseless-only protocol at
+    /// ε > 0, unrealizable topology size) and was skipped.
+    Skipped,
+}
+
+impl CellStatus {
+    /// The schema string.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// The outcome of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Stable cell id (`family/n{size}/eps{ε}/protocol/s{seed}`).
+    pub id: String,
+    /// Topology family label (with parameters).
+    pub family: String,
+    /// Requested node count.
+    pub requested_n: usize,
+    /// Realized node count (grid/torus round to their shape).
+    pub n: usize,
+    /// Realized edge count.
+    pub edges: usize,
+    /// Realized maximum degree Δ.
+    pub max_degree: usize,
+    /// Resolved generation parameters (auto radius, degree, …).
+    pub topology_params: Vec<(String, f64)>,
+    /// Noise rate ε.
+    pub epsilon: f64,
+    /// Protocol registry name.
+    pub protocol: String,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Derived per-cell seed (hex, for reproduction outside a campaign).
+    pub cell_seed: u64,
+    /// Execution status.
+    pub status: CellStatus,
+    /// The protocol's own correctness verdict (only meaningful when
+    /// `status` is [`CellStatus::Ok`]).
+    pub success: bool,
+    /// Beep rounds executed.
+    pub rounds: usize,
+    /// Beeps emitted (energy).
+    pub beeps: u64,
+    /// Protocol-specific metrics.
+    pub metrics: Vec<(String, f64)>,
+    /// Error detail for failed/skipped cells (empty otherwise).
+    pub detail: String,
+    /// Cell wall-clock in milliseconds (excluded from golden output).
+    pub wall_ms: f64,
+}
+
+impl CellResult {
+    fn to_json(&self, include_timing: bool) -> Json {
+        let mut pairs = vec![
+            ("id", Json::Str(self.id.clone())),
+            ("family", Json::Str(self.family.clone())),
+            ("requested_n", int(self.requested_n)),
+            ("n", int(self.n)),
+            ("edges", int(self.edges)),
+            ("max_degree", int(self.max_degree)),
+            (
+                "topology_params",
+                Json::Obj(
+                    self.topology_params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            ("epsilon", Json::Float(self.epsilon)),
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("seed", int_u64(self.seed)),
+            ("cell_seed", Json::Str(format!("{:#018x}", self.cell_seed))),
+            ("status", Json::Str(self.status.as_str().into())),
+            ("success", Json::Bool(self.success)),
+            ("rounds", int(self.rounds)),
+            ("beeps", int_u64(self.beeps)),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ),
+            ("detail", Json::Str(self.detail.clone())),
+        ];
+        if include_timing {
+            pairs.push(("wall_ms", Json::Float(self.wall_ms)));
+        }
+        Json::obj(pairs)
+    }
+}
+
+fn int(v: usize) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Saturating, never wrapping: a wrapped negative would make the report
+/// fail its own schema validation (`validate_report` requires these
+/// fields non-negative). Counts can't realistically reach `i64::MAX`;
+/// seeds above it are rejected at spec-parse/CLI time.
+fn int_u64(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Campaign-level aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total cells in the matrix.
+    pub cells: usize,
+    /// Cells that ran to completion.
+    pub ok: usize,
+    /// Cells whose protocol errored.
+    pub failed: usize,
+    /// Structurally inapplicable cells.
+    pub skipped: usize,
+    /// Ok cells whose correctness verdict was positive.
+    pub successes: usize,
+    /// `successes / ok` (0 when nothing ran).
+    pub success_rate: f64,
+    /// Sum of beep rounds over ok cells.
+    pub total_rounds: u64,
+    /// Sum of beeps over ok cells.
+    pub total_beeps: u64,
+}
+
+/// A completed campaign: cells in matrix order plus the wall clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub campaign: String,
+    /// Per-cell results, in matrix order.
+    pub cells: Vec<CellResult>,
+    /// End-to-end wall-clock in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CampaignReport {
+    /// Computes the campaign-level aggregates.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary {
+            cells: self.cells.len(),
+            ok: 0,
+            failed: 0,
+            skipped: 0,
+            successes: 0,
+            success_rate: 0.0,
+            total_rounds: 0,
+            total_beeps: 0,
+        };
+        for cell in &self.cells {
+            match cell.status {
+                CellStatus::Ok => {
+                    s.ok += 1;
+                    if cell.success {
+                        s.successes += 1;
+                    }
+                    s.total_rounds += cell.rounds as u64;
+                    s.total_beeps += cell.beeps;
+                }
+                CellStatus::Failed => s.failed += 1,
+                CellStatus::Skipped => s.skipped += 1,
+            }
+        }
+        if s.ok > 0 {
+            s.success_rate = s.successes as f64 / s.ok as f64;
+        }
+        s
+    }
+
+    /// Serializes the report. With `include_timing = false` the output is
+    /// a pure function of the spec (the golden-test form); with `true` it
+    /// additionally carries per-cell and campaign `wall_ms`.
+    #[must_use]
+    pub fn to_json(&self, include_timing: bool) -> Json {
+        let s = self.summary();
+        let mut pairs = vec![
+            ("schema", Json::Str(SCHEMA_NAME.into())),
+            ("version", Json::Int(SCHEMA_VERSION)),
+            ("campaign", Json::Str(self.campaign.clone())),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| c.to_json(include_timing))
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("cells", int(s.cells)),
+                    ("ok", int(s.ok)),
+                    ("failed", int(s.failed)),
+                    ("skipped", int(s.skipped)),
+                    ("successes", int(s.successes)),
+                    ("success_rate", Json::Float(s.success_rate)),
+                    ("total_rounds", int_u64(s.total_rounds)),
+                    ("total_beeps", int_u64(s.total_beeps)),
+                ]),
+            ),
+        ];
+        if include_timing {
+            pairs.push(("wall_ms", Json::Float(self.wall_ms)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Renders the human-readable cell table plus a summary footer.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let header = [
+            "cell", "n", "edges", "Δ", "status", "ok?", "rounds", "beeps", "ms",
+        ];
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.cells.len());
+        for c in &self.cells {
+            rows.push(vec![
+                c.id.clone(),
+                c.n.to_string(),
+                c.edges.to_string(),
+                c.max_degree.to_string(),
+                c.status.as_str().into(),
+                if c.status == CellStatus::Ok {
+                    c.success.to_string()
+                } else {
+                    "-".into()
+                },
+                c.rounds.to_string(),
+                c.beeps.to_string(),
+                format!("{:.1}", c.wall_ms),
+            ]);
+        }
+        let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = format!("== campaign {} ==\n", self.campaign);
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, (w, cell)) in widths.iter().zip(cells).enumerate() {
+                let pad = w - cell.chars().count();
+                if i == 0 {
+                    // Left-align the id column.
+                    out.push(' ');
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad + 1));
+                } else {
+                    out.push(' ');
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        };
+        let header: Vec<String> = header.iter().map(ToString::to_string).collect();
+        render_row(&mut out, &header);
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for row in &rows {
+            render_row(&mut out, row);
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "{} cells: {} ok ({} successful, rate {:.2}), {} failed, {} skipped; \
+             {} rounds, {} beeps, {:.0} ms\n",
+            s.cells,
+            s.ok,
+            s.successes,
+            s.success_rate,
+            s.failed,
+            s.skipped,
+            s.total_rounds,
+            s.total_beeps,
+            self.wall_ms,
+        ));
+        out
+    }
+}
+
+/// Validates a parsed report against the version-1 schema: identifier and
+/// version match, the cell set is non-empty, every cell carries the
+/// required typed fields, and the summary is consistent with the cells.
+///
+/// # Errors
+///
+/// [`ScenarioError::Report`] naming the first violation.
+pub fn validate_report(json: &Json) -> Result<(), ScenarioError> {
+    let fail = |detail: String| Err(ScenarioError::Report { detail });
+    match json.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA_NAME => {}
+        other => return fail(format!("schema is {other:?}, expected {SCHEMA_NAME:?}")),
+    }
+    match json.get("version").and_then(Json::as_i64) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        other => return fail(format!("version is {other:?}, expected {SCHEMA_VERSION}")),
+    }
+    if json.get("campaign").and_then(Json::as_str).is_none() {
+        return fail("missing campaign name".into());
+    }
+    let cells = match json.get("cells").and_then(Json::as_array) {
+        Some(cells) => cells,
+        None => return fail("missing cells array".into()),
+    };
+    if cells.is_empty() {
+        return fail("cell set is empty".into());
+    }
+    let mut ok = 0usize;
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = |what: &str| format!("cell {i}: {what}");
+        if cell.get("id").and_then(Json::as_str).is_none() {
+            return fail(ctx("missing id"));
+        }
+        for key in ["n", "edges", "max_degree", "rounds", "beeps", "seed"] {
+            match cell.get(key).and_then(Json::as_i64) {
+                Some(v) if v >= 0 => {}
+                _ => return fail(ctx(&format!("missing or negative {key}"))),
+            }
+        }
+        if cell.get("epsilon").and_then(Json::as_f64).is_none() {
+            return fail(ctx("missing epsilon"));
+        }
+        if cell.get("protocol").and_then(Json::as_str).is_none() {
+            return fail(ctx("missing protocol"));
+        }
+        if cell.get("success").and_then(Json::as_bool).is_none() {
+            return fail(ctx("missing success"));
+        }
+        match cell.get("status").and_then(Json::as_str) {
+            Some("ok") => ok += 1,
+            Some("failed" | "skipped") => {}
+            other => return fail(ctx(&format!("bad status {other:?}"))),
+        }
+    }
+    let summary = json.get("summary").ok_or(ScenarioError::Report {
+        detail: "missing summary".into(),
+    })?;
+    if summary.get("cells").and_then(Json::as_i64)
+        != Some(i64::try_from(cells.len()).expect("cell count fits"))
+    {
+        return fail("summary.cells disagrees with the cells array".into());
+    }
+    if summary.get("ok").and_then(Json::as_i64) != Some(i64::try_from(ok).expect("fits")) {
+        return fail("summary.ok disagrees with the cells array".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_cell(id: &str, status: CellStatus, success: bool) -> CellResult {
+        CellResult {
+            id: id.into(),
+            family: "cycle".into(),
+            requested_n: 8,
+            n: 8,
+            edges: 8,
+            max_degree: 2,
+            topology_params: vec![],
+            epsilon: 0.05,
+            protocol: "matching".into(),
+            seed: 1,
+            cell_seed: 0xABCD,
+            status,
+            success,
+            rounds: 100,
+            beeps: 42,
+            metrics: vec![("congest_rounds".into(), 5.0)],
+            detail: String::new(),
+            wall_ms: 1.5,
+        }
+    }
+
+    fn demo_report() -> CampaignReport {
+        CampaignReport {
+            campaign: "demo".into(),
+            cells: vec![
+                demo_cell("a", CellStatus::Ok, true),
+                demo_cell("b", CellStatus::Ok, false),
+                demo_cell("c", CellStatus::Failed, false),
+                demo_cell("d", CellStatus::Skipped, false),
+            ],
+            wall_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_by_status() {
+        let s = demo_report().summary();
+        assert_eq!((s.cells, s.ok, s.failed, s.skipped), (4, 2, 1, 1));
+        assert_eq!(s.successes, 1);
+        assert!((s.success_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_rounds, 200);
+        assert_eq!(s.total_beeps, 84);
+    }
+
+    #[test]
+    fn json_without_timing_has_no_wall_fields() {
+        let j = demo_report().to_json(false).to_pretty();
+        assert!(!j.contains("wall_ms"));
+        let j = demo_report().to_json(true).to_pretty();
+        assert!(j.contains("wall_ms"));
+    }
+
+    #[test]
+    fn own_reports_validate() {
+        let j = demo_report().to_json(true);
+        validate_report(&j).unwrap();
+        let j = demo_report().to_json(false);
+        validate_report(&j).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_corruption() {
+        let good = demo_report().to_json(false).to_pretty();
+        for (from, to, needle) in [
+            ("beep-campaign-report", "other-schema", "schema"),
+            ("\"version\": 1", "\"version\": 2", "version"),
+            (
+                "\"status\": \"failed\"",
+                "\"status\": \"exploded\"",
+                "bad status",
+            ),
+            ("\"ok\": 2", "\"ok\": 3", "summary.ok"),
+        ] {
+            let bad = good.replacen(from, to, 1);
+            assert_ne!(bad, good, "{from} not found");
+            let err = validate_report(&Json::parse(&bad).unwrap()).unwrap_err();
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_cell_set_fails_validation() {
+        let report = CampaignReport {
+            campaign: "empty".into(),
+            cells: vec![],
+            wall_ms: 0.0,
+        };
+        let err = validate_report(&report.to_json(false)).unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn table_renders_all_cells() {
+        let table = demo_report().render_table();
+        assert!(table.contains("== campaign demo =="));
+        assert!(table.contains("skipped"));
+        assert!(table.contains("4 cells: 2 ok"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Campaign execution: expand the spec, run every cell on the engine —
+//! in parallel across worker threads — and assemble the report.
+//!
+//! Cell results are written into their matrix slot regardless of which
+//! worker ran them, so the report is identical at every thread count;
+//! only the `wall_ms` fields vary. Within one sweep seed, every
+//! `(ε, protocol)` cell of a given family × size runs on the *same*
+//! graph instance (the topology seed is derived from
+//! `family/size/sweep-seed` only), so protocol and noise comparisons are
+//! apples-to-apples.
+
+use crate::error::ScenarioError;
+use crate::report::{CampaignReport, CellResult, CellStatus};
+use crate::spec::{cell_seed, CampaignSpec, CellSpec};
+use beep_apps::AppError;
+use beep_net::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A built (or unbuildable) topology instance, shared by all the cells
+/// of one family × size × sweep-seed group.
+type BuiltInstance = Result<(Graph, Vec<(String, f64)>), ScenarioError>;
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Worker threads; 0 = one per core (capped at the cell count).
+    pub threads: usize,
+}
+
+/// Runs a campaign to completion.
+///
+/// # Errors
+///
+/// [`ScenarioError::EmptyMatrix`] if the spec expands to zero cells.
+/// Individual cell failures never abort the campaign — they are recorded
+/// as `failed`/`skipped` cells.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    options: &RunOptions,
+) -> Result<CampaignReport, ScenarioError> {
+    let cells = spec.expand()?;
+    let start = Instant::now();
+    let workers = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        options.threads
+    }
+    .min(cells.len())
+    .max(1);
+
+    // Build each unique topology instance once — not once per cell: the
+    // (ε, protocol) cells of one family × size × sweep-seed share the
+    // graph, and a large random instance can dominate cell runtime.
+    let instances: HashMap<String, BuiltInstance> = {
+        let mut map = HashMap::new();
+        for cell in &cells {
+            map.entry(instance_key(cell))
+                .or_insert_with(|| cell.family.build(cell.requested_n, topology_seed(cell)));
+        }
+        map
+    };
+
+    let mut results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
+    let next = AtomicUsize::new(0);
+    if workers == 1 {
+        let results = results.get_mut().expect("unshared");
+        for (i, cell) in cells.iter().enumerate() {
+            results[i] = Some(run_cell(cell, &instances[&instance_key(cell)]));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let result = run_cell(cell, &instances[&instance_key(cell)]);
+                    results.lock().expect("no poisoned workers")[i] = Some(result);
+                });
+            }
+        });
+    }
+
+    let cells = results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    Ok(CampaignReport {
+        campaign: spec.name.clone(),
+        cells,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// The key grouping cells that share one topology instance: every
+/// (ε, protocol) cell of a family × size within one sweep seed.
+fn instance_key(cell: &CellSpec) -> String {
+    format!(
+        "{}/n{}/s{}/topology",
+        cell.family.label(),
+        cell.requested_n,
+        cell.sweep_seed
+    )
+}
+
+/// The topology instance seed, derived from the group key.
+fn topology_seed(cell: &CellSpec) -> u64 {
+    cell_seed(&instance_key(cell))
+}
+
+fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
+    let start = Instant::now();
+    let mut result = CellResult {
+        id: cell.id.clone(),
+        family: cell.family.label(),
+        requested_n: cell.requested_n,
+        n: 0,
+        edges: 0,
+        max_degree: 0,
+        topology_params: Vec::new(),
+        epsilon: cell.epsilon,
+        protocol: cell.protocol.name().into(),
+        seed: cell.sweep_seed,
+        cell_seed: cell.cell_seed,
+        status: CellStatus::Skipped,
+        success: false,
+        rounds: 0,
+        beeps: 0,
+        metrics: Vec::new(),
+        detail: String::new(),
+        wall_ms: 0.0,
+    };
+    match built {
+        Err(e) => {
+            result.status = CellStatus::Skipped;
+            result.detail = e.to_string();
+        }
+        Ok((graph, params)) => {
+            result.n = graph.node_count();
+            result.edges = graph.edge_count();
+            result.max_degree = graph.max_degree();
+            result.topology_params = params.clone();
+            // A panicking protocol (e.g. an assert on a degenerate graph)
+            // must not take down the campaign — or, worse, poison the
+            // worker pool: it becomes a failed cell like any other error.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cell.protocol.run(graph, cell.epsilon, cell.cell_seed)
+            }))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(AppError::InvalidOutput {
+                    detail: format!("protocol panicked: {msg}"),
+                })
+            });
+            match run {
+                Ok(outcome) => {
+                    result.status = CellStatus::Ok;
+                    result.success = outcome.success;
+                    result.rounds = outcome.rounds;
+                    result.beeps = outcome.beeps;
+                    result.metrics = outcome
+                        .metrics
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect();
+                }
+                Err(e @ AppError::NoiseUnsupported { .. }) => {
+                    result.status = CellStatus::Skipped;
+                    result.detail = e.to_string();
+                }
+                Err(e) => {
+                    result.status = CellStatus::Failed;
+                    result.detail = e.to_string();
+                }
+            }
+        }
+    }
+    result.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TopologyFamily, TopologySpec};
+    use beep_apps::Protocol;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            topologies: vec![
+                TopologySpec {
+                    family: TopologyFamily::Cycle,
+                    sizes: vec![6],
+                },
+                TopologySpec {
+                    family: TopologyFamily::Torus,
+                    sizes: vec![9],
+                },
+            ],
+            epsilons: vec![0.0, 0.05],
+            protocols: vec![Protocol::Wave, Protocol::RoundSim],
+            seeds: vec![1],
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_classifies_cells() {
+        let report = run_campaign(&small_spec(), &RunOptions::default()).unwrap();
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        let s = report.summary();
+        // Wave at ε > 0 is skipped; everything else runs and succeeds.
+        assert_eq!(s.skipped, 2);
+        assert_eq!(s.ok, 6);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.successes, 6, "{}", report.render_table());
+    }
+
+    #[test]
+    fn reports_are_thread_count_invariant_modulo_timing() {
+        let spec = small_spec();
+        let serial = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+        let parallel = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+        assert_eq!(
+            serial.to_json(false).to_pretty(),
+            parallel.to_json(false).to_pretty()
+        );
+    }
+
+    #[test]
+    fn shared_topology_instance_across_protocols() {
+        let report = run_campaign(&small_spec(), &RunOptions { threads: 1 }).unwrap();
+        // Same family/size/seed ⇒ same realized graph facts across ε and
+        // protocol cells.
+        let torus: Vec<&CellResult> = report
+            .cells
+            .iter()
+            .filter(|c| c.family == "torus")
+            .collect();
+        assert!(torus.len() > 1);
+        assert!(torus.iter().all(|c| c.n == torus[0].n));
+        assert!(torus.iter().all(|c| c.edges == torus[0].edges));
+    }
+
+    #[test]
+    fn panicking_protocol_becomes_a_failed_cell() {
+        // grid at size 0 builds a 0-node graph; leader election asserts
+        // on it. The campaign must record a failed cell, not abort —
+        // including on the threaded path.
+        let spec = CampaignSpec {
+            name: "panic".into(),
+            topologies: vec![TopologySpec {
+                family: TopologyFamily::Grid,
+                sizes: vec![0],
+            }],
+            epsilons: vec![0.0],
+            protocols: vec![Protocol::Leader, Protocol::Wave],
+            seeds: vec![1],
+        };
+        let report = run_campaign(&spec, &RunOptions { threads: 2 }).unwrap();
+        let leader = report
+            .cells
+            .iter()
+            .find(|c| c.protocol == "leader")
+            .unwrap();
+        assert_eq!(leader.status, CellStatus::Failed);
+        assert!(leader.detail.contains("panicked"), "{}", leader.detail);
+    }
+
+    #[test]
+    fn unrealizable_topology_is_skipped_not_fatal() {
+        let spec = CampaignSpec {
+            name: "bad-torus".into(),
+            topologies: vec![TopologySpec {
+                family: TopologyFamily::Torus,
+                sizes: vec![4], // below the 3×3 minimum
+            }],
+            epsilons: vec![0.0],
+            protocols: vec![Protocol::Wave],
+            seeds: vec![1],
+        };
+        let report = run_campaign(&spec, &RunOptions::default()).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].status, CellStatus::Skipped);
+        assert!(report.cells[0].detail.contains("torus"));
+    }
+}

@@ -1,0 +1,775 @@
+//! Campaign specs: what to sweep, and the expansion into a cell matrix.
+//!
+//! A campaign is the cartesian product
+//! `topology instances × noise levels × protocols × seeds`. Specs are
+//! built programmatically ([`CampaignSpec`] is plain data) or parsed from
+//! a checked-in file ([`CampaignSpec::parse`]) in a small TOML subset:
+//!
+//! ```toml
+//! name = "smoke"
+//! seeds = [1, 2]
+//! epsilons = [0.0, 0.05]
+//! protocols = ["matching", "round_sim"]
+//!
+//! [[topology]]
+//! family = "cycle"
+//! sizes = [8, 16]
+//!
+//! [[topology]]
+//! family = "random_regular"
+//! sizes = [12]
+//! degree = 4
+//! ```
+//!
+//! Supported syntax: `key = value` pairs (strings, numbers, booleans,
+//! flat arrays), `[[topology]]` table arrays, and `#` comments. Nothing
+//! else of TOML is needed or accepted.
+
+use crate::error::ScenarioError;
+use crate::json::Json;
+use beep_apps::Protocol;
+use beep_net::{topology, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A topology family with its (resolved) generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyFamily {
+    /// `C_n`.
+    Cycle,
+    /// `P_n`.
+    Path,
+    /// `K_n`.
+    Complete,
+    /// `K_{1,n−1}`.
+    Star,
+    /// Near-square 4-neighbor grid on ≥ n nodes.
+    Grid,
+    /// Near-square wraparound grid (4-regular) on ≈ n nodes.
+    Torus,
+    /// Complete binary tree.
+    BinaryTree,
+    /// Uniform random labeled tree.
+    RandomTree,
+    /// Random geometric graph; `None` radius = the connectivity-threshold
+    /// radius `√(2·ln n / (π·n))`, resolved per size.
+    RandomGeometric {
+        /// Connection radius in the unit square, or `None` for auto.
+        radius: Option<f64>,
+    },
+    /// Random `d`-regular graph.
+    RandomRegular {
+        /// The degree `d` (= the paper's Δ, exactly).
+        degree: usize,
+    },
+    /// Erdős–Rényi `G(n, p)` with `p = expected_degree / (n−1)`.
+    Gnp {
+        /// Target expected degree.
+        expected_degree: f64,
+    },
+    /// Barabási–Albert preferential attachment.
+    PreferentialAttachment {
+        /// Edges per arriving node.
+        m: usize,
+    },
+    /// `K_{⌊n/2⌋,⌈n/2⌉}` — the Lemma 14 hard-instance shape.
+    CompleteBipartite,
+}
+
+impl TopologyFamily {
+    /// The canonical label, including parameters — used in cell ids, so
+    /// two parameterizations of one family never collide.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TopologyFamily::Cycle => "cycle".into(),
+            TopologyFamily::Path => "path".into(),
+            TopologyFamily::Complete => "complete".into(),
+            TopologyFamily::Star => "star".into(),
+            TopologyFamily::Grid => "grid".into(),
+            TopologyFamily::Torus => "torus".into(),
+            TopologyFamily::BinaryTree => "binary_tree".into(),
+            TopologyFamily::RandomTree => "random_tree".into(),
+            TopologyFamily::RandomGeometric { radius: None } => "rgg(r=auto)".into(),
+            TopologyFamily::RandomGeometric { radius: Some(r) } => format!("rgg(r={r})"),
+            TopologyFamily::RandomRegular { degree } => format!("random_regular(d={degree})"),
+            TopologyFamily::Gnp { expected_degree } => format!("gnp(deg={expected_degree})"),
+            TopologyFamily::PreferentialAttachment { m } => format!("pa(m={m})"),
+            TopologyFamily::CompleteBipartite => "complete_bipartite".into(),
+        }
+    }
+
+    /// Builds the family's instance closest to `n` nodes, deterministic in
+    /// `seed`. Returns the graph and the resolved generation parameters
+    /// (e.g. the auto radius) for the report.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] when the family cannot realize `n` (torus
+    /// below 9 nodes, odd `n·d`, …) — campaigns mark such cells skipped.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn build(&self, n: usize, seed: u64) -> Result<(Graph, Vec<(String, f64)>), ScenarioError> {
+        let bad = |detail: String| ScenarioError::Spec { line: 0, detail };
+        let graph_err = |e: beep_net::GraphError| bad(format!("{}: {e}", self.label()));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params: Vec<(String, f64)> = Vec::new();
+        let graph = match self {
+            TopologyFamily::Cycle => topology::cycle(n).map_err(graph_err)?,
+            TopologyFamily::Path => topology::path(n).map_err(graph_err)?,
+            TopologyFamily::Complete => topology::complete(n).map_err(graph_err)?,
+            TopologyFamily::Star => topology::star(n).map_err(graph_err)?,
+            TopologyFamily::Grid => {
+                let rows = n.isqrt().max(1);
+                let cols = n.div_ceil(rows);
+                topology::grid(rows, cols).map_err(graph_err)?
+            }
+            TopologyFamily::Torus => {
+                if n < 9 {
+                    return Err(bad(format!("torus needs n ≥ 9, got {n}")));
+                }
+                let rows = n.isqrt().max(3);
+                let cols = (n / rows).max(3);
+                topology::torus(rows, cols).map_err(graph_err)?
+            }
+            TopologyFamily::BinaryTree => topology::binary_tree(n).map_err(graph_err)?,
+            TopologyFamily::RandomTree => topology::random_tree(n, &mut rng).map_err(graph_err)?,
+            TopologyFamily::RandomGeometric { radius } => {
+                let r = radius.unwrap_or_else(|| {
+                    let nf = n.max(2) as f64;
+                    (2.0 * nf.ln() / (std::f64::consts::PI * nf)).sqrt()
+                });
+                params.push(("radius".into(), r));
+                let (g, _) = topology::random_geometric(n, r, &mut rng).map_err(graph_err)?;
+                g
+            }
+            TopologyFamily::RandomRegular { degree } => {
+                params.push(("degree".into(), *degree as f64));
+                topology::random_regular(n, *degree, &mut rng).map_err(graph_err)?
+            }
+            TopologyFamily::Gnp { expected_degree } => {
+                if n < 2 {
+                    return Err(bad(format!("gnp needs n ≥ 2, got {n}")));
+                }
+                let p = (expected_degree / (n as f64 - 1.0)).clamp(0.0, 1.0);
+                params.push(("p".into(), p));
+                topology::gnp(n, p, &mut rng).map_err(graph_err)?
+            }
+            TopologyFamily::PreferentialAttachment { m } => {
+                params.push(("m".into(), *m as f64));
+                topology::preferential_attachment(n, *m, &mut rng).map_err(graph_err)?
+            }
+            TopologyFamily::CompleteBipartite => {
+                topology::complete_bipartite(n / 2, n - n / 2).map_err(graph_err)?
+            }
+        };
+        Ok((graph, params))
+    }
+
+    /// Parses a family from its bare spec name with default parameters
+    /// (degree 4 regular, expected degree 4 G(n,p), m = 2 attachment,
+    /// auto RGG radius) — the CLI entry point; spec files can override
+    /// the parameters per `[[topology]]` table.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TopologyFamily> {
+        TopologyFamily::from_spec(name, &Json::Obj(vec![]), 0).ok()
+    }
+
+    /// Parses a family from its spec name plus the table's parameters.
+    fn from_spec(name: &str, table: &Json, line: usize) -> Result<TopologyFamily, ScenarioError> {
+        let f64_param = |key: &str| table.get(key).and_then(Json::as_f64);
+        let usize_param = |key: &str| -> Result<Option<usize>, ScenarioError> {
+            match table.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_i64()
+                    .filter(|&x| x >= 0)
+                    .map(|x| Some(usize::try_from(x).expect("non-negative")))
+                    .ok_or(ScenarioError::Spec {
+                        line,
+                        detail: format!("{key} must be a non-negative integer"),
+                    }),
+            }
+        };
+        Ok(match name {
+            "cycle" => TopologyFamily::Cycle,
+            "path" => TopologyFamily::Path,
+            "complete" => TopologyFamily::Complete,
+            "star" => TopologyFamily::Star,
+            "grid" => TopologyFamily::Grid,
+            "torus" => TopologyFamily::Torus,
+            "binary_tree" => TopologyFamily::BinaryTree,
+            "random_tree" | "tree" => TopologyFamily::RandomTree,
+            "random_geometric" | "rgg" => TopologyFamily::RandomGeometric {
+                radius: f64_param("radius"),
+            },
+            "random_regular" | "regular" => TopologyFamily::RandomRegular {
+                degree: usize_param("degree")?.unwrap_or(4),
+            },
+            "gnp" => TopologyFamily::Gnp {
+                expected_degree: f64_param("expected_degree").unwrap_or(4.0),
+            },
+            "preferential_attachment" | "pa" => TopologyFamily::PreferentialAttachment {
+                m: usize_param("m")?.unwrap_or(2),
+            },
+            "complete_bipartite" | "bipartite" => TopologyFamily::CompleteBipartite,
+            other => {
+                return Err(ScenarioError::Spec {
+                    line,
+                    detail: format!("unknown topology family {other:?}"),
+                })
+            }
+        })
+    }
+}
+
+/// One axis entry: a family swept over sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// The family (with parameters).
+    pub family: TopologyFamily,
+    /// Target node counts to sweep.
+    pub sizes: Vec<usize>,
+}
+
+/// A declarative campaign: the full sweep description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (report header).
+    pub name: String,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Noise axis (`ε` values; 0 = noiseless).
+    pub epsilons: Vec<f64>,
+    /// Protocol axis.
+    pub protocols: Vec<Protocol>,
+    /// Seed axis (each seed reruns the whole grid).
+    pub seeds: Vec<u64>,
+}
+
+/// One expanded cell: a single `(graph instance, ε, protocol, seed)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Stable id: `family/n{size}/eps{ε}/protocol/s{seed}`.
+    pub id: String,
+    /// The topology family to instantiate.
+    pub family: TopologyFamily,
+    /// Requested node count (the realized count may differ for
+    /// grid/torus shapes; the report records both).
+    pub requested_n: usize,
+    /// Noise rate.
+    pub epsilon: f64,
+    /// The protocol to run.
+    pub protocol: Protocol,
+    /// The sweep seed this cell belongs to.
+    pub sweep_seed: u64,
+    /// The derived per-cell seed (stable under spec edits: a pure
+    /// function of the cell id, not of the cell's position).
+    pub cell_seed: u64,
+}
+
+/// FNV-1a over a string — the cell-seed derivation. Part of the report
+/// reproducibility contract: a cell's randomness depends only on its id.
+#[must_use]
+pub fn cell_seed(id: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl CampaignSpec {
+    /// Expands the sweep into its cell matrix, in deterministic order
+    /// (topologies → sizes → ε → protocols → seeds).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::EmptyMatrix`] if any axis is empty.
+    pub fn expand(&self) -> Result<Vec<CellSpec>, ScenarioError> {
+        let mut cells = Vec::new();
+        for topo in &self.topologies {
+            for &n in &topo.sizes {
+                for &eps in &self.epsilons {
+                    for &protocol in &self.protocols {
+                        for &seed in &self.seeds {
+                            let id = format!(
+                                "{}/n{}/eps{}/{}/s{}",
+                                topo.family.label(),
+                                n,
+                                eps,
+                                protocol.name(),
+                                seed
+                            );
+                            let derived = cell_seed(&id);
+                            cells.push(CellSpec {
+                                id,
+                                family: topo.family,
+                                requested_n: n,
+                                epsilon: eps,
+                                protocol,
+                                sweep_seed: seed,
+                                cell_seed: derived,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if cells.is_empty() {
+            return Err(ScenarioError::EmptyMatrix);
+        }
+        Ok(cells)
+    }
+
+    /// Parses a spec file (see the module docs for the accepted TOML
+    /// subset).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] with a line number on malformed input.
+    pub fn parse(text: &str) -> Result<CampaignSpec, ScenarioError> {
+        // Accumulate key/value tables: one root table plus one per
+        // [[topology]] header, then assemble the typed spec.
+        let mut root: Vec<(String, Json)> = Vec::new();
+        let mut topo_tables: Vec<(usize, Vec<(String, Json)>)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[topology]]" {
+                topo_tables.push((line_no, Vec::new()));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ScenarioError::Spec {
+                    line: line_no,
+                    detail: format!("unsupported table header {line:?} (only [[topology]])"),
+                });
+            }
+            let (key, value) = parse_assignment(line, line_no)?;
+            // Assignments belong to the most recent [[topology]] table,
+            // or to the root before the first header.
+            let table = topo_tables.last_mut().map_or(&mut root, |(_, t)| t);
+            if table.iter().any(|(k, _)| k == &key) {
+                return Err(ScenarioError::Spec {
+                    line: line_no,
+                    detail: format!("duplicate key {key:?}"),
+                });
+            }
+            table.push((key, value));
+        }
+
+        // Unknown keys are errors, not silently-dropped defaults: a
+        // typo'd axis ("epsilon" for "epsilons") must not produce a
+        // green sweep that quietly lost half its cells.
+        for (key, _) in &root {
+            if !["name", "seeds", "epsilons", "protocols"].contains(&key.as_str()) {
+                return Err(ScenarioError::Spec {
+                    line: 0,
+                    detail: format!("unknown key {key:?} (expected name/seeds/epsilons/protocols)"),
+                });
+            }
+        }
+
+        let root = Json::Obj(root);
+        let name = root
+            .get("name")
+            .map(|v| {
+                v.as_str()
+                    .map(ToString::to_string)
+                    .ok_or(ScenarioError::Spec {
+                        line: 0,
+                        detail: "name must be a string".into(),
+                    })
+            })
+            .transpose()?
+            .unwrap_or_else(|| "campaign".into());
+
+        let epsilons = match root.get("epsilons") {
+            None => vec![0.0],
+            Some(v) => f64_array(v, "epsilons")?,
+        };
+        for &eps in &epsilons {
+            if !(0.0..0.5).contains(&eps) {
+                return Err(ScenarioError::Spec {
+                    line: 0,
+                    detail: format!("epsilon {eps} outside [0, ½)"),
+                });
+            }
+        }
+
+        let seeds = match root.get("seeds") {
+            None => vec![1],
+            Some(v) => {
+                let raw = i64_array(v, "seeds")?;
+                raw.into_iter()
+                    .map(|s| {
+                        u64::try_from(s).map_err(|_| ScenarioError::Spec {
+                            line: 0,
+                            detail: format!("seed {s} must be non-negative"),
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, _>>()?
+            }
+        };
+
+        let protocols = match root.get("protocols") {
+            None => {
+                return Err(ScenarioError::Spec {
+                    line: 0,
+                    detail: "missing protocols = [\"…\"]".into(),
+                })
+            }
+            Some(v) => str_array(v, "protocols")?
+                .into_iter()
+                .map(|name| {
+                    Protocol::from_name(&name).ok_or(ScenarioError::Spec {
+                        line: 0,
+                        detail: format!("unknown protocol {name:?}"),
+                    })
+                })
+                .collect::<Result<Vec<Protocol>, _>>()?,
+        };
+
+        let mut topologies = Vec::new();
+        for (line, table) in topo_tables {
+            let table = Json::Obj(table);
+            let family_name =
+                table
+                    .get("family")
+                    .and_then(Json::as_str)
+                    .ok_or(ScenarioError::Spec {
+                        line,
+                        detail: "[[topology]] needs family = \"…\"".into(),
+                    })?;
+            // Reject keys the named family does not accept (same
+            // rationale as the root-key check: "deg" on a
+            // random_regular table must not silently run degree 4).
+            let allowed: &[&str] = match family_name {
+                "random_geometric" | "rgg" => &["radius"],
+                "random_regular" | "regular" => &["degree"],
+                "gnp" => &["expected_degree"],
+                "preferential_attachment" | "pa" => &["m"],
+                _ => &[],
+            };
+            if let Json::Obj(pairs) = &table {
+                for (key, _) in pairs {
+                    if key != "family" && key != "sizes" && !allowed.contains(&key.as_str()) {
+                        return Err(ScenarioError::Spec {
+                            line,
+                            detail: format!(
+                                "unknown key {key:?} for family {family_name:?} \
+                                 (accepted: family, sizes{}{})",
+                                if allowed.is_empty() { "" } else { ", " },
+                                allowed.join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+            let family = TopologyFamily::from_spec(family_name, &table, line)?;
+            let sizes = match table.get("sizes") {
+                None => {
+                    return Err(ScenarioError::Spec {
+                        line,
+                        detail: "[[topology]] needs sizes = […]".into(),
+                    })
+                }
+                Some(v) => i64_array(v, "sizes")?
+                    .into_iter()
+                    .map(|s| {
+                        usize::try_from(s).map_err(|_| ScenarioError::Spec {
+                            line,
+                            detail: format!("size {s} must be non-negative"),
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, _>>()?,
+            };
+            topologies.push(TopologySpec { family, sizes });
+        }
+        if topologies.is_empty() {
+            return Err(ScenarioError::Spec {
+                line: 0,
+                detail: "spec has no [[topology]] tables".into(),
+            });
+        }
+
+        Ok(CampaignSpec {
+            name,
+            topologies,
+            epsilons,
+            protocols,
+            seeds,
+        })
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one `key = value` line into a [`Json`] value.
+fn parse_assignment(line: &str, line_no: usize) -> Result<(String, Json), ScenarioError> {
+    let spec_err = |detail: String| ScenarioError::Spec {
+        line: line_no,
+        detail,
+    };
+    let (key, value) = line
+        .split_once('=')
+        .ok_or_else(|| spec_err(format!("expected key = value, got {line:?}")))?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(spec_err(format!("invalid key {key:?}")));
+    }
+    let value = parse_value(value.trim(), line_no)?;
+    Ok((key.to_string(), value))
+}
+
+fn parse_value(text: &str, line_no: usize) -> Result<Json, ScenarioError> {
+    let spec_err = |detail: String| ScenarioError::Spec {
+        line: line_no,
+        detail,
+    };
+    if text.starts_with('[') {
+        if !text.ends_with(']') {
+            return Err(spec_err("arrays must close on the same line".into()));
+        }
+        let inner = &text[1..text.len() - 1];
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, line_no)?);
+            }
+        }
+        return Ok(Json::Arr(items));
+    }
+    if text.starts_with('"') {
+        if text.len() < 2 || !text.ends_with('"') || text[1..text.len() - 1].contains('"') {
+            return Err(spec_err(format!("malformed string {text:?}")));
+        }
+        return Ok(Json::Str(text[1..text.len() - 1].to_string()));
+    }
+    match text {
+        "true" => return Ok(Json::Bool(true)),
+        "false" => return Ok(Json::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Json::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Json::Float(f));
+        }
+    }
+    Err(spec_err(format!("cannot parse value {text:?}")))
+}
+
+/// Splits on top-level commas (strings may contain commas).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+fn f64_array(v: &Json, key: &str) -> Result<Vec<f64>, ScenarioError> {
+    v.as_array()
+        .map(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>())
+        .and_then(|x| x)
+        .ok_or(ScenarioError::Spec {
+            line: 0,
+            detail: format!("{key} must be an array of numbers"),
+        })
+}
+
+fn i64_array(v: &Json, key: &str) -> Result<Vec<i64>, ScenarioError> {
+    v.as_array()
+        .map(|items| items.iter().map(Json::as_i64).collect::<Option<Vec<i64>>>())
+        .and_then(|x| x)
+        .ok_or(ScenarioError::Spec {
+            line: 0,
+            detail: format!("{key} must be an array of integers"),
+        })
+}
+
+fn str_array(v: &Json, key: &str) -> Result<Vec<String>, ScenarioError> {
+    v.as_array()
+        .map(|items| {
+            items
+                .iter()
+                .map(|i| i.as_str().map(ToString::to_string))
+                .collect::<Option<Vec<String>>>()
+        })
+        .and_then(|x| x)
+        .ok_or(ScenarioError::Spec {
+            line: 0,
+            detail: format!("{key} must be an array of strings"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+        # a demo campaign
+        name = "demo"
+        seeds = [1, 2]
+        epsilons = [0.0, 0.05]   # noiseless + light noise
+        protocols = ["matching", "round_sim"]
+
+        [[topology]]
+        family = "cycle"
+        sizes = [8, 16]
+
+        [[topology]]
+        family = "random_regular"
+        sizes = [12]
+        degree = 4
+    "#;
+
+    #[test]
+    fn parses_the_demo_spec() {
+        let spec = CampaignSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.seeds, vec![1, 2]);
+        assert_eq!(spec.epsilons, vec![0.0, 0.05]);
+        assert_eq!(spec.protocols, vec![Protocol::Matching, Protocol::RoundSim]);
+        assert_eq!(spec.topologies.len(), 2);
+        assert_eq!(
+            spec.topologies[1].family,
+            TopologyFamily::RandomRegular { degree: 4 }
+        );
+    }
+
+    #[test]
+    fn expansion_is_the_full_product_in_stable_order() {
+        let spec = CampaignSpec::parse(SPEC).unwrap();
+        let cells = spec.expand().unwrap();
+        // (2 + 1 sizes) × 2 ε × 2 protocols × 2 seeds.
+        assert_eq!(cells.len(), 3 * 2 * 2 * 2);
+        assert_eq!(cells[0].id, "cycle/n8/eps0/matching/s1");
+        assert_eq!(cells[1].id, "cycle/n8/eps0/matching/s2");
+        // Cell seeds depend only on the id.
+        assert_eq!(cells[0].cell_seed, cell_seed("cycle/n8/eps0/matching/s1"));
+        let ids: std::collections::HashSet<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids.len(), cells.len(), "ids are unique");
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let spec = CampaignSpec::parse(
+            "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "campaign");
+        assert_eq!(spec.seeds, vec![1]);
+        assert_eq!(spec.epsilons, vec![0.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (bad, needle) in [
+            ("protocols = [\"nope\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]", "unknown protocol"),
+            ("protocols = [\"mis\"]", "no [[topology]]"),
+            ("protocols = [\"mis\"]\n[[topology]]\nsizes = [4]", "needs family"),
+            ("protocols = [\"mis\"]\n[[topology]]\nfamily = \"zzz\"\nsizes = [4]", "unknown topology family"),
+            ("epsilons = [0.6]\nprotocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]", "outside"),
+            ("protocols = [\"mis\"]\n[table]\n", "unsupported table"),
+            ("protocols = [\"mis\"]\nprotocols = [\"mis\"]", "duplicate key"),
+            ("x y z", "key = value"),
+            // Typo'd axis name: must be rejected, not defaulted away.
+            (
+                "epsilon = [0.1]\nprotocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]",
+                "unknown key \"epsilon\"",
+            ),
+            // Parameter the named family does not accept.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"random_regular\"\nsizes = [4]\ndeg = 6",
+                "unknown key \"deg\"",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"cycle\"\nsizes = [4]\nradius = 0.5",
+                "unknown key \"radius\"",
+            ),
+        ] {
+            let err = CampaignSpec::parse(bad).unwrap_err().to_string();
+            assert!(err.contains(needle), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn empty_axis_is_an_empty_matrix() {
+        let spec =
+            CampaignSpec::parse("protocols = []\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n")
+                .unwrap();
+        assert_eq!(spec.expand().unwrap_err(), ScenarioError::EmptyMatrix);
+    }
+
+    #[test]
+    fn families_build_deterministically() {
+        for family in [
+            TopologyFamily::Cycle,
+            TopologyFamily::Torus,
+            TopologyFamily::RandomGeometric { radius: None },
+            TopologyFamily::RandomRegular { degree: 4 },
+            TopologyFamily::PreferentialAttachment { m: 2 },
+            TopologyFamily::Gnp {
+                expected_degree: 4.0,
+            },
+            TopologyFamily::RandomTree,
+        ] {
+            let (a, pa) = family.build(16, 9).unwrap();
+            let (b, pb) = family.build(16, 9).unwrap();
+            assert_eq!(a.edges(), b.edges(), "{}", family.label());
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn torus_and_grid_realize_near_the_request() {
+        let (g, _) = TopologyFamily::Torus.build(16, 0).unwrap();
+        assert_eq!(g.node_count(), 16);
+        let (g, _) = TopologyFamily::Grid.build(10, 0).unwrap();
+        assert!(g.node_count() >= 10);
+        assert!(TopologyFamily::Torus.build(4, 0).is_err());
+    }
+
+    #[test]
+    fn auto_rgg_radius_is_recorded_and_mostly_connects() {
+        let (g, params) = TopologyFamily::RandomGeometric { radius: None }
+            .build(64, 3)
+            .unwrap();
+        assert_eq!(params.len(), 1);
+        assert!(params[0].1 > 0.0);
+        // Above the connectivity threshold the giant component should
+        // dominate; allow stragglers but not dust.
+        assert!(g.edge_count() > 64);
+    }
+}

@@ -31,7 +31,8 @@
 //! | [`net`] | `beep-net` | the beeping model: graphs, topologies, noise, round engine |
 //! | [`congest`] | `beep-congest` | Broadcast CONGEST / CONGEST models + algorithm library (incl. the paper's Algorithm 3) |
 //! | [`core`] | `beep-core` | Algorithm 1, Theorem 11 / Corollary 12 runners, baselines, lower bounds |
-//! | [`apps`] | `beep-apps` | one-call tasks: matching, MIS, coloring, beep waves, leader election |
+//! | [`apps`] | `beep-apps` | one-call tasks: matching, MIS, coloring, beep waves, leader election — plus the named [`apps::Protocol`] registry |
+//! | [`scenarios`] | `beep-scenarios` | declarative campaigns: spec → cell matrix → engine → versioned JSON report |
 
 pub use beep_apps as apps;
 pub use beep_bits as bits;
@@ -39,12 +40,13 @@ pub use beep_codes as codes;
 pub use beep_congest as congest;
 pub use beep_core as core;
 pub use beep_net as net;
+pub use beep_scenarios as scenarios;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use beep_apps::{
         beep_leader_election, beep_wave_broadcast, coloring, maximal_independent_set,
-        maximal_matching,
+        maximal_matching, Protocol,
     };
     pub use beep_bits::BitVec;
     pub use beep_congest::{
@@ -56,6 +58,7 @@ pub mod prelude {
         SimulatedCongestRunner, SimulationParams,
     };
     pub use beep_net::{topology, Action, BeepNetwork, Graph, Noise};
+    pub use beep_scenarios::{run_campaign, CampaignSpec, RunOptions, TopologyFamily};
 }
 
 #[cfg(test)]

@@ -69,6 +69,27 @@ fn prelude_apps_solvers_run() {
 }
 
 #[test]
+fn prelude_scenario_layer_runs_a_campaign() {
+    // The scenario layer is reachable through the prelude: registry
+    // lookups plus a one-cell campaign end to end.
+    assert_eq!(Protocol::from_name("matching"), Some(Protocol::Matching));
+    let spec = CampaignSpec {
+        name: "facade".into(),
+        topologies: vec![noisy_beeps::scenarios::TopologySpec {
+            family: TopologyFamily::Cycle,
+            sizes: vec![6],
+        }],
+        epsilons: vec![0.0],
+        protocols: vec![Protocol::Wave],
+        seeds: vec![1],
+    };
+    let report = run_campaign(&spec, &RunOptions::default()).unwrap();
+    assert_eq!(report.cells.len(), 1);
+    assert!(report.cells[0].success);
+    noisy_beeps::scenarios::validate_report(&report.to_json(true)).unwrap();
+}
+
+#[test]
 fn facade_modules_alias_the_subcrates() {
     // The module aliases and the prelude must expose the same types.
     let a: noisy_beeps::bits::BitVec = BitVec::zeros(4);
