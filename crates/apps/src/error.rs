@@ -18,12 +18,15 @@ pub enum AppError {
         /// Human-readable description of the violations.
         detail: String,
     },
-    /// A noiseless-only primitive was asked to run with `ε > 0` (see
-    /// [`crate::Protocol::supports_noise`]). Campaign sweeps use this to
-    /// mark such cells as skipped rather than failed.
+    /// A noiseless-only primitive was asked to run under a noisy channel
+    /// (see [`crate::Protocol::supports_noise`]). Campaign sweeps use
+    /// this to mark such protocol/channel mismatch cells as skipped
+    /// rather than failed.
     NoiseUnsupported {
         /// Registry name of the protocol.
         protocol: &'static str,
+        /// Label of the rejected channel (e.g. `eps0.05`).
+        channel: String,
     },
 }
 
@@ -33,10 +36,10 @@ impl fmt::Display for AppError {
             AppError::Sim(e) => write!(f, "simulation: {e}"),
             AppError::Net(e) => write!(f, "network: {e}"),
             AppError::InvalidOutput { detail } => write!(f, "output failed validation: {detail}"),
-            AppError::NoiseUnsupported { protocol } => {
+            AppError::NoiseUnsupported { protocol, channel } => {
                 write!(
                     f,
-                    "protocol {protocol:?} is noiseless-only (requested ε > 0)"
+                    "protocol {protocol:?} is noiseless-only (requested noisy channel {channel})"
                 )
             }
         }

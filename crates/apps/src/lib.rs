@@ -35,4 +35,7 @@ pub use error::AppError;
 pub use leader::{beep_leader_election, LeaderReport};
 pub use multicast::{multi_source_broadcast, MulticastReport};
 pub use registry::{Protocol, ProtocolOutcome};
-pub use tasks::{coloring, maximal_independent_set, maximal_matching, TaskReport};
+pub use tasks::{
+    coloring, coloring_with_channel, maximal_independent_set, maximal_independent_set_with_channel,
+    maximal_matching, maximal_matching_with_channel, TaskReport,
+};

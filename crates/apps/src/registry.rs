@@ -20,15 +20,16 @@
 
 use crate::error::AppError;
 use crate::{
-    beep_leader_election, beep_wave_broadcast, coloring, maximal_independent_set, maximal_matching,
-    multi_source_broadcast,
+    beep_leader_election, beep_wave_broadcast, coloring, coloring_with_channel,
+    maximal_independent_set, maximal_independent_set_with_channel, maximal_matching,
+    maximal_matching_with_channel, multi_source_broadcast,
 };
 use beep_bits::BitVec;
 use beep_congest::algorithms::Flood;
 use beep_core::baseline::TdmaSimulator;
 use beep_core::lower_bound::CongestLocalBroadcast;
 use beep_core::{SimReport, SimulatedBroadcastRunner, SimulatedCongestRunner, SimulationParams};
-use beep_net::{Graph, Noise};
+use beep_net::{ChannelModel, Graph, Noise, NoiseModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -151,6 +152,7 @@ impl Protocol {
         if epsilon != 0.0 && !self.supports_noise() {
             return Err(AppError::NoiseUnsupported {
                 protocol: self.name(),
+                channel: format!("eps{epsilon}"),
             });
         }
         match self {
@@ -172,6 +174,72 @@ impl Protocol {
             Protocol::RoundSim => run_flood_simulated(graph, epsilon, seed),
             Protocol::Tdma => run_flood_tdma(graph, epsilon, seed),
             Protocol::LocalBroadcast => run_local_broadcast(graph, epsilon, seed),
+        }
+    }
+
+    /// Runs the protocol on `graph` under an arbitrary [`ChannelModel`]
+    /// — the channel-sweep entry point the campaign layer drives.
+    ///
+    /// Semantics:
+    ///
+    /// * a noiseless channel (any model whose
+    ///   [`is_noiseless`](NoiseModel::is_noiseless) holds) is exactly
+    ///   [`run`](Self::run) at `ε = 0`;
+    /// * an iid channel delegates to [`run`](Self::run) at its `ε`, so a
+    ///   channel sweep over iid cells reproduces an ε sweep bit-for-bit;
+    /// * the other models are threaded through the simulation pipeline
+    ///   with parameters calibrated to the model's
+    ///   [`calibration_epsilon`](NoiseModel::calibration_epsilon);
+    /// * a noisy channel on a noiseless-only primitive returns
+    ///   [`AppError::NoiseUnsupported`] naming the channel, which
+    ///   campaigns record as a *skipped* (not failed) cell.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), with [`AppError::NoiseUnsupported`] for any
+    /// protocol/channel mismatch.
+    pub fn run_channel(
+        &self,
+        graph: &Graph,
+        channel: &ChannelModel,
+        seed: u64,
+    ) -> Result<ProtocolOutcome, AppError> {
+        if channel.is_noiseless() {
+            return self.run(graph, 0.0, seed);
+        }
+        if !self.supports_noise() {
+            return Err(AppError::NoiseUnsupported {
+                protocol: self.name(),
+                channel: channel.label(),
+            });
+        }
+        if let ChannelModel::Iid(noise) = channel {
+            return self.run(graph, noise.epsilon(), seed);
+        }
+        match self {
+            Protocol::Matching => {
+                let r = maximal_matching_with_channel(graph, channel, seed)?;
+                Ok(outcome_from_sim(&r.report))
+            }
+            Protocol::Mis => {
+                let r = maximal_independent_set_with_channel(graph, channel, seed)?;
+                Ok(outcome_from_sim(&r.report))
+            }
+            Protocol::Coloring => {
+                let r = coloring_with_channel(graph, channel, seed)?;
+                Ok(outcome_from_sim(&r.report))
+            }
+            Protocol::RoundSim => run_flood_simulated_channel(graph, channel, seed),
+            Protocol::Tdma => run_flood_tdma_channel(graph, channel, seed),
+            Protocol::LocalBroadcast => run_local_broadcast_channel(graph, channel, seed),
+            // Unreachable (noiseless-only primitives bailed out above);
+            // kept as a defensive error rather than a panic path.
+            Protocol::Wave | Protocol::Leader | Protocol::Multicast => {
+                Err(AppError::NoiseUnsupported {
+                    protocol: self.name(),
+                    channel: channel.label(),
+                })
+            }
         }
     }
 }
@@ -267,11 +335,18 @@ fn run_flood_simulated(
     epsilon: f64,
     seed: u64,
 ) -> Result<ProtocolOutcome, AppError> {
+    run_flood_simulated_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
+}
+
+fn run_flood_simulated_channel(
+    graph: &Graph,
+    channel: &ChannelModel,
+    seed: u64,
+) -> Result<ProtocolOutcome, AppError> {
     let n = graph.node_count();
     let value = seed & 0xFFFF;
-    let noise = noise_for(epsilon)?;
-    let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, PAYLOAD_BITS, seed, params, noise);
+    let params = SimulationParams::calibrated(channel.calibration_epsilon());
+    let runner = SimulatedBroadcastRunner::new(graph, PAYLOAD_BITS, seed, params, channel.clone());
     let mut algos: Vec<Box<Flood>> = (0..n)
         .map(|_| Box::new(Flood::new(0, value, PAYLOAD_BITS)))
         .collect();
@@ -283,14 +358,21 @@ fn run_flood_simulated(
 }
 
 fn run_flood_tdma(graph: &Graph, epsilon: f64, seed: u64) -> Result<ProtocolOutcome, AppError> {
+    run_flood_tdma_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
+}
+
+fn run_flood_tdma_channel(
+    graph: &Graph,
+    channel: &ChannelModel,
+    seed: u64,
+) -> Result<ProtocolOutcome, AppError> {
     let n = graph.node_count();
     let value = seed & 0xFFFF;
-    let noise = noise_for(epsilon)?;
-    let sim = TdmaSimulator::new(graph, PAYLOAD_BITS, epsilon);
+    let sim = TdmaSimulator::new(graph, PAYLOAD_BITS, channel.calibration_epsilon());
     let mut algos: Vec<Box<Flood>> = (0..n)
         .map(|_| Box::new(Flood::new(0, value, PAYLOAD_BITS)))
         .collect();
-    let report = sim.run_to_completion(graph, noise, seed, &mut algos, n + 1)?;
+    let report = sim.run_to_completion(graph, channel.clone(), seed, &mut algos, n + 1)?;
     let success = algos.iter().all(|a| a.output() == Some(value));
     let mut outcome = outcome_from_sim(&report);
     outcome.success = success;
@@ -300,6 +382,14 @@ fn run_flood_tdma(graph: &Graph, epsilon: f64, seed: u64) -> Result<ProtocolOutc
 fn run_local_broadcast(
     graph: &Graph,
     epsilon: f64,
+    seed: u64,
+) -> Result<ProtocolOutcome, AppError> {
+    run_local_broadcast_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
+}
+
+fn run_local_broadcast_channel(
+    graph: &Graph,
+    channel: &ChannelModel,
     seed: u64,
 ) -> Result<ProtocolOutcome, AppError> {
     let n = graph.node_count();
@@ -320,9 +410,8 @@ fn run_local_broadcast(
         .iter()
         .map(|out| CongestLocalBroadcast::new(bits, out.clone()))
         .collect();
-    let noise = noise_for(epsilon)?;
-    let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedCongestRunner::new(graph, bits, seed, params, noise);
+    let params = SimulationParams::calibrated(channel.calibration_epsilon());
+    let runner = SimulatedCongestRunner::new(graph, bits, seed, params, channel.clone());
     let budget = CongestLocalBroadcast::rounds_needed(bits, bits) + 3;
     let (solved, report) = runner.run_to_completion(algos, budget)?;
     let success = (0..n).all(|v| {
@@ -403,5 +492,80 @@ mod tests {
         let g = topology::path(4).unwrap();
         let err = Protocol::Matching.run(&g, 0.7, 1).unwrap_err();
         assert!(matches!(err, AppError::Net(_)), "{err}");
+    }
+
+    #[test]
+    fn run_channel_matches_run_for_iid_and_noiseless_channels() {
+        let g = topology::cycle(6).unwrap();
+        let iid: ChannelModel = Noise::bernoulli(0.05).into();
+        for p in [Protocol::Matching, Protocol::RoundSim, Protocol::Tdma] {
+            assert_eq!(
+                p.run_channel(&g, &iid, 7).unwrap(),
+                p.run(&g, 0.05, 7).unwrap(),
+                "{}",
+                p.name()
+            );
+        }
+        let clean: ChannelModel = Noise::Noiseless.into();
+        assert_eq!(
+            Protocol::Wave.run_channel(&g, &clean, 5).unwrap(),
+            Protocol::Wave.run(&g, 0.0, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn every_noisy_protocol_runs_under_stochastic_channel_families() {
+        use beep_net::{GilbertElliott, PerNodeEps};
+        let g = topology::cycle(6).unwrap();
+        let channels: Vec<ChannelModel> = vec![
+            GilbertElliott::try_new(0.01, 0.1, 0.2, 0.5).unwrap().into(),
+            PerNodeEps::try_new(vec![0.0, 0.05]).unwrap().into(),
+        ];
+        for ch in &channels {
+            for p in Protocol::ALL.iter().filter(|p| p.supports_noise()) {
+                let out = p
+                    .run_channel(&g, ch, 7)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", p.name(), ch.label()));
+                assert!(out.rounds > 0, "{} under {}", p.name(), ch.label());
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_channel_runs_or_defeats_protocols_cleanly() {
+        // The w.h.p. guarantees only hold against *stochastic* noise; a
+        // budgeted adversary is allowed to defeat a protocol. What must
+        // hold: every run either completes or fails with a reportable
+        // error (campaigns record those as failed cells) — never a panic
+        // or a protocol/channel mismatch.
+        let ch: ChannelModel = beep_net::AdversarialErasure::try_new(1, 0.05)
+            .unwrap()
+            .into();
+        let g = topology::cycle(6).unwrap();
+        for p in Protocol::ALL.iter().filter(|p| p.supports_noise()) {
+            match p.run_channel(&g, &ch, 7) {
+                Ok(out) => assert!(out.rounds > 0, "{}", p.name()),
+                Err(AppError::InvalidOutput { .. } | AppError::Sim(_)) => {}
+                Err(e) => panic!("{} under {}: unexpected {e}", p.name(), ch.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_primitives_reject_noisy_channels_as_unsupported() {
+        let g = topology::path(4).unwrap();
+        let ge: ChannelModel = beep_net::GilbertElliott::try_new(0.0, 0.2, 0.5, 0.5)
+            .unwrap()
+            .into();
+        for p in [Protocol::Wave, Protocol::Leader, Protocol::Multicast] {
+            let err = p.run_channel(&g, &ge, 1).unwrap_err();
+            assert!(matches!(err, AppError::NoiseUnsupported { .. }), "{err}");
+            assert!(err.to_string().contains("ge-"), "{err}");
+        }
+        // A noiseless instance of a fancy model is not a mismatch.
+        let clean: ChannelModel = beep_net::AdversarialErasure::try_new(0, 0.1)
+            .unwrap()
+            .into();
+        assert!(Protocol::Wave.run_channel(&g, &clean, 1).is_ok());
     }
 }

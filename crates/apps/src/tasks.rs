@@ -5,7 +5,7 @@ use crate::error::AppError;
 use beep_congest::algorithms::{LubyMis, MaximalMatching, RandomColoring};
 use beep_congest::validate;
 use beep_core::{SimReport, SimulatedBroadcastRunner, SimulationParams};
-use beep_net::{Graph, NodeId, Noise};
+use beep_net::{ChannelModel, Graph, NodeId, Noise, NoiseModel};
 
 /// A solved task together with its cost accounting.
 #[derive(Debug, Clone)]
@@ -28,6 +28,12 @@ fn noise_for(epsilon: f64) -> Result<Noise, AppError> {
     }
 }
 
+/// The `ε`-based task entry points run on the paper's iid channel; this
+/// builds it as a [`ChannelModel`] for the `*_with_channel` cores.
+fn iid_channel(epsilon: f64) -> Result<ChannelModel, AppError> {
+    Ok(ChannelModel::from(noise_for(epsilon)?))
+}
+
 /// Maximal matching in the noisy beeping model (Theorem 21):
 /// `O(Δ log² n)` beep rounds, output validated for symmetry and
 /// maximality before returning.
@@ -44,12 +50,28 @@ pub fn maximal_matching(
     epsilon: f64,
     seed: u64,
 ) -> Result<TaskReport<Option<NodeId>>, AppError> {
+    maximal_matching_with_channel(graph, &iid_channel(epsilon)?, seed)
+}
+
+/// [`maximal_matching`] under an arbitrary [`ChannelModel`]: the
+/// simulation parameters are calibrated to the channel's
+/// [`calibration_epsilon`](NoiseModel::calibration_epsilon) (its
+/// worst-case iid-equivalent rate), and the run is deterministic in
+/// `(graph, channel, seed)`.
+///
+/// # Errors
+///
+/// As [`maximal_matching`].
+pub fn maximal_matching_with_channel(
+    graph: &Graph,
+    channel: &ChannelModel,
+    seed: u64,
+) -> Result<TaskReport<Option<NodeId>>, AppError> {
     let n = graph.node_count();
     let bits = MaximalMatching::required_message_bits(n);
     let iters = MaximalMatching::suggested_iterations(n);
-    let noise = noise_for(epsilon)?;
-    let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise);
+    let params = SimulationParams::calibrated(channel.calibration_epsilon());
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone());
     let mut algos: Vec<Box<MaximalMatching>> = (0..n)
         .map(|_| Box::new(MaximalMatching::new(iters)))
         .collect();
@@ -78,12 +100,25 @@ pub fn maximal_independent_set(
     epsilon: f64,
     seed: u64,
 ) -> Result<TaskReport<bool>, AppError> {
+    maximal_independent_set_with_channel(graph, &iid_channel(epsilon)?, seed)
+}
+
+/// [`maximal_independent_set`] under an arbitrary [`ChannelModel`] (see
+/// [`maximal_matching_with_channel`] for the calibration convention).
+///
+/// # Errors
+///
+/// As [`maximal_matching`].
+pub fn maximal_independent_set_with_channel(
+    graph: &Graph,
+    channel: &ChannelModel,
+    seed: u64,
+) -> Result<TaskReport<bool>, AppError> {
     let n = graph.node_count();
     let bits = LubyMis::required_message_bits(n);
     let iters = LubyMis::suggested_iterations(n);
-    let noise = noise_for(epsilon)?;
-    let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise);
+    let params = SimulationParams::calibrated(channel.calibration_epsilon());
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone());
     let mut algos: Vec<Box<LubyMis>> = (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
     let report = runner.run_to_completion(&mut algos, LubyMis::rounds_for(iters))?;
     let output: Vec<bool> = algos
@@ -106,12 +141,25 @@ pub fn maximal_independent_set(
 ///
 /// As [`maximal_matching`].
 pub fn coloring(graph: &Graph, epsilon: f64, seed: u64) -> Result<TaskReport<u64>, AppError> {
+    coloring_with_channel(graph, &iid_channel(epsilon)?, seed)
+}
+
+/// [`coloring`] under an arbitrary [`ChannelModel`] (see
+/// [`maximal_matching_with_channel`] for the calibration convention).
+///
+/// # Errors
+///
+/// As [`maximal_matching`].
+pub fn coloring_with_channel(
+    graph: &Graph,
+    channel: &ChannelModel,
+    seed: u64,
+) -> Result<TaskReport<u64>, AppError> {
     let n = graph.node_count();
     let bits = RandomColoring::required_message_bits(n);
     let iters = RandomColoring::suggested_iterations(n);
-    let noise = noise_for(epsilon)?;
-    let params = SimulationParams::calibrated(epsilon);
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, noise);
+    let params = SimulationParams::calibrated(channel.calibration_epsilon());
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone());
     let mut algos: Vec<Box<RandomColoring>> = (0..n)
         .map(|_| Box::new(RandomColoring::new(iters)))
         .collect();

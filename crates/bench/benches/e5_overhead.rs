@@ -49,7 +49,9 @@ fn bench_round_simulation(c: &mut Criterion) {
         let noise = if eps == 0.0 {
             Noise::Noiseless
         } else {
-            Noise::bernoulli(eps)
+            // The fallible constructor keeps a bad table entry an error
+            // message instead of a panic deep inside the engine.
+            Noise::try_bernoulli(eps).expect("bench rates lie in the paper's (0, ½)")
         };
         let sim = BroadcastSimulator::new(params, B, delta).unwrap();
         let msgs = outgoing(n);

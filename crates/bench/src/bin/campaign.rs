@@ -182,6 +182,9 @@ fn inline_spec(
         name: name.unwrap_or_else(|| "cli".into()),
         topologies,
         epsilons,
+        // Richer channel families ([[channel]] tables) are a spec-file
+        // feature — inline flags cover only the iid ε sweep.
+        channels: vec![],
         protocols,
         seeds: seeds.unwrap_or_else(|| vec![1]),
     }

@@ -108,7 +108,9 @@ pub fn e4_phase2_decoding(seed: u64) -> Table {
         let noise = if eps == 0.0 {
             Noise::Noiseless
         } else {
-            Noise::bernoulli(eps)
+            // The fallible constructor keeps a bad sweep entry an error
+            // message instead of a panic deep inside the engine.
+            Noise::try_bernoulli(eps).expect("EPS_SWEEP rates lie in the paper's (0, ½)")
         };
         let mut rng = StdRng::seed_from_u64(seed ^ 0xE4 ^ (eps * 1000.0) as u64);
         let mut stats = beep_core::RoundStats::default();

@@ -76,6 +76,7 @@ pub(crate) fn run_thin_campaign(
         name: name.into(),
         topologies,
         epsilons,
+        channels: vec![],
         protocols,
         seeds: vec![seed],
     };

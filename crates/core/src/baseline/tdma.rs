@@ -6,7 +6,7 @@ use crate::round_sim::RoundOutcome;
 use crate::stats::RoundStats;
 use beep_bits::BitVec;
 use beep_congest::{BroadcastAlgorithm, CongestError, Message, NodeCtx};
-use beep_net::{BeepNetwork, Graph, Noise};
+use beep_net::{BeepNetwork, ChannelModel, Graph};
 
 use super::g2_coloring::{distance2_coloring, num_colors};
 
@@ -236,7 +236,7 @@ impl TdmaSimulator {
     pub fn run_to_completion<A: BroadcastAlgorithm + ?Sized>(
         &self,
         graph: &Graph,
-        noise: Noise,
+        channel: impl Into<ChannelModel>,
         seed: u64,
         algorithms: &mut [Box<A>],
         max_rounds: usize,
@@ -249,7 +249,7 @@ impl TdmaSimulator {
             }
             .into());
         }
-        let mut net = BeepNetwork::new(graph.clone(), noise, seed ^ 0x7D7A);
+        let mut net = BeepNetwork::new(graph.clone(), channel, seed ^ 0x7D7A);
         for (v, algo) in algorithms.iter_mut().enumerate() {
             algo.init(&NodeCtx {
                 node: v,
@@ -294,7 +294,7 @@ impl TdmaSimulator {
 mod tests {
     use super::*;
     use beep_congest::MessageWriter;
-    use beep_net::topology;
+    use beep_net::{topology, Noise};
 
     const B: usize = 10;
 

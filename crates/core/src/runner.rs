@@ -7,7 +7,7 @@ use crate::params::SimulationParams;
 use crate::round_sim::BroadcastSimulator;
 use crate::stats::RoundStats;
 use beep_congest::{BroadcastAlgorithm, CongestAlgorithm, CongestError, Message, NodeCtx};
-use beep_net::{BeepNetwork, Graph, Noise};
+use beep_net::{BeepNetwork, ChannelModel, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,27 +40,31 @@ pub struct SimulatedBroadcastRunner<'g> {
     message_bits: usize,
     seed: u64,
     params: SimulationParams,
-    noise: Noise,
+    channel: ChannelModel,
 }
 
 impl<'g> SimulatedBroadcastRunner<'g> {
     /// Creates a runner. `seed` drives node algorithm randomness, codeword
-    /// draws, and channel noise (all separated internally); `params.epsilon`
-    /// must match `noise.epsilon()`.
+    /// draws, and channel noise (all separated internally). `channel` is
+    /// anything convertible into a [`ChannelModel`] — a plain
+    /// [`beep_net::Noise`] as always, or any `beep_net::channel` model —
+    /// and `params.epsilon` must match the channel's calibration rate
+    /// (`noise.epsilon()` for iid,
+    /// [`beep_net::NoiseModel::calibration_epsilon`] otherwise).
     #[must_use]
     pub fn new(
         graph: &'g Graph,
         message_bits: usize,
         seed: u64,
         params: SimulationParams,
-        noise: Noise,
+        channel: impl Into<ChannelModel>,
     ) -> Self {
         SimulatedBroadcastRunner {
             graph,
             message_bits,
             seed,
             params,
-            noise,
+            channel: channel.into(),
         }
     }
 
@@ -98,7 +102,8 @@ impl<'g> SimulatedBroadcastRunner<'g> {
         }
         let simulator =
             BroadcastSimulator::new(self.params, self.message_bits, self.graph.max_degree())?;
-        let mut net = BeepNetwork::new(self.graph.clone(), self.noise, self.seed ^ 0xBEE9);
+        let mut net =
+            BeepNetwork::new(self.graph.clone(), self.channel.clone(), self.seed ^ 0xBEE9);
         let mut sim_rng = StdRng::seed_from_u64(self.seed ^ 0xC0DE);
         for (v, algo) in algorithms.iter_mut().enumerate() {
             algo.init(&self.node_ctx(v));
@@ -144,26 +149,28 @@ pub struct SimulatedCongestRunner<'g> {
     message_bits: usize,
     seed: u64,
     params: SimulationParams,
-    noise: Noise,
+    channel: ChannelModel,
 }
 
 impl<'g> SimulatedCongestRunner<'g> {
     /// Creates a runner; `message_bits` is the **CONGEST** message width
     /// (the wrapper adds the two id fields of Corollary 12 internally).
+    /// `channel` accepts anything convertible into a [`ChannelModel`],
+    /// like [`SimulatedBroadcastRunner::new`].
     #[must_use]
     pub fn new(
         graph: &'g Graph,
         message_bits: usize,
         seed: u64,
         params: SimulationParams,
-        noise: Noise,
+        channel: impl Into<ChannelModel>,
     ) -> Self {
         SimulatedCongestRunner {
             graph,
             message_bits,
             seed,
             params,
-            noise,
+            channel: channel.into(),
         }
     }
 
@@ -190,7 +197,7 @@ impl<'g> SimulatedCongestRunner<'g> {
             wrapper_bits,
             self.seed,
             self.params,
-            self.noise,
+            self.channel.clone(),
         );
         let broadcast_budget = CongestAdapter::<A>::broadcast_rounds_for(max_rounds, delta);
         let report = runner.run_to_completion(&mut adapters, broadcast_budget)?;
@@ -204,7 +211,7 @@ mod tests {
     use super::*;
     use beep_congest::algorithms::{BfsTree, Flood, LeaderElection, LubyMis, MaximalMatching};
     use beep_congest::validate;
-    use beep_net::topology;
+    use beep_net::{topology, Noise};
 
     #[test]
     fn flood_over_noiseless_beeps() {

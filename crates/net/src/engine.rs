@@ -1,9 +1,10 @@
 //! The synchronous round engine.
 
+use crate::channel::{apply_channel_sharded, ChannelCtx, ChannelModel, NoiseModel};
 use crate::error::NetError;
 use crate::graph::Graph;
 use crate::node::{Action, BeepProtocol};
-use crate::noise::{noise_stream_seed, Noise};
+use crate::noise::Noise;
 use crate::trace::{NetStats, Transcript};
 use beep_bits::BitVec;
 use rand::rngs::StdRng;
@@ -102,9 +103,14 @@ struct ShardCtx<'a> {
     /// Bits that must not be flipped by noise (the beeper set when
     /// self-hearing is configured noise-free).
     protect: Option<&'a BitVec>,
-    noise: Noise,
+    channel: &'a ChannelModel,
     seed: u64,
     round: u64,
+    /// The round's shard layout size `S` — part of the channel streams.
+    shard_count: usize,
+    /// The channel's per-round state ([`NoiseModel::round_state`]),
+    /// computed once before the shards fan out.
+    round_state: u64,
     /// Sparse-kernel strategy for this round: destination-side gather
     /// (dense beeper sets) vs source-side scatter (sparse ones).
     gather: bool,
@@ -171,12 +177,19 @@ impl ShardCtx<'_> {
     /// with the exact shard boundaries: the flips are what the
     /// determinism contract keys per shard.
     fn noise_into(&self, shard: usize, lo: usize, hi: usize, out: &mut [u64]) {
-        if matches!(self.noise, Noise::Bernoulli(_)) {
-            let mut rng =
-                StdRng::seed_from_u64(noise_stream_seed(self.seed, self.round, shard as u64));
-            self.noise
-                .apply_to_words(out, lo, hi, self.protect, &mut rng);
+        if self.channel.is_noiseless() {
+            return;
         }
+        let ctx = ChannelCtx {
+            graph: self.graph,
+            seed: self.seed,
+            round: self.round,
+            shard: shard as u64,
+            shard_count: self.shard_count,
+            round_state: self.round_state,
+            protect: self.protect,
+        };
+        self.channel.apply_to_shard(out, lo, hi, &ctx);
     }
 }
 
@@ -241,7 +254,7 @@ impl ShardCtx<'_> {
 #[derive(Debug)]
 pub struct BeepNetwork {
     graph: Graph,
-    noise: Noise,
+    channel: ChannelModel,
     seed: u64,
     rng: StdRng,
     stats: NetStats,
@@ -256,15 +269,22 @@ pub struct BeepNetwork {
 
 impl BeepNetwork {
     /// Creates a network over `graph` with the given channel and RNG seed.
-    /// Runs are fully deterministic in `(graph, noise, seed, actions)` plus,
-    /// for noisy bitset rounds, the [`shard_count`](Self::shard_count).
+    /// Runs are fully deterministic in `(graph, channel, seed, actions)`
+    /// plus, for noisy bitset rounds, the
+    /// [`shard_count`](Self::shard_count).
+    ///
+    /// The channel is anything convertible into a [`ChannelModel`]: a
+    /// plain [`Noise`] (the paper's iid channel — every pre-existing call
+    /// site), or one of the [`crate::channel`] models such as
+    /// [`crate::GilbertElliott`].
     #[must_use]
-    pub fn new(graph: Graph, noise: Noise, seed: u64) -> Self {
+    pub fn new(graph: Graph, channel: impl Into<ChannelModel>, seed: u64) -> Self {
+        let channel = channel.into();
         let beeps_per_node = vec![0; graph.node_count()];
         let kernel = AdjKernel::auto(&graph);
         BeepNetwork {
             graph,
-            noise,
+            channel,
             seed,
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
@@ -285,8 +305,20 @@ impl BeepNetwork {
 
     /// The channel model.
     #[must_use]
+    pub fn channel(&self) -> &ChannelModel {
+        &self.channel
+    }
+
+    /// The channel as an iid [`Noise`] summary: the exact stored value
+    /// for an iid channel, and the [`NoiseModel::calibration_epsilon`]
+    /// rate for every other model (so ε-calibration checks in the
+    /// simulators keep working unchanged).
+    #[must_use]
     pub fn noise(&self) -> Noise {
-        self.noise
+        match &self.channel {
+            ChannelModel::Iid(noise) => *noise,
+            other => Noise::try_bernoulli(other.calibration_epsilon()).unwrap_or(Noise::Noiseless),
+        }
     }
 
     /// Cumulative round/energy statistics.
@@ -428,23 +460,55 @@ impl BeepNetwork {
                 actual: actions.len(),
             });
         }
-        let mut received = Vec::with_capacity(n);
-        for v in 0..n {
-            let clean = match actions[v] {
-                Action::Beep => true,
-                Action::Listen => self
-                    .graph
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| actions[u] == Action::Beep),
-            };
-            let noisy_bit = if actions[v] == Action::Beep && !self.self_hearing_noisy {
-                clean
-            } else {
-                self.noise.apply(clean, &mut self.rng)
-            };
-            received.push(noisy_bit);
-        }
+        let graph = &self.graph;
+        let clean_bit = |v: usize| match actions[v] {
+            Action::Beep => true,
+            Action::Listen => graph
+                .neighbors(v)
+                .iter()
+                .any(|&u| actions[u] == Action::Beep),
+        };
+        let self_hearing_noisy = self.self_hearing_noisy;
+        let iid = match &self.channel {
+            ChannelModel::Iid(noise) => Some(*noise),
+            _ => None,
+        };
+        let received: Vec<bool> = if let Some(noise) = iid {
+            // The scalar iid path draws bit-by-bit from the network's
+            // sequential RNG: equal in distribution to the bitset kernel,
+            // not bit-equal.
+            let rng = &mut self.rng;
+            (0..n)
+                .map(|v| {
+                    let clean = clean_bit(v);
+                    if actions[v] == Action::Beep && !self_hearing_noisy {
+                        clean
+                    } else {
+                        noise.apply(clean, rng)
+                    }
+                })
+                .collect()
+        } else {
+            // Non-iid channels are counter-keyed per (round, shard), not
+            // drawn from the sequential RNG: apply them with the bitset
+            // kernel's exact shard layout, so the scalar oracle reproduces
+            // the bitset transcript bit-for-bit. The pre-channel OR is
+            // still computed independently per node here, which keeps the
+            // differential tests meaningful.
+            let mut frame = BitVec::from_fn(n, &clean_bit);
+            let beepers = BitVec::from_fn(n, |v| actions[v] == Action::Beep);
+            let protect = (!self_hearing_noisy).then_some(&beepers);
+            apply_channel_sharded(
+                &self.channel,
+                graph,
+                self.seed,
+                self.stats.rounds as u64,
+                self.shard_count,
+                protect,
+                &mut frame,
+            );
+            (0..n).map(|v| frame.get(v)).collect()
+        };
         self.stats.rounds += 1;
         for (v, a) in actions.iter().enumerate() {
             match a {
@@ -541,15 +605,18 @@ impl BeepNetwork {
         } else {
             beepers.iter_ones().collect()
         };
+        let round = self.stats.rounds as u64;
         let ctx = ShardCtx {
             graph: &self.graph,
             rows,
             beepers,
             beeper_list: &beeper_list,
             protect: (!self.self_hearing_noisy).then_some(beepers),
-            noise: self.noise,
+            channel: &self.channel,
             seed: self.seed,
-            round: self.stats.rounds as u64,
+            round,
+            shard_count: self.shard_count,
+            round_state: self.channel.round_state(self.seed, round),
             gather,
         };
         // Word-aligned shard layout: shard `s` owns global words

@@ -73,6 +73,12 @@ pub enum NetError {
         /// The budget that was exhausted.
         budget: usize,
     },
+    /// A channel model was built with out-of-range parameters (see the
+    /// `try_new` constructors in [`crate::channel`]).
+    InvalidChannel {
+        /// Human-readable description of the offending parameter.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -96,6 +102,9 @@ impl fmt::Display for NetError {
             }
             NetError::RoundBudgetExhausted { budget } => {
                 write!(f, "protocols did not complete within {budget} rounds")
+            }
+            NetError::InvalidChannel { detail } => {
+                write!(f, "invalid channel model: {detail}")
             }
         }
     }
@@ -125,6 +134,11 @@ mod tests {
         assert!(NetError::InvalidNoise { epsilon: 0.7 }
             .to_string()
             .contains("0.7"));
+        assert!(NetError::InvalidChannel {
+            detail: "eps_bad = 0.9".into()
+        }
+        .to_string()
+        .contains("0.9"));
         assert!(NetError::FrameLength {
             node: 2,
             expected: 8,

@@ -15,6 +15,12 @@
 //! * in the **noisy** model the bit each node receives is flipped
 //!   independently with probability `ε ∈ (0, ½)` ([`Noise`]).
 //!
+//! Beyond the paper's iid channel, the [`channel`] module generalizes
+//! corruption into pluggable [`NoiseModel`]s — bursty
+//! ([`GilbertElliott`]), heterogeneous ([`PerNodeEps`]) and adversarial
+//! ([`AdversarialErasure`]) — all under the same counter-keyed
+//! determinism contract.
+//!
 //! Following the paper's Section 1.5 convention, a node that beeps
 //! "receives" a 1 in that round (and, per the paper's footnote 2, that bit
 //! is also subject to noise by default so the analysis carries over
@@ -47,6 +53,7 @@
 //! assert_eq!(heard.unwrap(), vec![true, true, false, true]); // neighbors 1 and 3 hear it
 //! ```
 
+pub mod channel;
 mod engine;
 mod error;
 mod graph;
@@ -55,6 +62,10 @@ mod noise;
 pub mod topology;
 mod trace;
 
+pub use channel::{
+    AdversarialErasure, ChannelCtx, ChannelModel, GilbertElliott, NoiseModel, PerNodeEps,
+    ROUND_STATE_STREAM,
+};
 pub use engine::BeepNetwork;
 pub use error::{GraphError, NetError};
 pub use graph::{Graph, NodeId};

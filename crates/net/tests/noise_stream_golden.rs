@@ -20,7 +20,10 @@
 //! difference crossing an integer boundary, not a stream break.
 
 use beep_bits::BitVec;
-use beep_net::{noise_stream_seed, topology, BeepNetwork, Noise};
+use beep_net::{
+    noise_stream_seed, topology, AdversarialErasure, BeepNetwork, ChannelModel, GilbertElliott,
+    Noise, PerNodeEps,
+};
 
 /// FNV-1a over the words of a sequence of received frames — a stable,
 /// dependency-free transcript fingerprint.
@@ -122,6 +125,103 @@ fn golden_small_transcript_is_bit_pinned() {
             "1000000101000000101001001001000000011111000010000000001100110101",
         ]
     );
+}
+
+/// Like [`noisy_transcript`], but for an arbitrary channel model.
+fn channel_transcript(
+    channel: ChannelModel,
+    seed: u64,
+    shards: usize,
+    rounds: usize,
+) -> Vec<BitVec> {
+    let n = 512;
+    let mut net = BeepNetwork::new(topology::cycle(n).unwrap(), channel, seed);
+    net.set_shard_count(shards);
+    let beepers = BitVec::from_fn(n, |v| v % 37 == 0);
+    (0..rounds)
+        .map(|_| net.run_round_bitset(&beepers).unwrap())
+        .collect()
+}
+
+/// The golden channel suite: one parameterization per non-iid family,
+/// shared by the fingerprint and thread-invariance pins below.
+fn golden_channels() -> Vec<(&'static str, ChannelModel)> {
+    vec![
+        (
+            "ge",
+            GilbertElliott::try_new(0.05, 0.3, 0.3, 0.5).unwrap().into(),
+        ),
+        (
+            "pernode",
+            PerNodeEps::try_new(vec![0.0, 0.1, 0.3]).unwrap().into(),
+        ),
+        ("adv", AdversarialErasure::try_new(7, 0.1).unwrap().into()),
+    ]
+}
+
+#[test]
+fn golden_channel_transcripts_per_model_seed_shards() {
+    // Each non-iid channel family draws from the same counter-keyed
+    // streams as the iid channel (plus, for Gilbert–Elliott, the reserved
+    // ROUND_STATE_STREAM shard), so each gets its own transcript pin: a
+    // change to any model's sampling order or shard split fails here.
+    let mut computed = Vec::new();
+    for (key, channel) in golden_channels() {
+        for &(seed, shards) in &[(1u64, 1usize), (1, 8)] {
+            let frames = channel_transcript(channel.clone(), seed, shards, 8);
+            let fp = transcript_fingerprint(&frames);
+            println!("{key} seed={seed} shards={shards}: {fp:#018X}");
+            computed.push(fp);
+        }
+    }
+    assert_eq!(
+        computed,
+        vec![
+            0xE03B_C123_9E1C_B0C7,
+            0xE83D_B18B_2912_0A2C,
+            0x8578_A5BC_660B_4821,
+            0x0507_455B_0DD4_102F,
+            0x80DA_AA7C_9E51_E6C5,
+            0xC5DD_03C3_D240_0515,
+        ]
+    );
+}
+
+#[test]
+fn golden_gilbert_elliott_state_sequence_is_pinned() {
+    // The per-round Markov draw comes from the reserved ROUND_STATE_STREAM
+    // shard of the same counter-keyed generator. Pinning the state bits
+    // directly separates "the chain moved" from "the flips moved" when a
+    // Gilbert–Elliott transcript pin breaks.
+    let ge = GilbertElliott::try_new(0.05, 0.3, 0.3, 0.5).unwrap();
+    let states: String = (0..32)
+        .map(|round| if ge.in_bad_state(1, round) { 'B' } else { 'g' })
+        .collect();
+    println!("ge state sequence (seed 1): {states}");
+    assert_eq!(states, "gggBBgBBgBBgggggggBggBBBBBBBggBB");
+}
+
+#[test]
+fn golden_channel_transcripts_survive_any_thread_count() {
+    // Every model's pinned stream is thread-count-invariant: the parallel
+    // path must reproduce the single-thread fingerprint exactly.
+    for (key, channel) in golden_channels() {
+        let reference = transcript_fingerprint(&channel_transcript(channel.clone(), 1, 8, 8));
+        for threads in [2, 4, 8] {
+            let mut net = BeepNetwork::new(topology::cycle(512).unwrap(), channel.clone(), 1);
+            net.set_shard_count(8);
+            net.set_parallelism(threads);
+            let beepers = BitVec::from_fn(512, |v| v % 37 == 0);
+            let frames: Vec<BitVec> = (0..8)
+                .map(|_| net.run_round_bitset(&beepers).unwrap())
+                .collect();
+            assert_eq!(
+                transcript_fingerprint(&frames),
+                reference,
+                "{key} threads={threads}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -2,13 +2,15 @@
 
 //! Declarative scenario campaigns for the noisy-beeps workspace.
 //!
-//! A **campaign** sweeps `topology families × sizes × noise levels ×
+//! A **campaign** sweeps `topology families × sizes × channel models ×
 //! protocols × seeds` as one declarative spec ([`CampaignSpec`], parsed
 //! from a checked-in file or built in code), expands it into a cell
 //! matrix, executes every cell on the sharded bitset engine (in parallel
 //! across worker threads), and emits both a human table and a stable,
 //! schema-versioned JSON report ([`CampaignReport`]) suitable for
-//! perf-trajectory tracking in CI.
+//! perf-trajectory tracking in CI. The channel axis covers the paper's
+//! iid `ε` sweep plus the richer [`ChannelSpec`] families (bursty
+//! Gilbert–Elliott, per-node rates, adversarial erasure).
 //!
 //! The scenario layer is the workspace's front door for new workloads:
 //! instead of writing a bespoke experiment module per sweep, describe
@@ -53,4 +55,4 @@ pub use report::{
     validate_report, CampaignReport, CellResult, CellStatus, Summary, SCHEMA_NAME, SCHEMA_VERSION,
 };
 pub use run::{run_campaign, RunOptions};
-pub use spec::{cell_seed, CampaignSpec, CellSpec, TopologyFamily, TopologySpec};
+pub use spec::{cell_seed, CampaignSpec, CellSpec, ChannelSpec, TopologyFamily, TopologySpec};

@@ -1,12 +1,12 @@
 //! Campaign results: per-cell records, the campaign summary, the
 //! schema-versioned JSON report, and a human-readable table.
 //!
-//! # Report schema (`beep-campaign-report`, version 1)
+//! # Report schema (`beep-campaign-report`, version 2)
 //!
 //! ```json
 //! {
 //!   "schema": "beep-campaign-report",
-//!   "version": 1,
+//!   "version": 2,
 //!   "campaign": "<name>",
 //!   "cells": [ { …one object per cell, in matrix order… } ],
 //!   "summary": { "cells": N, "ok": …, "failed": …, "skipped": …,
@@ -15,6 +15,9 @@
 //!   "wall_ms": 12.3
 //! }
 //! ```
+//!
+//! Version 2 added the per-cell `"channel"` string (the channel-axis
+//! label, `eps{ε}` for iid cells) alongside the calibration `"epsilon"`.
 //!
 //! Everything except the `wall_ms` fields (one per cell plus the
 //! campaign-level one) is a pure function of the spec — re-running the
@@ -29,8 +32,8 @@ use crate::json::Json;
 /// Schema identifier carried by every report.
 pub const SCHEMA_NAME: &str = "beep-campaign-report";
 /// Current schema version. Bump on structural change and record the
-/// break in CHANGES.md.
-pub const SCHEMA_VERSION: i64 = 1;
+/// break in CHANGES.md. Version 2 added the per-cell `channel` label.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// How a cell's execution ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +62,7 @@ impl CellStatus {
 /// The outcome of one campaign cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
-    /// Stable cell id (`family/n{size}/eps{ε}/protocol/s{seed}`).
+    /// Stable cell id (`family/n{size}/{channel}/protocol/s{seed}`).
     pub id: String,
     /// Topology family label (with parameters).
     pub family: String,
@@ -73,8 +76,12 @@ pub struct CellResult {
     pub max_degree: usize,
     /// Resolved generation parameters (auto radius, degree, …).
     pub topology_params: Vec<(String, f64)>,
-    /// Noise rate ε.
+    /// Calibration noise rate ε (the channel's worst-case iid-equivalent
+    /// rate; the iid channel's own ε).
     pub epsilon: f64,
+    /// Channel-axis label (`eps{ε}` for iid cells, `ge-…`/`pernode-…`/
+    /// `adv-…` for the richer models).
+    pub channel: String,
     /// Protocol registry name.
     pub protocol: String,
     /// Sweep seed.
@@ -117,6 +124,7 @@ impl CellResult {
                 ),
             ),
             ("epsilon", Json::Float(self.epsilon)),
+            ("channel", Json::Str(self.channel.clone())),
             ("protocol", Json::Str(self.protocol.clone())),
             ("seed", int_u64(self.seed)),
             ("cell_seed", Json::Str(format!("{:#018x}", self.cell_seed))),
@@ -333,9 +341,10 @@ impl CampaignReport {
     }
 }
 
-/// Validates a parsed report against the version-1 schema: identifier and
+/// Validates a parsed report against the version-2 schema: identifier and
 /// version match, the cell set is non-empty, every cell carries the
-/// required typed fields, and the summary is consistent with the cells.
+/// required typed fields (including its `channel` label), and the summary
+/// is consistent with the cells.
 ///
 /// # Errors
 ///
@@ -374,6 +383,9 @@ pub fn validate_report(json: &Json) -> Result<(), ScenarioError> {
         }
         if cell.get("epsilon").and_then(Json::as_f64).is_none() {
             return fail(ctx("missing epsilon"));
+        }
+        if cell.get("channel").and_then(Json::as_str).is_none() {
+            return fail(ctx("missing channel"));
         }
         if cell.get("protocol").and_then(Json::as_str).is_none() {
             return fail(ctx("missing protocol"));
@@ -415,6 +427,7 @@ mod tests {
             max_degree: 2,
             topology_params: vec![],
             epsilon: 0.05,
+            channel: "eps0.05".into(),
             protocol: "matching".into(),
             seed: 1,
             cell_seed: 0xABCD,
@@ -472,11 +485,16 @@ mod tests {
         let good = demo_report().to_json(false).to_pretty();
         for (from, to, needle) in [
             ("beep-campaign-report", "other-schema", "schema"),
-            ("\"version\": 1", "\"version\": 2", "version"),
+            ("\"version\": 2", "\"version\": 3", "version"),
             (
                 "\"status\": \"failed\"",
                 "\"status\": \"exploded\"",
                 "bad status",
+            ),
+            (
+                "\"channel\": \"eps0.05\"",
+                "\"chan\": \"eps0.05\"",
+                "channel",
             ),
             ("\"ok\": 2", "\"ok\": 3", "summary.ok"),
         ] {

@@ -4,10 +4,13 @@
 //! Cell results are written into their matrix slot regardless of which
 //! worker ran them, so the report is identical at every thread count;
 //! only the `wall_ms` fields vary. Within one sweep seed, every
-//! `(ε, protocol)` cell of a given family × size runs on the *same*
-//! graph instance (the topology seed is derived from
-//! `family/size/sweep-seed` only), so protocol and noise comparisons are
-//! apples-to-apples.
+//! `(channel, protocol)` cell of a given family × size runs on the
+//! *same* graph instance (the topology seed is derived from
+//! `family/size/sweep-seed` only), so protocol and channel comparisons
+//! are apples-to-apples. Each cell instantiates its channel against the
+//! realized node count (the adversary's budget scales with `n`) and
+//! dispatches through [`beep_apps::Protocol::run_channel`]; noiseless-only
+//! protocols under a noisy channel become skipped cells.
 
 use crate::error::ScenarioError;
 use crate::report::{CampaignReport, CellResult, CellStatus};
@@ -123,6 +126,7 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
         max_degree: 0,
         topology_params: Vec::new(),
         epsilon: cell.epsilon,
+        channel: cell.channel.label(),
         protocol: cell.protocol.name().into(),
         seed: cell.sweep_seed,
         cell_seed: cell.cell_seed,
@@ -144,22 +148,32 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
             result.edges = graph.edge_count();
             result.max_degree = graph.max_degree();
             result.topology_params = params.clone();
-            // A panicking protocol (e.g. an assert on a degenerate graph)
-            // must not take down the campaign — or, worse, poison the
-            // worker pool: it becomes a failed cell like any other error.
-            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                cell.protocol.run(graph, cell.epsilon, cell.cell_seed)
-            }))
-            .unwrap_or_else(|panic| {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                Err(AppError::InvalidOutput {
-                    detail: format!("protocol panicked: {msg}"),
-                })
-            });
+            // The channel instantiates against the realized size (the
+            // adversary's budget is a fraction of n). Parse-time range
+            // checks make a build failure unreachable for file-parsed
+            // specs, but programmatic ones record a failed cell.
+            let run = match cell.channel.build(graph.node_count()) {
+                Err(e) => Err(AppError::InvalidOutput {
+                    detail: e.to_string(),
+                }),
+                // A panicking protocol (e.g. an assert on a degenerate
+                // graph) must not take down the campaign — or, worse,
+                // poison the worker pool: it becomes a failed cell like
+                // any other error.
+                Ok(channel) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cell.protocol.run_channel(graph, &channel, cell.cell_seed)
+                }))
+                .unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(ToString::to_string)
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(AppError::InvalidOutput {
+                        detail: format!("protocol panicked: {msg}"),
+                    })
+                }),
+            };
             match run {
                 Ok(outcome) => {
                     result.status = CellStatus::Ok;
@@ -190,7 +204,7 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{TopologyFamily, TopologySpec};
+    use crate::spec::{ChannelSpec, TopologyFamily, TopologySpec};
     use beep_apps::Protocol;
 
     fn small_spec() -> CampaignSpec {
@@ -207,6 +221,7 @@ mod tests {
                 },
             ],
             epsilons: vec![0.0, 0.05],
+            channels: vec![],
             protocols: vec![Protocol::Wave, Protocol::RoundSim],
             seeds: vec![1],
         }
@@ -262,6 +277,7 @@ mod tests {
                 sizes: vec![0],
             }],
             epsilons: vec![0.0],
+            channels: vec![],
             protocols: vec![Protocol::Leader, Protocol::Wave],
             seeds: vec![1],
         };
@@ -276,6 +292,64 @@ mod tests {
     }
 
     #[test]
+    fn channel_axis_cells_run_skip_and_stay_thread_invariant() {
+        let spec = CampaignSpec {
+            name: "channels".into(),
+            topologies: vec![TopologySpec {
+                family: TopologyFamily::Cycle,
+                sizes: vec![6],
+            }],
+            epsilons: vec![0.05],
+            channels: vec![
+                ChannelSpec::GilbertElliott {
+                    eps_good: 0.01,
+                    eps_bad: 0.2,
+                    p_good_to_bad: 0.1,
+                    p_bad_to_good: 0.5,
+                },
+                ChannelSpec::PerNode {
+                    pattern: vec![0.0, 0.05],
+                },
+                ChannelSpec::Adversarial {
+                    budget_frac: 0.2,
+                    design_epsilon: 0.05,
+                },
+            ],
+            protocols: vec![Protocol::RoundSim, Protocol::Wave],
+            seeds: vec![1],
+        };
+        let report = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+        assert_eq!(report.cells.len(), 4 * 2);
+        for cell in &report.cells {
+            match cell.protocol.as_str() {
+                // The flood pipeline must run under every channel family.
+                "round_sim" => {
+                    assert_eq!(cell.status, CellStatus::Ok, "{}: {}", cell.id, cell.detail);
+                    assert!(cell.rounds > 0, "{}", cell.id);
+                }
+                // The noiseless-only wave is skipped under every noisy
+                // channel (the detail carries the *instantiated* channel
+                // label, e.g. `adv-b2-…` for the budget realized on n=6).
+                _ => {
+                    assert_eq!(cell.status, CellStatus::Skipped, "{}", cell.id);
+                    assert!(cell.detail.contains("noiseless-only"), "{}", cell.detail);
+                }
+            }
+        }
+        let labels: Vec<&str> = report.cells.iter().map(|c| c.channel.as_str()).collect();
+        assert!(labels.contains(&"eps0.05"));
+        assert!(labels.contains(&"ge-g0.01-b0.2-pgb0.1-pbg0.5"));
+        assert!(labels.contains(&"pernode-0-0.05"));
+        assert!(labels.contains(&"adv-f0.2-e0.05"));
+        // The report stays byte-identical across worker counts.
+        let parallel = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+        assert_eq!(
+            report.to_json(false).to_pretty(),
+            parallel.to_json(false).to_pretty()
+        );
+    }
+
+    #[test]
     fn unrealizable_topology_is_skipped_not_fatal() {
         let spec = CampaignSpec {
             name: "bad-torus".into(),
@@ -284,6 +358,7 @@ mod tests {
                 sizes: vec![4], // below the 3×3 minimum
             }],
             epsilons: vec![0.0],
+            channels: vec![],
             protocols: vec![Protocol::Wave],
             seeds: vec![1],
         };

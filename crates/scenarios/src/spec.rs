@@ -1,9 +1,13 @@
 //! Campaign specs: what to sweep, and the expansion into a cell matrix.
 //!
 //! A campaign is the cartesian product
-//! `topology instances × noise levels × protocols × seeds`. Specs are
-//! built programmatically ([`CampaignSpec`] is plain data) or parsed from
-//! a checked-in file ([`CampaignSpec::parse`]) in a small TOML subset:
+//! `topology instances × channels × protocols × seeds`. The channel axis
+//! is the `epsilons` list (each an iid-Bernoulli shorthand) plus any
+//! `[[channel]]` tables ([`ChannelSpec`]) naming richer models — bursty
+//! Gilbert–Elliott, heterogeneous per-node rates, budgeted adversarial
+//! erasure. Specs are built programmatically ([`CampaignSpec`] is plain
+//! data) or parsed from a checked-in file ([`CampaignSpec::parse`]) in a
+//! small TOML subset:
 //!
 //! ```toml
 //! name = "smoke"
@@ -19,16 +23,23 @@
 //! family = "random_regular"
 //! sizes = [12]
 //! degree = 4
+//!
+//! [[channel]]
+//! model = "ge"              # Gilbert–Elliott bursty channel
+//! eps_good = 0.01
+//! eps_bad = 0.2
+//! p_good_to_bad = 0.1
+//! p_bad_to_good = 0.5
 //! ```
 //!
 //! Supported syntax: `key = value` pairs (strings, numbers, booleans,
-//! flat arrays), `[[topology]]` table arrays, and `#` comments. Nothing
-//! else of TOML is needed or accepted.
+//! flat arrays), `[[topology]]`/`[[channel]]` table arrays, and `#`
+//! comments. Nothing else of TOML is needed or accepted.
 
 use crate::error::ScenarioError;
 use crate::json::Json;
 use beep_apps::Protocol;
-use beep_net::{topology, Graph};
+use beep_net::{topology, ChannelModel, Graph, Noise};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -232,6 +243,234 @@ pub struct TopologySpec {
     pub sizes: Vec<usize>,
 }
 
+/// One channel-axis entry: a noise-model family with resolved parameters.
+///
+/// The campaign channel axis is the `epsilons` list (each one an
+/// [`ChannelSpec::Iid`] shorthand, kept so version-1 specs and their cell
+/// ids are byte-identical) followed by the spec's `[[channel]]` tables in
+/// order. Parameters are range-checked at parse time; [`build`] turns an
+/// entry into a concrete [`ChannelModel`] for a realized graph.
+///
+/// [`build`]: ChannelSpec::build
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChannelSpec {
+    /// The paper's iid `Bernoulli(ε)` channel (`ε = 0` = noiseless).
+    Iid {
+        /// Flip rate `ε ∈ [0, ½)`.
+        epsilon: f64,
+    },
+    /// Two-state bursty Gilbert–Elliott channel: a Good/Bad Markov chain
+    /// evolved once per round, flipping at the active state's rate.
+    GilbertElliott {
+        /// Flip rate while in the Good state.
+        eps_good: f64,
+        /// Flip rate while in the Bad state.
+        eps_bad: f64,
+        /// Per-round transition probability Good → Bad.
+        p_good_to_bad: f64,
+        /// Per-round transition probability Bad → Good.
+        p_bad_to_good: f64,
+    },
+    /// Heterogeneous per-node rates: node `v` receives at rate
+    /// `pattern[v mod pattern.len()]`.
+    PerNode {
+        /// Non-empty rate pattern, each entry in `[0, ½)`.
+        pattern: Vec<f64>,
+    },
+    /// Budgeted adversarial erasure: each round an adversary silences up
+    /// to `⌈budget_frac · n⌉` heard beeps, highest-degree listeners first.
+    Adversarial {
+        /// Per-round erasure budget as a fraction of the realized node
+        /// count, in `[0, 1]`.
+        budget_frac: f64,
+        /// The iid-equivalent rate the simulation calibrates against.
+        design_epsilon: f64,
+    },
+}
+
+impl ChannelSpec {
+    /// The canonical label, used in cell ids. Iid entries label as
+    /// `eps{ε}` — exactly the version-1 id segment — so adding the
+    /// channel axis never perturbed existing cell ids or their derived
+    /// seeds.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ChannelSpec::Iid { epsilon } => format!("eps{epsilon}"),
+            ChannelSpec::GilbertElliott {
+                eps_good,
+                eps_bad,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => format!("ge-g{eps_good}-b{eps_bad}-pgb{p_good_to_bad}-pbg{p_bad_to_good}"),
+            ChannelSpec::PerNode { pattern } => {
+                let rates: Vec<String> = pattern.iter().map(ToString::to_string).collect();
+                format!("pernode-{}", rates.join("-"))
+            }
+            ChannelSpec::Adversarial {
+                budget_frac,
+                design_epsilon,
+            } => format!("adv-f{budget_frac}-e{design_epsilon}"),
+        }
+    }
+
+    /// The worst-case iid-equivalent rate — what the simulation layer
+    /// calibrates its expansion parameters against, and the `epsilon`
+    /// recorded in the cell's report row.
+    #[must_use]
+    pub fn calibration_epsilon(&self) -> f64 {
+        match self {
+            ChannelSpec::Iid { epsilon } => *epsilon,
+            ChannelSpec::GilbertElliott {
+                eps_good, eps_bad, ..
+            } => eps_good.max(*eps_bad),
+            ChannelSpec::PerNode { pattern } => pattern.iter().copied().fold(0.0, f64::max),
+            ChannelSpec::Adversarial { design_epsilon, .. } => *design_epsilon,
+        }
+    }
+
+    /// Instantiates the concrete [`ChannelModel`] for a realized graph of
+    /// `n` nodes (the adversary's budget scales with `n`; the other
+    /// models ignore it).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Spec`] if the parameters are rejected by the
+    /// network layer — unreachable for specs that came through
+    /// [`CampaignSpec::parse`], which range-checks them up front.
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn build(&self, n: usize) -> Result<ChannelModel, ScenarioError> {
+        let bad = |e: beep_net::NetError| ScenarioError::Spec {
+            line: 0,
+            detail: format!("{}: {e}", self.label()),
+        };
+        match self {
+            ChannelSpec::Iid { epsilon } => {
+                if *epsilon == 0.0 {
+                    Ok(ChannelModel::from(Noise::Noiseless))
+                } else {
+                    Noise::try_bernoulli(*epsilon)
+                        .map(ChannelModel::from)
+                        .map_err(bad)
+                }
+            }
+            ChannelSpec::GilbertElliott {
+                eps_good,
+                eps_bad,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => beep_net::GilbertElliott::try_new(
+                *eps_good,
+                *eps_bad,
+                *p_good_to_bad,
+                *p_bad_to_good,
+            )
+            .map(ChannelModel::from)
+            .map_err(bad),
+            ChannelSpec::PerNode { pattern } => beep_net::PerNodeEps::try_new(pattern.clone())
+                .map(ChannelModel::from)
+                .map_err(bad),
+            ChannelSpec::Adversarial {
+                budget_frac,
+                design_epsilon,
+            } => {
+                let budget = (budget_frac * n as f64).ceil() as usize;
+                beep_net::AdversarialErasure::try_new(budget, *design_epsilon)
+                    .map(ChannelModel::from)
+                    .map_err(bad)
+            }
+        }
+    }
+
+    /// Parses a `[[channel]]` table: a `model` discriminator plus the
+    /// model's parameter keys, all required, range-checked here so a bad
+    /// spec fails at parse time rather than as a sea of failed cells.
+    fn from_spec(table: &Json, line: usize) -> Result<ChannelSpec, ScenarioError> {
+        let spec_err = |detail: String| ScenarioError::Spec { line, detail };
+        let model = table
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| spec_err("[[channel]] needs model = \"…\"".into()))?;
+        let allowed: &[&str] = match model {
+            "iid" => &["epsilon"],
+            "ge" | "gilbert_elliott" => &["eps_good", "eps_bad", "p_good_to_bad", "p_bad_to_good"],
+            "per_node" | "pernode" => &["pattern"],
+            "adversarial" | "adv" => &["budget_frac", "design_epsilon"],
+            other => return Err(spec_err(format!("unknown channel model {other:?}"))),
+        };
+        // Same rationale as the root/topology key checks: an unknown
+        // parameter must fail loudly, not silently sweep the default.
+        if let Json::Obj(pairs) = table {
+            for (key, _) in pairs {
+                if key != "model" && !allowed.contains(&key.as_str()) {
+                    return Err(spec_err(format!(
+                        "unknown key {key:?} for channel model {model:?} \
+                         (accepted: model, {})",
+                        allowed.join(", ")
+                    )));
+                }
+            }
+        }
+        let number = |key: &str| {
+            table
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| spec_err(format!("channel model {model:?} needs {key} = <number>")))
+        };
+        let rate = |key: &str| {
+            let v = number(key)?;
+            if !(0.0..0.5).contains(&v) {
+                return Err(spec_err(format!("{key} {v} outside [0, ½)")));
+            }
+            Ok(v)
+        };
+        let prob = |key: &str| {
+            let v = number(key)?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(spec_err(format!("{key} {v} outside [0, 1]")));
+            }
+            Ok(v)
+        };
+        Ok(match model {
+            "iid" => ChannelSpec::Iid {
+                epsilon: rate("epsilon")?,
+            },
+            "ge" | "gilbert_elliott" => ChannelSpec::GilbertElliott {
+                eps_good: rate("eps_good")?,
+                eps_bad: rate("eps_bad")?,
+                p_good_to_bad: prob("p_good_to_bad")?,
+                p_bad_to_good: prob("p_bad_to_good")?,
+            },
+            "per_node" | "pernode" => {
+                let pattern = f64_array(
+                    table
+                        .get("pattern")
+                        .ok_or_else(|| spec_err("per_node channel needs pattern = […]".into()))?,
+                    "pattern",
+                )?;
+                if pattern.is_empty() {
+                    return Err(spec_err("pattern must be non-empty".into()));
+                }
+                for &e in &pattern {
+                    if !(0.0..0.5).contains(&e) {
+                        return Err(spec_err(format!("pattern rate {e} outside [0, ½)")));
+                    }
+                }
+                ChannelSpec::PerNode { pattern }
+            }
+            _ => ChannelSpec::Adversarial {
+                budget_frac: prob("budget_frac")?,
+                design_epsilon: rate("design_epsilon")?,
+            },
+        })
+    }
+}
+
 /// A declarative campaign: the full sweep description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -239,26 +478,34 @@ pub struct CampaignSpec {
     pub name: String,
     /// Topology axis.
     pub topologies: Vec<TopologySpec>,
-    /// Noise axis (`ε` values; 0 = noiseless).
+    /// Iid channel-axis shorthand (`ε` values; 0 = noiseless).
     pub epsilons: Vec<f64>,
+    /// Channel-axis entries beyond `epsilons` (`[[channel]]` tables),
+    /// appended to the axis in spec order.
+    pub channels: Vec<ChannelSpec>,
     /// Protocol axis.
     pub protocols: Vec<Protocol>,
     /// Seed axis (each seed reruns the whole grid).
     pub seeds: Vec<u64>,
 }
 
-/// One expanded cell: a single `(graph instance, ε, protocol, seed)` run.
+/// One expanded cell: a single `(graph instance, channel, protocol,
+/// seed)` run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellSpec {
-    /// Stable id: `family/n{size}/eps{ε}/protocol/s{seed}`.
+    /// Stable id: `family/n{size}/{channel}/protocol/s{seed}`, where the
+    /// channel segment is [`ChannelSpec::label`] (`eps{ε}` for iid).
     pub id: String,
     /// The topology family to instantiate.
     pub family: TopologyFamily,
     /// Requested node count (the realized count may differ for
     /// grid/torus shapes; the report records both).
     pub requested_n: usize,
-    /// Noise rate.
+    /// The channel's calibration rate
+    /// ([`ChannelSpec::calibration_epsilon`]).
     pub epsilon: f64,
+    /// The channel-axis entry to instantiate.
+    pub channel: ChannelSpec,
     /// The protocol to run.
     pub protocol: Protocol,
     /// The sweep seed this cell belongs to.
@@ -281,24 +528,38 @@ pub fn cell_seed(id: &str) -> u64 {
 }
 
 impl CampaignSpec {
+    /// The full channel axis: every `epsilons` entry as an iid channel,
+    /// then the `channels` entries, in spec order.
+    #[must_use]
+    pub fn channel_axis(&self) -> Vec<ChannelSpec> {
+        let mut axis: Vec<ChannelSpec> = self
+            .epsilons
+            .iter()
+            .map(|&epsilon| ChannelSpec::Iid { epsilon })
+            .collect();
+        axis.extend(self.channels.iter().cloned());
+        axis
+    }
+
     /// Expands the sweep into its cell matrix, in deterministic order
-    /// (topologies → sizes → ε → protocols → seeds).
+    /// (topologies → sizes → channels → protocols → seeds).
     ///
     /// # Errors
     ///
     /// [`ScenarioError::EmptyMatrix`] if any axis is empty.
     pub fn expand(&self) -> Result<Vec<CellSpec>, ScenarioError> {
+        let axis = self.channel_axis();
         let mut cells = Vec::new();
         for topo in &self.topologies {
             for &n in &topo.sizes {
-                for &eps in &self.epsilons {
+                for channel in &axis {
                     for &protocol in &self.protocols {
                         for &seed in &self.seeds {
                             let id = format!(
-                                "{}/n{}/eps{}/{}/s{}",
+                                "{}/n{}/{}/{}/s{}",
                                 topo.family.label(),
                                 n,
-                                eps,
+                                channel.label(),
                                 protocol.name(),
                                 seed
                             );
@@ -307,7 +568,8 @@ impl CampaignSpec {
                                 id,
                                 family: topo.family,
                                 requested_n: n,
-                                epsilon: eps,
+                                epsilon: channel.calibration_epsilon(),
+                                channel: channel.clone(),
                                 protocol,
                                 sweep_seed: seed,
                                 cell_seed: derived,
@@ -331,9 +593,15 @@ impl CampaignSpec {
     /// [`ScenarioError::Spec`] with a line number on malformed input.
     pub fn parse(text: &str) -> Result<CampaignSpec, ScenarioError> {
         // Accumulate key/value tables: one root table plus one per
-        // [[topology]] header, then assemble the typed spec.
-        let mut root: Vec<(String, Json)> = Vec::new();
-        let mut topo_tables: Vec<(usize, Vec<(String, Json)>)> = Vec::new();
+        // [[topology]]/[[channel]] header, then assemble the typed spec.
+        #[derive(PartialEq)]
+        enum Kind {
+            Topology,
+            Channel,
+        }
+        type Table = Vec<(String, Json)>;
+        let mut root: Table = Vec::new();
+        let mut tables: Vec<(usize, Kind, Table)> = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = strip_comment(raw).trim();
@@ -341,19 +609,25 @@ impl CampaignSpec {
                 continue;
             }
             if line == "[[topology]]" {
-                topo_tables.push((line_no, Vec::new()));
+                tables.push((line_no, Kind::Topology, Vec::new()));
+                continue;
+            }
+            if line == "[[channel]]" {
+                tables.push((line_no, Kind::Channel, Vec::new()));
                 continue;
             }
             if line.starts_with('[') {
                 return Err(ScenarioError::Spec {
                     line: line_no,
-                    detail: format!("unsupported table header {line:?} (only [[topology]])"),
+                    detail: format!(
+                        "unsupported table header {line:?} (only [[topology]] and [[channel]])"
+                    ),
                 });
             }
             let (key, value) = parse_assignment(line, line_no)?;
-            // Assignments belong to the most recent [[topology]] table,
-            // or to the root before the first header.
-            let table = topo_tables.last_mut().map_or(&mut root, |(_, t)| t);
+            // Assignments belong to the most recent table header, or to
+            // the root before the first header.
+            let table = tables.last_mut().map_or(&mut root, |(_, _, t)| t);
             if table.iter().any(|(k, _)| k == &key) {
                 return Err(ScenarioError::Spec {
                     line: line_no,
@@ -361,6 +635,14 @@ impl CampaignSpec {
                 });
             }
             table.push((key, value));
+        }
+        let mut topo_tables: Vec<(usize, Table)> = Vec::new();
+        let mut channel_tables: Vec<(usize, Table)> = Vec::new();
+        for (line, kind, table) in tables {
+            match kind {
+                Kind::Topology => topo_tables.push((line, table)),
+                Kind::Channel => channel_tables.push((line, table)),
+            }
         }
 
         // Unknown keys are errors, not silently-dropped defaults: a
@@ -498,10 +780,32 @@ impl CampaignSpec {
             });
         }
 
+        let mut channels = Vec::new();
+        let mut labels: Vec<String> = epsilons
+            .iter()
+            .map(|&epsilon| ChannelSpec::Iid { epsilon }.label())
+            .collect();
+        for (line, table) in channel_tables {
+            let channel = ChannelSpec::from_spec(&Json::Obj(table), line)?;
+            let label = channel.label();
+            // Two identical channel entries (or an iid one shadowing an
+            // epsilons value) would collide on cell ids — and therefore
+            // on cell seeds.
+            if labels.contains(&label) {
+                return Err(ScenarioError::Spec {
+                    line,
+                    detail: format!("duplicate channel {label:?} in the channel axis"),
+                });
+            }
+            labels.push(label);
+            channels.push(channel);
+        }
+
         Ok(CampaignSpec {
             name,
             topologies,
             epsilons,
+            channels,
             protocols,
             seeds,
         })
@@ -652,6 +956,13 @@ mod tests {
         family = "random_regular"
         sizes = [12]
         degree = 4
+
+        [[channel]]
+        model = "ge"              # bursty channel alongside the ε sweep
+        eps_good = 0.01
+        eps_bad = 0.2
+        p_good_to_bad = 0.1
+        p_bad_to_good = 0.5
     "#;
 
     #[test]
@@ -666,16 +977,34 @@ mod tests {
             spec.topologies[1].family,
             TopologyFamily::RandomRegular { degree: 4 }
         );
+        assert_eq!(
+            spec.channels,
+            vec![ChannelSpec::GilbertElliott {
+                eps_good: 0.01,
+                eps_bad: 0.2,
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 0.5,
+            }]
+        );
     }
 
     #[test]
     fn expansion_is_the_full_product_in_stable_order() {
         let spec = CampaignSpec::parse(SPEC).unwrap();
         let cells = spec.expand().unwrap();
-        // (2 + 1 sizes) × 2 ε × 2 protocols × 2 seeds.
-        assert_eq!(cells.len(), 3 * 2 * 2 * 2);
+        // (2 + 1 sizes) × (2 ε + 1 channel) × 2 protocols × 2 seeds.
+        assert_eq!(cells.len(), 3 * 3 * 2 * 2);
         assert_eq!(cells[0].id, "cycle/n8/eps0/matching/s1");
         assert_eq!(cells[1].id, "cycle/n8/eps0/matching/s2");
+        // The [[channel]] entries extend the ε axis after the epsilons.
+        assert_eq!(
+            cells[8].id,
+            "cycle/n8/ge-g0.01-b0.2-pgb0.1-pbg0.5/matching/s1"
+        );
+        assert!(
+            (cells[8].epsilon - 0.2).abs() < 1e-12,
+            "calibration = max rate"
+        );
         // Cell seeds depend only on the id.
         assert_eq!(cells[0].cell_seed, cell_seed("cycle/n8/eps0/matching/s1"));
         let ids: std::collections::HashSet<&str> = cells.iter().map(|c| c.id.as_str()).collect();
@@ -691,6 +1020,57 @@ mod tests {
         assert_eq!(spec.name, "campaign");
         assert_eq!(spec.seeds, vec![1]);
         assert_eq!(spec.epsilons, vec![0.0]);
+        assert_eq!(spec.channels, vec![]);
+    }
+
+    #[test]
+    fn channel_specs_parse_for_every_model() {
+        let spec = CampaignSpec::parse(concat!(
+            "protocols = [\"round_sim\"]\n",
+            "epsilons = [0.0]\n",
+            "[[topology]]\nfamily = \"cycle\"\nsizes = [8]\n",
+            "[[channel]]\nmodel = \"iid\"\nepsilon = 0.1\n",
+            "[[channel]]\nmodel = \"gilbert_elliott\"\neps_good = 0.0\neps_bad = 0.25\n",
+            "p_good_to_bad = 0.05\np_bad_to_good = 0.4\n",
+            "[[channel]]\nmodel = \"per_node\"\npattern = [0.0, 0.05]\n",
+            "[[channel]]\nmodel = \"adversarial\"\nbudget_frac = 0.1\ndesign_epsilon = 0.05\n",
+        ))
+        .unwrap();
+        let labels: Vec<String> = spec.channels.iter().map(ChannelSpec::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "eps0.1",
+                "ge-g0-b0.25-pgb0.05-pbg0.4",
+                "pernode-0-0.05",
+                "adv-f0.1-e0.05",
+            ]
+        );
+        // The axis is the ε sweep followed by the [[channel]] entries.
+        assert_eq!(spec.channel_axis().len(), 5);
+        assert_eq!(spec.channel_axis()[0], ChannelSpec::Iid { epsilon: 0.0 });
+    }
+
+    #[test]
+    fn channel_build_scales_the_adversary_budget_with_n() {
+        let spec = ChannelSpec::Adversarial {
+            budget_frac: 0.25,
+            design_epsilon: 0.05,
+        };
+        for (n, expected) in [(10, 3), (64, 16), (0, 0)] {
+            match spec.build(n).unwrap() {
+                ChannelModel::AdversarialErasure(adv) => assert_eq!(adv.budget(), expected),
+                other => panic!("expected adversary, got {other:?}"),
+            }
+        }
+        // The other models ignore n entirely.
+        let ge = ChannelSpec::GilbertElliott {
+            eps_good: 0.01,
+            eps_bad: 0.2,
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.5,
+        };
+        assert_eq!(ge.build(4).unwrap(), ge.build(4096).unwrap());
     }
 
     #[test]
@@ -717,6 +1097,40 @@ mod tests {
             (
                 "protocols = [\"mis\"]\n[[topology]]\nfamily = \"cycle\"\nsizes = [4]\nradius = 0.5",
                 "unknown key \"radius\"",
+            ),
+            // Channel tables: same strictness as topology tables.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nepsilon = 0.1",
+                "needs model",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"zzz\"",
+                "unknown channel model",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"iid\"\nepsilon = 0.6",
+                "outside [0, ½)",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"iid\"\neps_bad = 0.1",
+                "unknown key \"eps_bad\"",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"ge\"\neps_good = 0.0\neps_bad = 0.2\np_good_to_bad = 0.1",
+                "needs p_bad_to_good",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"adv\"\nbudget_frac = 1.5\ndesign_epsilon = 0.1",
+                "outside [0, 1]",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"per_node\"\npattern = []",
+                "non-empty",
+            ),
+            // An iid channel shadowing an epsilons entry collides on ids.
+            (
+                "epsilons = [0.05]\nprotocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"iid\"\nepsilon = 0.05",
+                "duplicate channel",
             ),
         ] {
             let err = CampaignSpec::parse(bad).unwrap_err().to_string();

@@ -45,6 +45,7 @@ fn golden_spec() -> CampaignSpec {
             },
         ],
         epsilons: vec![0.0, 0.1],
+        channels: vec![],
         protocols: vec![Protocol::Wave, Protocol::RoundSim],
         seeds: vec![7],
     }

@@ -1,0 +1,60 @@
+//! End-to-end pin for the checked-in channel-sweep campaign
+//! (`scenarios/channels.toml`): the spec must parse, sweep all four
+//! channel families (iid, Gilbert–Elliott, per-node, adversarial), run
+//! with zero failed cells, emit a schema-valid version-2 report, and
+//! stay byte-identical across worker-thread counts.
+//!
+//! This is the acceptance test for the channel dimension as a whole —
+//! the unit tests pin each layer (parsing, expansion, the report
+//! schema); this one proves the layers compose over a real spec file.
+
+use beep_scenarios::{run_campaign, validate_report, CampaignSpec, CellStatus, RunOptions};
+
+const SPEC: &str = include_str!("../../../scenarios/channels.toml");
+
+#[test]
+fn checked_in_channel_sweep_runs_all_four_families_deterministically() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    // One iid ε plus the three [[channel]] tables.
+    assert_eq!(spec.epsilons.len(), 1);
+    assert_eq!(spec.channels.len(), 3);
+    assert_eq!(spec.channel_axis().len(), 4);
+
+    let report = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+    let summary = report.summary();
+    assert_eq!(summary.failed, 0, "{}", report.render_table());
+    assert_eq!(summary.skipped, 0, "{}", report.render_table());
+    assert_eq!(
+        summary.successes,
+        summary.ok,
+        "every cell of the checked-in sweep must succeed:\n{}",
+        report.render_table()
+    );
+
+    // Every channel family actually produced running cells.
+    for label in [
+        "eps0.05",
+        "ge-g0.01-b0.2-pgb0.1-pbg0.5",
+        "pernode-0-0.05-0.1",
+        "adv-f0.05-e0.05",
+    ] {
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.channel == label && c.status == CellStatus::Ok && c.rounds > 0),
+            "no running cell for channel {label}"
+        );
+    }
+
+    // The report is schema-valid in both forms.
+    validate_report(&report.to_json(false)).unwrap();
+    validate_report(&report.to_json(true)).unwrap();
+
+    // And a pure function of the spec at every worker count.
+    let threaded = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+    assert_eq!(
+        report.to_json(false).to_pretty(),
+        threaded.to_json(false).to_pretty()
+    );
+}

@@ -80,6 +80,7 @@ fn prelude_scenario_layer_runs_a_campaign() {
             sizes: vec![6],
         }],
         epsilons: vec![0.0],
+        channels: vec![],
         protocols: vec![Protocol::Wave],
         seeds: vec![1],
     };
