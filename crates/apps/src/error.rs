@@ -28,6 +28,14 @@ pub enum AppError {
         /// Label of the rejected channel (e.g. `eps0.05`).
         channel: String,
     },
+    /// A protocol without a fault-tolerance story was asked to run under a
+    /// non-empty [`beep_net::FaultPlan`] (see
+    /// [`crate::Protocol::supports_faults`]). Campaign sweeps use this to
+    /// mark protocol/fault mismatch cells as skipped rather than failed.
+    FaultsUnsupported {
+        /// Registry name of the protocol.
+        protocol: &'static str,
+    },
 }
 
 impl fmt::Display for AppError {
@@ -42,6 +50,12 @@ impl fmt::Display for AppError {
                     "protocol {protocol:?} is noiseless-only (requested noisy channel {channel})"
                 )
             }
+            AppError::FaultsUnsupported { protocol } => {
+                write!(
+                    f,
+                    "protocol {protocol:?} has no fault-tolerance story (requested a non-empty fault plan)"
+                )
+            }
         }
     }
 }
@@ -51,7 +65,9 @@ impl Error for AppError {
         match self {
             AppError::Sim(e) => Some(e),
             AppError::Net(e) => Some(e),
-            AppError::InvalidOutput { .. } | AppError::NoiseUnsupported { .. } => None,
+            AppError::InvalidOutput { .. }
+            | AppError::NoiseUnsupported { .. }
+            | AppError::FaultsUnsupported { .. } => None,
         }
     }
 }
@@ -81,5 +97,8 @@ mod tests {
         let e: AppError = beep_net::NetError::RoundBudgetExhausted { budget: 9 }.into();
         assert!(e.to_string().contains('9'));
         assert!(Error::source(&e).is_some());
+        let e = AppError::FaultsUnsupported { protocol: "wave" };
+        assert!(e.to_string().contains("wave"));
+        assert!(Error::source(&e).is_none());
     }
 }

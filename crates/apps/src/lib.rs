@@ -17,6 +17,7 @@
 //! | Single-source broadcast | [`beep_wave_broadcast`] | noiseless beeps | `O(D + b)` |
 //! | Multi-source broadcast | [`multi_source_broadcast`] | noiseless beeps | `O(q²·D)` (superimposed codes, \[6\]) |
 //! | Leader election | [`beep_leader_election`] | noiseless beeps | `O(D log n)` |
+//! | Binary consensus | [`beep_consensus`] | noisy beeps **+ faults** | `O(D · log(n·D)/(½−ε)²)` |
 //!
 //! Every task (plus the round-simulation, TDMA-baseline, and
 //! local-broadcast pipelines from `beep-core`) is also addressable *by
@@ -24,6 +25,7 @@
 //! scenario-campaign layer (`beep-scenarios`) sweeps.
 
 mod broadcast_wave;
+mod consensus;
 mod error;
 mod leader;
 mod multicast;
@@ -31,11 +33,13 @@ mod registry;
 mod tasks;
 
 pub use broadcast_wave::{beep_wave_broadcast, BeepWaveReport};
+pub use consensus::{beep_consensus, consensus_slots_per_phase, ConsensusReport};
 pub use error::AppError;
 pub use leader::{beep_leader_election, LeaderReport};
 pub use multicast::{multi_source_broadcast, MulticastReport};
 pub use registry::{Protocol, ProtocolOutcome};
 pub use tasks::{
-    coloring, coloring_with_channel, maximal_independent_set, maximal_independent_set_with_channel,
-    maximal_matching, maximal_matching_with_channel, TaskReport,
+    coloring, coloring_with_channel, coloring_with_faults, maximal_independent_set,
+    maximal_independent_set_with_channel, maximal_independent_set_with_faults, maximal_matching,
+    maximal_matching_with_channel, maximal_matching_with_faults, TaskReport,
 };

@@ -12,24 +12,35 @@
 //!
 //! * **noisy-capable** — the paper's simulation pipeline and its
 //!   baselines (`matching`, `mis`, `coloring`, `round_sim`, `tdma`,
-//!   `local_broadcast`): any `ε ∈ [0, ½)`;
+//!   `local_broadcast`, `beep_consensus`): any `ε ∈ [0, ½)`;
 //! * **noiseless primitives** — the wave-based tools (`wave`, `leader`,
 //!   `multicast`): requesting `ε > 0` returns
 //!   [`AppError::NoiseUnsupported`] so sweeps can mark those cells as
 //!   skipped rather than failed.
+//!
+//! Orthogonally, a protocol either **tolerates faults**
+//! ([`Protocol::supports_faults`] — today only `beep_consensus`, built
+//! for the fault layer) or it doesn't: running the latter under a
+//! non-empty [`FaultPlan`] returns [`AppError::FaultsUnsupported`], which
+//! campaigns likewise record as skipped cells.
+//!
+//! All three entry points funnel into one dispatcher,
+//! [`Protocol::run_with_faults`]: [`Protocol::run`] is `run_channel` on
+//! the iid channel at `ε`, and [`Protocol::run_channel`] is
+//! `run_with_faults` with the empty plan.
 
+use crate::consensus::beep_consensus;
 use crate::error::AppError;
 use crate::{
-    beep_leader_election, beep_wave_broadcast, coloring, coloring_with_channel,
-    maximal_independent_set, maximal_independent_set_with_channel, maximal_matching,
-    maximal_matching_with_channel, multi_source_broadcast,
+    beep_leader_election, beep_wave_broadcast, coloring_with_faults,
+    maximal_independent_set_with_faults, maximal_matching_with_faults, multi_source_broadcast,
 };
 use beep_bits::BitVec;
 use beep_congest::algorithms::Flood;
 use beep_core::baseline::TdmaSimulator;
 use beep_core::lower_bound::CongestLocalBroadcast;
 use beep_core::{SimReport, SimulatedBroadcastRunner, SimulatedCongestRunner, SimulationParams};
-use beep_net::{ChannelModel, Graph, Noise, NoiseModel};
+use beep_net::{ChannelModel, FaultKind, FaultPlan, Graph, Noise, NoiseModel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -38,6 +49,9 @@ const PAYLOAD_BITS: usize = 16;
 /// Message width for the wave/multicast primitives (kept small so the
 /// superimposed-code construction stays cheap at every campaign scale).
 const PRIMITIVE_BITS: usize = 6;
+/// XOR'd into the cell seed to derive `beep_consensus` inputs, so the
+/// input assignment is independent of the engine's noise streams.
+const CONSENSUS_INPUT_STREAM: u64 = 0xB1A5_ED1D;
 
 /// Uniform outcome of one registry-driven protocol run.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,11 +91,14 @@ pub enum Protocol {
     /// B-bit Local Broadcast (Definition 13) via the Corollary 12
     /// CONGEST wrapper.
     LocalBroadcast,
+    /// 1-biased binary consensus on noisy beeps — the fault-tolerant
+    /// proof workload (see [`crate::beep_consensus`]).
+    BeepConsensus,
 }
 
 impl Protocol {
     /// Every registered protocol, in display order.
-    pub const ALL: [Protocol; 9] = [
+    pub const ALL: [Protocol; 10] = [
         Protocol::Wave,
         Protocol::Leader,
         Protocol::Multicast,
@@ -91,6 +108,7 @@ impl Protocol {
         Protocol::RoundSim,
         Protocol::Tdma,
         Protocol::LocalBroadcast,
+        Protocol::BeepConsensus,
     ];
 
     /// The canonical registry name.
@@ -106,6 +124,7 @@ impl Protocol {
             Protocol::RoundSim => "round_sim",
             Protocol::Tdma => "tdma",
             Protocol::LocalBroadcast => "local_broadcast",
+            Protocol::BeepConsensus => "beep_consensus",
         }
     }
 
@@ -122,6 +141,7 @@ impl Protocol {
             "round_sim" | "flood" => Protocol::RoundSim,
             "tdma" => Protocol::Tdma,
             "local_broadcast" => Protocol::LocalBroadcast,
+            "beep_consensus" | "consensus" => Protocol::BeepConsensus,
             _ => return None,
         })
     }
@@ -134,6 +154,16 @@ impl Protocol {
             self,
             Protocol::Wave | Protocol::Leader | Protocol::Multicast
         )
+    }
+
+    /// Whether the protocol tolerates a non-empty [`FaultPlan`]. Only
+    /// `beep_consensus` is designed for faulty nodes today; every other
+    /// protocol's w.h.p. guarantee assumes all nodes are correct, so
+    /// sweeps mark their faulted cells as skipped (see
+    /// [`AppError::FaultsUnsupported`]).
+    #[must_use]
+    pub fn supports_faults(&self) -> bool {
+        matches!(self, Protocol::BeepConsensus)
     }
 
     /// Runs the protocol on `graph` at noise rate `epsilon` with the
@@ -149,10 +179,79 @@ impl Protocol {
     /// * [`AppError::InvalidOutput`] if the w.h.p. guarantee failed this
     ///   run.
     pub fn run(&self, graph: &Graph, epsilon: f64, seed: u64) -> Result<ProtocolOutcome, AppError> {
-        if epsilon != 0.0 && !self.supports_noise() {
+        self.run_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
+    }
+
+    /// Runs the protocol on `graph` under an arbitrary [`ChannelModel`]
+    /// — the channel-sweep entry point the campaign layer drives.
+    /// Exactly [`run_with_faults`](Self::run_with_faults) with the empty
+    /// [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with_faults`](Self::run_with_faults).
+    pub fn run_channel(
+        &self,
+        graph: &Graph,
+        channel: &ChannelModel,
+        seed: u64,
+    ) -> Result<ProtocolOutcome, AppError> {
+        self.run_with_faults(graph, channel, &FaultPlan::none(), seed)
+    }
+
+    /// The single dispatcher every registry entry point funnels into:
+    /// runs the protocol on `graph` under an arbitrary [`ChannelModel`]
+    /// and [`FaultPlan`].
+    ///
+    /// Semantics:
+    ///
+    /// * a noiseless channel (any model whose
+    ///   [`is_noiseless`](NoiseModel::is_noiseless) holds) is normalized
+    ///   to the exact channel, so every noiseless instance of every model
+    ///   reproduces the `ε = 0` run bit-for-bit;
+    /// * an iid channel reproduces the [`run`](Self::run) ε sweep
+    ///   bit-for-bit; the other models are threaded through the
+    ///   simulation pipeline with parameters calibrated to the model's
+    ///   [`calibration_epsilon`](NoiseModel::calibration_epsilon);
+    /// * a noisy channel on a noiseless-only primitive returns
+    ///   [`AppError::NoiseUnsupported`] naming the channel, and a
+    ///   non-empty plan on a protocol without
+    ///   [`supports_faults`](Self::supports_faults) returns
+    ///   [`AppError::FaultsUnsupported`] — campaigns record both as
+    ///   *skipped* (not failed) cells.
+    ///
+    /// # Errors
+    ///
+    /// * [`AppError::NoiseUnsupported`] / [`AppError::FaultsUnsupported`]
+    ///   on a protocol/channel or protocol/fault mismatch.
+    /// * [`AppError::Net`] / [`AppError::Sim`] on engine or simulation
+    ///   failures (invalid ε, out-of-range fault plans, exhausted round
+    ///   budgets on disconnected graphs, …).
+    /// * [`AppError::InvalidOutput`] if the w.h.p. guarantee failed this
+    ///   run.
+    pub fn run_with_faults(
+        &self,
+        graph: &Graph,
+        channel: &ChannelModel,
+        faults: &FaultPlan,
+        seed: u64,
+    ) -> Result<ProtocolOutcome, AppError> {
+        let clean: ChannelModel;
+        let channel = if channel.is_noiseless() && !matches!(channel, ChannelModel::Iid(_)) {
+            clean = Noise::Noiseless.into();
+            &clean
+        } else {
+            channel
+        };
+        if !channel.is_noiseless() && !self.supports_noise() {
             return Err(AppError::NoiseUnsupported {
                 protocol: self.name(),
-                channel: format!("eps{epsilon}"),
+                channel: channel.label(),
+            });
+        }
+        if !faults.is_empty() && !self.supports_faults() {
+            return Err(AppError::FaultsUnsupported {
+                protocol: self.name(),
             });
         }
         match self {
@@ -160,86 +259,21 @@ impl Protocol {
             Protocol::Leader => run_leader(graph, seed),
             Protocol::Multicast => run_multicast(graph, seed),
             Protocol::Matching => {
-                let r = maximal_matching(graph, epsilon, seed)?;
+                let r = maximal_matching_with_faults(graph, channel, faults, seed)?;
                 Ok(outcome_from_sim(&r.report))
             }
             Protocol::Mis => {
-                let r = maximal_independent_set(graph, epsilon, seed)?;
+                let r = maximal_independent_set_with_faults(graph, channel, faults, seed)?;
                 Ok(outcome_from_sim(&r.report))
             }
             Protocol::Coloring => {
-                let r = coloring(graph, epsilon, seed)?;
-                Ok(outcome_from_sim(&r.report))
-            }
-            Protocol::RoundSim => run_flood_simulated(graph, epsilon, seed),
-            Protocol::Tdma => run_flood_tdma(graph, epsilon, seed),
-            Protocol::LocalBroadcast => run_local_broadcast(graph, epsilon, seed),
-        }
-    }
-
-    /// Runs the protocol on `graph` under an arbitrary [`ChannelModel`]
-    /// — the channel-sweep entry point the campaign layer drives.
-    ///
-    /// Semantics:
-    ///
-    /// * a noiseless channel (any model whose
-    ///   [`is_noiseless`](NoiseModel::is_noiseless) holds) is exactly
-    ///   [`run`](Self::run) at `ε = 0`;
-    /// * an iid channel delegates to [`run`](Self::run) at its `ε`, so a
-    ///   channel sweep over iid cells reproduces an ε sweep bit-for-bit;
-    /// * the other models are threaded through the simulation pipeline
-    ///   with parameters calibrated to the model's
-    ///   [`calibration_epsilon`](NoiseModel::calibration_epsilon);
-    /// * a noisy channel on a noiseless-only primitive returns
-    ///   [`AppError::NoiseUnsupported`] naming the channel, which
-    ///   campaigns record as a *skipped* (not failed) cell.
-    ///
-    /// # Errors
-    ///
-    /// As [`run`](Self::run), with [`AppError::NoiseUnsupported`] for any
-    /// protocol/channel mismatch.
-    pub fn run_channel(
-        &self,
-        graph: &Graph,
-        channel: &ChannelModel,
-        seed: u64,
-    ) -> Result<ProtocolOutcome, AppError> {
-        if channel.is_noiseless() {
-            return self.run(graph, 0.0, seed);
-        }
-        if !self.supports_noise() {
-            return Err(AppError::NoiseUnsupported {
-                protocol: self.name(),
-                channel: channel.label(),
-            });
-        }
-        if let ChannelModel::Iid(noise) = channel {
-            return self.run(graph, noise.epsilon(), seed);
-        }
-        match self {
-            Protocol::Matching => {
-                let r = maximal_matching_with_channel(graph, channel, seed)?;
-                Ok(outcome_from_sim(&r.report))
-            }
-            Protocol::Mis => {
-                let r = maximal_independent_set_with_channel(graph, channel, seed)?;
-                Ok(outcome_from_sim(&r.report))
-            }
-            Protocol::Coloring => {
-                let r = coloring_with_channel(graph, channel, seed)?;
+                let r = coloring_with_faults(graph, channel, faults, seed)?;
                 Ok(outcome_from_sim(&r.report))
             }
             Protocol::RoundSim => run_flood_simulated_channel(graph, channel, seed),
             Protocol::Tdma => run_flood_tdma_channel(graph, channel, seed),
             Protocol::LocalBroadcast => run_local_broadcast_channel(graph, channel, seed),
-            // Unreachable (noiseless-only primitives bailed out above);
-            // kept as a defensive error rather than a panic path.
-            Protocol::Wave | Protocol::Leader | Protocol::Multicast => {
-                Err(AppError::NoiseUnsupported {
-                    protocol: self.name(),
-                    channel: channel.label(),
-                })
-            }
+            Protocol::BeepConsensus => run_beep_consensus(graph, channel, faults, seed),
         }
     }
 }
@@ -330,14 +364,6 @@ fn seeded_value_bits(v: u64) -> BitVec {
     BitVec::from_fn(PRIMITIVE_BITS, |i| (v >> i) & 1 == 1)
 }
 
-fn run_flood_simulated(
-    graph: &Graph,
-    epsilon: f64,
-    seed: u64,
-) -> Result<ProtocolOutcome, AppError> {
-    run_flood_simulated_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
-}
-
 fn run_flood_simulated_channel(
     graph: &Graph,
     channel: &ChannelModel,
@@ -357,10 +383,6 @@ fn run_flood_simulated_channel(
     Ok(outcome)
 }
 
-fn run_flood_tdma(graph: &Graph, epsilon: f64, seed: u64) -> Result<ProtocolOutcome, AppError> {
-    run_flood_tdma_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
-}
-
 fn run_flood_tdma_channel(
     graph: &Graph,
     channel: &ChannelModel,
@@ -377,14 +399,6 @@ fn run_flood_tdma_channel(
     let mut outcome = outcome_from_sim(&report);
     outcome.success = success;
     Ok(outcome)
-}
-
-fn run_local_broadcast(
-    graph: &Graph,
-    epsilon: f64,
-    seed: u64,
-) -> Result<ProtocolOutcome, AppError> {
-    run_local_broadcast_channel(graph, &ChannelModel::from(noise_for(epsilon)?), seed)
 }
 
 fn run_local_broadcast_channel(
@@ -427,6 +441,52 @@ fn run_local_broadcast_channel(
     // width from the run instead of duplicating the constant.
     outcome.metrics.push(("message_bits", bits as f64));
     Ok(outcome)
+}
+
+/// Runs [`beep_consensus`] on seeded coin-flip inputs and scores the run
+/// against its guarantees *among correct nodes*: agreement, plus validity
+/// bounds — the decision must be 1 when a correct node held a 1 (or a
+/// spammer forces one), and may only be 1 when *some* node held a 1 or a
+/// spammer exists (a faulty holder may or may not have spoken before
+/// halting, so either decision is legitimate there).
+fn run_beep_consensus(
+    graph: &Graph,
+    channel: &ChannelModel,
+    faults: &FaultPlan,
+    seed: u64,
+) -> Result<ProtocolOutcome, AppError> {
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed ^ CONSENSUS_INPUT_STREAM);
+    let inputs: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+    let report = beep_consensus(graph, channel, faults, seed, &inputs)?;
+    let correct: Vec<usize> = (0..n).filter(|&v| faults.fault_of(v).is_none()).collect();
+    let spam = faults
+        .assignments()
+        .iter()
+        .any(|&(_, kind)| kind == FaultKind::ByzantineSpam);
+    let agreement = correct
+        .windows(2)
+        .all(|w| report.decisions[w[0]] == report.decisions[w[1]]);
+    let must_be_one = spam || correct.iter().any(|&v| inputs[v]);
+    let may_be_one = spam || inputs.iter().any(|&b| b);
+    let success = match correct.first() {
+        // Every node is faulty: there is nothing to guarantee.
+        None => true,
+        Some(&v) => {
+            let d = report.decisions[v];
+            agreement && (!must_be_one || d) && (!d || may_be_one)
+        }
+    };
+    Ok(ProtocolOutcome {
+        rounds: report.rounds,
+        beeps: report.beeps,
+        success,
+        metrics: vec![
+            ("phases", report.phases as f64),
+            ("slots_per_phase", report.slots_per_phase as f64),
+            ("faulty_nodes", faults.len() as f64),
+        ],
+    })
 }
 
 #[cfg(test)]
@@ -567,5 +627,91 @@ mod tests {
             .unwrap()
             .into();
         assert!(Protocol::Wave.run_channel(&g, &clean, 1).is_ok());
+    }
+
+    #[test]
+    fn only_consensus_supports_faults() {
+        for p in Protocol::ALL {
+            assert_eq!(
+                p.supports_faults(),
+                p == Protocol::BeepConsensus,
+                "{}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_run_channel_exactly() {
+        use beep_net::FaultPlan;
+        let g = topology::cycle(6).unwrap();
+        let ch: ChannelModel = Noise::bernoulli(0.05).into();
+        for p in [
+            Protocol::Matching,
+            Protocol::RoundSim,
+            Protocol::BeepConsensus,
+        ] {
+            assert_eq!(
+                p.run_with_faults(&g, &ch, &FaultPlan::none(), 7).unwrap(),
+                p.run_channel(&g, &ch, 7).unwrap(),
+                "{}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn non_tolerant_protocols_reject_fault_plans_as_unsupported() {
+        use beep_net::{FaultKind, FaultPlan};
+        let g = topology::cycle(6).unwrap();
+        let plan = FaultPlan::realize(6, 0.34, FaultKind::ByzantineMute, 3).unwrap();
+        let clean: ChannelModel = Noise::Noiseless.into();
+        for p in Protocol::ALL.iter().filter(|p| !p.supports_faults()) {
+            let err = p.run_with_faults(&g, &clean, &plan, 1).unwrap_err();
+            assert!(
+                matches!(err, AppError::FaultsUnsupported { .. }),
+                "{}: {err}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_survives_realized_fault_plans_on_complete_graphs() {
+        use beep_net::{FaultKind, FaultPlan};
+        let g = topology::complete(10).unwrap();
+        let ch: ChannelModel = Noise::bernoulli(0.1).into();
+        for kind in [
+            FaultKind::Crash { round: 4 },
+            FaultKind::ByzantineSpam,
+            FaultKind::ByzantineMute,
+        ] {
+            let plan = FaultPlan::realize(10, 0.3, kind, 11).unwrap();
+            assert_eq!(plan.len(), 3);
+            let out = Protocol::BeepConsensus
+                .run_with_faults(&g, &ch, &plan, 11)
+                .unwrap();
+            assert!(out.success, "{}: verdict failed", kind.keyword());
+            assert!(out.rounds > 0);
+            let faulty = out
+                .metrics
+                .iter()
+                .find(|(k, _)| *k == "faulty_nodes")
+                .unwrap()
+                .1;
+            assert_eq!(faulty, 3.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_plan_is_a_net_error() {
+        use beep_net::{FaultKind, FaultPlan};
+        let g = topology::path(4).unwrap();
+        let plan = FaultPlan::try_from_assignments(vec![(9, FaultKind::ByzantineSpam)]).unwrap();
+        let clean: ChannelModel = Noise::Noiseless.into();
+        let err = Protocol::BeepConsensus
+            .run_with_faults(&g, &clean, &plan, 0)
+            .unwrap_err();
+        assert!(matches!(err, AppError::Net(_)), "{err}");
     }
 }

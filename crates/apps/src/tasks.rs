@@ -5,7 +5,7 @@ use crate::error::AppError;
 use beep_congest::algorithms::{LubyMis, MaximalMatching, RandomColoring};
 use beep_congest::validate;
 use beep_core::{SimReport, SimulatedBroadcastRunner, SimulationParams};
-use beep_net::{ChannelModel, Graph, NodeId, Noise, NoiseModel};
+use beep_net::{ChannelModel, FaultPlan, Graph, NodeId, Noise, NoiseModel};
 
 /// A solved task together with its cost accounting.
 #[derive(Debug, Clone)]
@@ -67,11 +67,36 @@ pub fn maximal_matching_with_channel(
     channel: &ChannelModel,
     seed: u64,
 ) -> Result<TaskReport<Option<NodeId>>, AppError> {
+    maximal_matching_with_faults(graph, channel, &FaultPlan::none(), seed)
+}
+
+/// [`maximal_matching_with_channel`] under a [`FaultPlan`]: the plan is
+/// installed on the underlying beep network, so faulty nodes' beeps are
+/// overridden exactly as in [`beep_net::BeepNetwork::set_fault_plan`].
+///
+/// The output validation still covers *all* nodes — this protocol has no
+/// fault-tolerance story ([`crate::Protocol::supports_faults`] is false
+/// for it), so a non-empty plan typically ends in
+/// [`AppError::InvalidOutput`]; the variant exists so the fault plumbing
+/// lands in one place and overlay costs can be measured on the same code
+/// path.
+///
+/// # Errors
+///
+/// As [`maximal_matching`], plus [`AppError::Net`] if the plan names a
+/// node `≥ n`.
+pub fn maximal_matching_with_faults(
+    graph: &Graph,
+    channel: &ChannelModel,
+    faults: &FaultPlan,
+    seed: u64,
+) -> Result<TaskReport<Option<NodeId>>, AppError> {
     let n = graph.node_count();
     let bits = MaximalMatching::required_message_bits(n);
     let iters = MaximalMatching::suggested_iterations(n);
     let params = SimulationParams::calibrated(channel.calibration_epsilon());
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone());
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone())
+        .with_fault_plan(faults.clone());
     let mut algos: Vec<Box<MaximalMatching>> = (0..n)
         .map(|_| Box::new(MaximalMatching::new(iters)))
         .collect();
@@ -114,11 +139,28 @@ pub fn maximal_independent_set_with_channel(
     channel: &ChannelModel,
     seed: u64,
 ) -> Result<TaskReport<bool>, AppError> {
+    maximal_independent_set_with_faults(graph, channel, &FaultPlan::none(), seed)
+}
+
+/// [`maximal_independent_set_with_channel`] under a [`FaultPlan`] (see
+/// [`maximal_matching_with_faults`] for the caveats — validation still
+/// covers all nodes).
+///
+/// # Errors
+///
+/// As [`maximal_matching_with_faults`].
+pub fn maximal_independent_set_with_faults(
+    graph: &Graph,
+    channel: &ChannelModel,
+    faults: &FaultPlan,
+    seed: u64,
+) -> Result<TaskReport<bool>, AppError> {
     let n = graph.node_count();
     let bits = LubyMis::required_message_bits(n);
     let iters = LubyMis::suggested_iterations(n);
     let params = SimulationParams::calibrated(channel.calibration_epsilon());
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone());
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone())
+        .with_fault_plan(faults.clone());
     let mut algos: Vec<Box<LubyMis>> = (0..n).map(|_| Box::new(LubyMis::new(iters))).collect();
     let report = runner.run_to_completion(&mut algos, LubyMis::rounds_for(iters))?;
     let output: Vec<bool> = algos
@@ -155,11 +197,28 @@ pub fn coloring_with_channel(
     channel: &ChannelModel,
     seed: u64,
 ) -> Result<TaskReport<u64>, AppError> {
+    coloring_with_faults(graph, channel, &FaultPlan::none(), seed)
+}
+
+/// [`coloring_with_channel`] under a [`FaultPlan`] (see
+/// [`maximal_matching_with_faults`] for the caveats — validation still
+/// covers all nodes).
+///
+/// # Errors
+///
+/// As [`maximal_matching_with_faults`].
+pub fn coloring_with_faults(
+    graph: &Graph,
+    channel: &ChannelModel,
+    faults: &FaultPlan,
+    seed: u64,
+) -> Result<TaskReport<u64>, AppError> {
     let n = graph.node_count();
     let bits = RandomColoring::required_message_bits(n);
     let iters = RandomColoring::suggested_iterations(n);
     let params = SimulationParams::calibrated(channel.calibration_epsilon());
-    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone());
+    let runner = SimulatedBroadcastRunner::new(graph, bits, seed, params, channel.clone())
+        .with_fault_plan(faults.clone());
     let mut algos: Vec<Box<RandomColoring>> = (0..n)
         .map(|_| Box::new(RandomColoring::new(iters)))
         .collect();
@@ -231,6 +290,30 @@ mod tests {
                 matches!(err, AppError::Net(beep_net::NetError::InvalidNoise { .. })),
                 "ε = {bad}: {err}"
             );
+        }
+    }
+
+    #[test]
+    fn fault_variant_with_empty_plan_matches_channel_variant() {
+        let g = topology::cycle(6).unwrap();
+        let ch: ChannelModel = Noise::try_bernoulli(0.05).unwrap().into();
+        let a = maximal_matching_with_channel(&g, &ch, 5).unwrap();
+        let b = maximal_matching_with_faults(&g, &ch, &FaultPlan::none(), 5).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn muting_every_node_defeats_matching_detectably() {
+        // These tasks have no fault-tolerance story: with all nodes muted
+        // nothing is ever decoded and the validated guarantee must fail
+        // as a reportable error, not silently pass or panic.
+        let g = topology::cycle(6).unwrap();
+        let ch: ChannelModel = Noise::Noiseless.into();
+        let plan = FaultPlan::realize(6, 1.0, beep_net::FaultKind::ByzantineMute, 1).unwrap();
+        match maximal_matching_with_faults(&g, &ch, &plan, 5) {
+            Err(AppError::InvalidOutput { .. } | AppError::Sim(_)) => {}
+            other => panic!("expected a detectable failure, got {other:?}"),
         }
     }
 

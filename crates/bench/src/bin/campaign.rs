@@ -185,6 +185,7 @@ fn inline_spec(
         // Richer channel families ([[channel]] tables) are a spec-file
         // feature — inline flags cover only the iid ε sweep.
         channels: vec![],
+        faults: vec![],
         protocols,
         seeds: seeds.unwrap_or_else(|| vec![1]),
     }

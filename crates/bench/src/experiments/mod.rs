@@ -77,6 +77,7 @@ pub(crate) fn run_thin_campaign(
         topologies,
         epsilons,
         channels: vec![],
+        faults: vec![],
         protocols,
         seeds: vec![seed],
     };

@@ -7,7 +7,7 @@ use crate::params::SimulationParams;
 use crate::round_sim::BroadcastSimulator;
 use crate::stats::RoundStats;
 use beep_congest::{BroadcastAlgorithm, CongestAlgorithm, CongestError, Message, NodeCtx};
-use beep_net::{BeepNetwork, ChannelModel, Graph};
+use beep_net::{BeepNetwork, ChannelModel, FaultPlan, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,6 +41,7 @@ pub struct SimulatedBroadcastRunner<'g> {
     seed: u64,
     params: SimulationParams,
     channel: ChannelModel,
+    faults: FaultPlan,
 }
 
 impl<'g> SimulatedBroadcastRunner<'g> {
@@ -65,7 +66,18 @@ impl<'g> SimulatedBroadcastRunner<'g> {
             seed,
             params,
             channel: channel.into(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Installs a [`FaultPlan`] on the underlying beep network: faulty
+    /// nodes' beep/listen actions are overridden round by round and crashed
+    /// nodes go deaf, exactly as in [`BeepNetwork::set_fault_plan`]. The
+    /// default is the empty plan (every node correct).
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The context node `v` receives — identical to the native runner's, so
@@ -104,6 +116,8 @@ impl<'g> SimulatedBroadcastRunner<'g> {
             BroadcastSimulator::new(self.params, self.message_bits, self.graph.max_degree())?;
         let mut net =
             BeepNetwork::new(self.graph.clone(), self.channel.clone(), self.seed ^ 0xBEE9);
+        net.set_fault_plan(self.faults.clone())
+            .map_err(SimError::Net)?;
         let mut sim_rng = StdRng::seed_from_u64(self.seed ^ 0xC0DE);
         for (v, algo) in algorithms.iter_mut().enumerate() {
             algo.init(&self.node_ctx(v));
@@ -150,6 +164,7 @@ pub struct SimulatedCongestRunner<'g> {
     seed: u64,
     params: SimulationParams,
     channel: ChannelModel,
+    faults: FaultPlan,
 }
 
 impl<'g> SimulatedCongestRunner<'g> {
@@ -171,7 +186,16 @@ impl<'g> SimulatedCongestRunner<'g> {
             seed,
             params,
             channel: channel.into(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Installs a [`FaultPlan`] on the underlying simulated broadcast
+    /// runner (see [`SimulatedBroadcastRunner::with_fault_plan`]).
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Initializes and runs until every node is done or the budget (in
@@ -198,7 +222,8 @@ impl<'g> SimulatedCongestRunner<'g> {
             self.seed,
             self.params,
             self.channel.clone(),
-        );
+        )
+        .with_fault_plan(self.faults.clone());
         let broadcast_budget = CongestAdapter::<A>::broadcast_rounds_for(max_rounds, delta);
         let report = runner.run_to_completion(&mut adapters, broadcast_budget)?;
         let inner = adapters.into_iter().map(|b| b.into_inner()).collect();

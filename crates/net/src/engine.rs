@@ -2,6 +2,7 @@
 
 use crate::channel::{apply_channel_sharded, ChannelCtx, ChannelModel, NoiseModel};
 use crate::error::NetError;
+use crate::faults::FaultPlan;
 use crate::graph::Graph;
 use crate::node::{Action, BeepProtocol};
 use crate::noise::Noise;
@@ -234,10 +235,20 @@ impl ShardCtx<'_> {
 /// bitset kernel draws each round's flips from per-shard counter-keyed
 /// streams ([`noise_stream_seed`](crate::noise_stream_seed)`(seed, round,
 /// shard)`). A noisy bitset transcript is therefore a pure function of
-/// `(graph, noise, seed, actions, shard_count)` — the thread count and
-/// thread scheduling are **not** part of the stream, so any parallelism
-/// setting (including 1) reproduces it bit-identically. Scalar and bitset
-/// noisy runs are equal in distribution, not bit-equal.
+/// `(graph, channel, faults, seed, actions, shard_count)` — the thread
+/// count and thread scheduling are **not** part of the stream, so any
+/// parallelism setting (including 1) reproduces it bit-identically. Scalar
+/// and bitset noisy runs are equal in distribution, not bit-equal.
+///
+/// # Fault overlay
+///
+/// An installed [`FaultPlan`] (see [`set_fault_plan`](Self::set_fault_plan))
+/// slots between submitted actions and the channel in **every** kernel:
+/// faulty nodes' actions are overridden before the neighborhood OR (so the
+/// overlay is applied identically regardless of shard layout or thread
+/// count), and crashed nodes' received bits are forced to 0 after the
+/// channel. The channel's RNG streams are untouched, so a run with the
+/// empty plan is byte-identical to a fault-free run.
 ///
 /// # Example
 ///
@@ -255,6 +266,10 @@ impl ShardCtx<'_> {
 pub struct BeepNetwork {
     graph: Graph,
     channel: ChannelModel,
+    /// Node-fault overlay applied between submitted actions and the
+    /// channel; empty (a guaranteed no-op) unless installed via
+    /// [`set_fault_plan`](Self::set_fault_plan).
+    faults: FaultPlan,
     seed: u64,
     rng: StdRng,
     stats: NetStats,
@@ -285,6 +300,7 @@ impl BeepNetwork {
         BeepNetwork {
             graph,
             channel,
+            faults: FaultPlan::none(),
             seed,
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
@@ -313,12 +329,61 @@ impl BeepNetwork {
     /// for an iid channel, and the [`NoiseModel::calibration_epsilon`]
     /// rate for every other model (so ε-calibration checks in the
     /// simulators keep working unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a channel model reports a `calibration_epsilon` outside
+    /// `[0, ½)` — impossible for models built through their validating
+    /// `try_new` constructors, which make the rate an invariant.
     #[must_use]
     pub fn noise(&self) -> Noise {
         match &self.channel {
             ChannelModel::Iid(noise) => *noise,
-            other => Noise::try_bernoulli(other.calibration_epsilon()).unwrap_or(Noise::Noiseless),
+            other => {
+                let eps = other.calibration_epsilon();
+                if eps == 0.0 {
+                    Noise::Noiseless
+                } else {
+                    Noise::try_bernoulli(eps).expect(
+                        "calibration_epsilon is a validated invariant of every channel model",
+                    )
+                }
+            }
         }
+    }
+
+    /// Installs a [`FaultPlan`]: from the next round on, faulty nodes'
+    /// actions are overridden between submission and the channel (crashed
+    /// nodes additionally go deaf — their received bit is forced to 0).
+    /// The overlay applies identically in every kernel — scalar, bitset,
+    /// frame, and protocol-driven rounds — and replaces any previous plan;
+    /// install [`FaultPlan::none`] to clear it.
+    ///
+    /// Stats, per-node energy, and recorded transcripts count the
+    /// *effective* (overridden) actions: a spammer's forced beeps cost it
+    /// energy, a crashed node's submitted beeps cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidFaultPlan`] if the plan names a node outside the
+    /// graph.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), NetError> {
+        if let Some(node) = plan.max_node() {
+            let n = self.graph.node_count();
+            if node >= n {
+                return Err(NetError::InvalidFaultPlan {
+                    detail: format!("node {node} out of range for {n} nodes"),
+                });
+            }
+        }
+        self.faults = plan;
+        Ok(())
+    }
+
+    /// The installed [`FaultPlan`] (empty by default).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Cumulative round/energy statistics.
@@ -460,6 +525,19 @@ impl BeepNetwork {
                 actual: actions.len(),
             });
         }
+        let round = self.stats.rounds as u64;
+        // Fault overlay, step 1: override faulty nodes' actions *before*
+        // the neighborhood OR and the channel — the same pre-channel point
+        // at which the bitset kernel edits its beeper bitmap.
+        let overridden: Vec<Action>;
+        let actions: &[Action] = if self.faults.is_empty() {
+            actions
+        } else {
+            overridden = (0..n)
+                .map(|v| self.faults.effective_action(v, round, actions[v]))
+                .collect();
+            &overridden
+        };
         let graph = &self.graph;
         let clean_bit = |v: usize| match actions[v] {
             Action::Beep => true,
@@ -473,7 +551,7 @@ impl BeepNetwork {
             ChannelModel::Iid(noise) => Some(*noise),
             _ => None,
         };
-        let received: Vec<bool> = if let Some(noise) = iid {
+        let mut received: Vec<bool> = if let Some(noise) = iid {
             // The scalar iid path draws bit-by-bit from the network's
             // sequential RNG: equal in distribution to the bitset kernel,
             // not bit-equal.
@@ -502,13 +580,18 @@ impl BeepNetwork {
                 &self.channel,
                 graph,
                 self.seed,
-                self.stats.rounds as u64,
+                round,
                 self.shard_count,
                 protect,
                 &mut frame,
             );
             (0..n).map(|v| frame.get(v)).collect()
         };
+        // Fault overlay, step 2: crashed nodes are deaf — their received
+        // bit is forced to 0 *after* the channel, so feedback sees silence.
+        for v in self.faults.crashed(round) {
+            received[v] = false;
+        }
         self.stats.rounds += 1;
         for (v, a) in actions.iter().enumerate() {
             match a {
@@ -594,6 +677,22 @@ impl BeepNetwork {
         if received.len() != n {
             *received = BitVec::zeros(n);
         }
+        let round = self.stats.rounds as u64;
+        // Fault overlay, step 1: compute the round's *effective* beeper
+        // set before anything fans out into shards. Editing the bitmap
+        // here keeps thread/shard invariance trivial (every shard reads
+        // the same beepers) and leaves the channel's counter-keyed streams
+        // untouched; an empty plan takes this branch never and the round
+        // is byte-identical to a fault-free run.
+        let faulty: BitVec;
+        let beepers: &BitVec = if self.faults.is_empty() {
+            beepers
+        } else {
+            let mut effective = beepers.clone();
+            self.faults.apply_to_beepers(round, &mut effective);
+            faulty = effective;
+            &faulty
+        };
         let beep_count = beepers.count_ones();
         let rows = match &self.kernel {
             AdjKernel::Dense(rows) => Some(rows.as_slice()),
@@ -605,7 +704,6 @@ impl BeepNetwork {
         } else {
             beepers.iter_ones().collect()
         };
-        let round = self.stats.rounds as u64;
         let ctx = ShardCtx {
             graph: &self.graph,
             rows,
@@ -663,6 +761,10 @@ impl BeepNetwork {
                 run_queue(own);
             });
         }
+        // Fault overlay, step 2: crashed nodes are deaf — their received
+        // bit is cleared *after* the channel, so feedback (and run_frame
+        // outputs) see silence.
+        self.faults.silence_crashed(round, received);
         self.stats.rounds += 1;
         self.stats.beeps += beep_count as u64;
         self.stats.listens += (n - beep_count) as u64;
@@ -1335,6 +1437,142 @@ mod tests {
             "done node stopped being asked to act"
         );
         assert_eq!(counters[1].0.get(), 5);
+    }
+
+    #[test]
+    fn fault_plan_overrides_actions_in_both_kernels() {
+        use crate::faults::{FaultKind, FaultPlan};
+        // Path 0-1-2-3-4: node 1 spams, node 3 is mute, node 4 crashes in
+        // round 1. Submissions: node 3 and node 4 beep every round.
+        let plan = FaultPlan::try_from_assignments(vec![
+            (1, FaultKind::ByzantineSpam),
+            (3, FaultKind::ByzantineMute),
+            (4, FaultKind::Crash { round: 1 }),
+        ])
+        .unwrap();
+        let g = topology::path(5).unwrap();
+        let actions = [
+            Action::Listen,
+            Action::Listen,
+            Action::Listen,
+            Action::Beep,
+            Action::Beep,
+        ];
+        let beepers = BitVec::from_indices(5, [3, 4]);
+        let mut scalar = BeepNetwork::new(g.clone(), Noise::Noiseless, 0);
+        scalar.set_fault_plan(plan.clone()).unwrap();
+        let mut bitset = BeepNetwork::new(g, Noise::Noiseless, 0);
+        bitset.set_fault_plan(plan).unwrap();
+        // Round 0: effective beepers {1 (spam), 4 (still healthy)}.
+        // Received OR: 0,1,2 hear the spammer; 3,4 hear node 4.
+        let r0 = scalar.run_round(&actions).unwrap();
+        assert_eq!(r0, vec![true, true, true, true, true]);
+        assert_eq!(
+            bitset.run_round_bitset(&beepers).unwrap(),
+            BitVec::from_bools(&r0)
+        );
+        // Round 1: node 4 has crashed — effective beepers {1}; node 4 is
+        // also deaf, so despite neighbor 3 hearing the silence too, node 4
+        // must read 0 no matter what.
+        let r1 = scalar.run_round(&actions).unwrap();
+        assert_eq!(r1, vec![true, true, true, false, false]);
+        assert_eq!(
+            bitset.run_round_bitset(&beepers).unwrap(),
+            BitVec::from_bools(&r1)
+        );
+        assert_eq!(scalar.stats(), bitset.stats());
+        assert_eq!(scalar.beeps_by_node(), bitset.beeps_by_node());
+        // Energy counts effective actions: the spammer paid 2 beeps, the
+        // mute node 0, the crasher only its healthy round.
+        assert_eq!(scalar.beeps_by_node(), &[0, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn crashed_node_feedback_sees_silence_in_run_protocols() {
+        use crate::faults::{FaultKind, FaultPlan};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // Complete graph, node 0 beeps every round; node 2 crashes at
+        // round 2 and must stop hearing it from then on.
+        struct Recorder {
+            id: usize,
+            heard: Rc<RefCell<Vec<bool>>>,
+        }
+        impl BeepProtocol for Recorder {
+            fn act(&mut self, _round: usize) -> Action {
+                if self.id == 0 {
+                    Action::Beep
+                } else {
+                    Action::Listen
+                }
+            }
+            fn feedback(&mut self, _round: usize, received: bool) {
+                self.heard.borrow_mut().push(received);
+            }
+            fn is_done(&self) -> bool {
+                self.heard.borrow().len() >= 5
+            }
+        }
+        let heard: Vec<Rc<RefCell<Vec<bool>>>> = (0..3).map(|_| Rc::default()).collect();
+        let mut protos: Vec<Box<dyn BeepProtocol>> = heard
+            .iter()
+            .enumerate()
+            .map(|(id, h)| {
+                Box::new(Recorder {
+                    id,
+                    heard: Rc::clone(h),
+                }) as Box<dyn BeepProtocol>
+            })
+            .collect();
+        let mut net = BeepNetwork::new(topology::complete(3).unwrap(), Noise::Noiseless, 0);
+        net.set_fault_plan(
+            FaultPlan::try_from_assignments(vec![(2, FaultKind::Crash { round: 2 })]).unwrap(),
+        )
+        .unwrap();
+        net.run_protocols(&mut protos, 10).unwrap();
+        assert_eq!(*heard[1].borrow(), vec![true; 5], "healthy listener");
+        assert_eq!(
+            *heard[2].borrow(),
+            vec![true, true, false, false, false],
+            "crashed node goes deaf at its round"
+        );
+    }
+
+    #[test]
+    fn fault_plan_out_of_range_rejected_and_empty_plan_is_identity() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let mut net = BeepNetwork::new(topology::path(3).unwrap(), Noise::Noiseless, 0);
+        let err = net
+            .set_fault_plan(
+                FaultPlan::try_from_assignments(vec![(3, FaultKind::ByzantineSpam)]).unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::InvalidFaultPlan { .. }), "{err}");
+        assert!(net.fault_plan().is_empty(), "rejected plan not installed");
+        // Installing and clearing a plan round-trips.
+        net.set_fault_plan(
+            FaultPlan::try_from_assignments(vec![(1, FaultKind::ByzantineMute)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(net.fault_plan().len(), 1);
+        net.set_fault_plan(FaultPlan::none()).unwrap();
+        assert!(net.fault_plan().is_empty());
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_noisy_transcripts_byte_identical() {
+        use crate::faults::FaultPlan;
+        let g = topology::cycle(200).unwrap();
+        let beepers = BitVec::from_indices(200, [0, 63, 130]);
+        let mut plain = BeepNetwork::new(g.clone(), Noise::bernoulli(0.2), 9);
+        let mut with_empty = BeepNetwork::new(g, Noise::bernoulli(0.2), 9);
+        with_empty.set_fault_plan(FaultPlan::none()).unwrap();
+        for _ in 0..8 {
+            assert_eq!(
+                plain.run_round_bitset(&beepers).unwrap(),
+                with_empty.run_round_bitset(&beepers).unwrap()
+            );
+        }
     }
 
     #[test]

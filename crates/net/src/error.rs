@@ -79,6 +79,13 @@ pub enum NetError {
         /// Human-readable description of the offending parameter.
         detail: String,
     },
+    /// A fault plan was malformed (duplicate node, out-of-range fraction,
+    /// or a node id beyond the network it was installed on) — see
+    /// [`crate::FaultPlan`].
+    InvalidFaultPlan {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -105,6 +112,9 @@ impl fmt::Display for NetError {
             }
             NetError::InvalidChannel { detail } => {
                 write!(f, "invalid channel model: {detail}")
+            }
+            NetError::InvalidFaultPlan { detail } => {
+                write!(f, "invalid fault plan: {detail}")
             }
         }
     }
@@ -139,6 +149,11 @@ mod tests {
         }
         .to_string()
         .contains("0.9"));
+        assert!(NetError::InvalidFaultPlan {
+            detail: "node 7 assigned two faults".into()
+        }
+        .to_string()
+        .contains("node 7"));
         assert!(NetError::FrameLength {
             node: 2,
             expected: 8,

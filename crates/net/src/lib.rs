@@ -19,7 +19,10 @@
 //! corruption into pluggable [`NoiseModel`]s — bursty
 //! ([`GilbertElliott`]), heterogeneous ([`PerNodeEps`]) and adversarial
 //! ([`AdversarialErasure`]) — all under the same counter-keyed
-//! determinism contract.
+//! determinism contract. The [`faults`] module drops the assumption that
+//! every node behaves: a deterministic [`FaultPlan`] (crash / Byzantine
+//! spam / Byzantine mute) overrides faulty nodes' actions between
+//! submission and the channel, in every kernel.
 //!
 //! Following the paper's Section 1.5 convention, a node that beeps
 //! "receives" a 1 in that round (and, per the paper's footnote 2, that bit
@@ -56,6 +59,7 @@
 pub mod channel;
 mod engine;
 mod error;
+pub mod faults;
 mod graph;
 mod node;
 mod noise;
@@ -68,6 +72,7 @@ pub use channel::{
 };
 pub use engine::BeepNetwork;
 pub use error::{GraphError, NetError};
+pub use faults::{FaultKind, FaultPlan, FAULT_PLAN_STREAM};
 pub use graph::{Graph, NodeId};
 pub use node::{Action, BeepProtocol};
 pub use noise::{noise_stream_seed, Noise};

@@ -11,8 +11,8 @@
 
 use beep_bits::BitVec;
 use beep_net::{
-    topology, Action, AdversarialErasure, BeepNetwork, ChannelModel, GilbertElliott, Graph, Noise,
-    PerNodeEps,
+    topology, Action, AdversarialErasure, BeepNetwork, ChannelModel, FaultKind, FaultPlan,
+    GilbertElliott, Graph, Noise, PerNodeEps,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -494,6 +494,179 @@ fn adversarial_erasure_respects_budget_and_never_fabricates() {
                 n,
                 "a protected beeper lost its bit (shards={shards})"
             );
+        }
+    }
+}
+
+/// One realized plan per fault kind, plus a mixed hand-built plan, all
+/// touching ≈ a quarter of the nodes. The crash round sits mid-run so
+/// each transcript covers both the live and the dead regime.
+fn fault_plans(n: usize) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "crash",
+            FaultPlan::realize(n, 0.25, FaultKind::Crash { round: 3 }, 0xFA).unwrap(),
+        ),
+        (
+            "spam",
+            FaultPlan::realize(n, 0.25, FaultKind::ByzantineSpam, 0xFB).unwrap(),
+        ),
+        (
+            "mute",
+            FaultPlan::realize(n, 0.25, FaultKind::ByzantineMute, 0xFC).unwrap(),
+        ),
+        (
+            "mixed",
+            FaultPlan::try_from_assignments(vec![
+                (0, FaultKind::Crash { round: 0 }),
+                (n / 2, FaultKind::ByzantineSpam),
+                (n - 1, FaultKind::ByzantineMute),
+            ])
+            .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn faulted_scalar_bitset_threaded_agree_bit_for_bit() {
+    // The fault overlay edits the beeper set before the channel and
+    // silences crashed listeners after it — both shard-independent, so
+    // scalar ≡ bitset ≡ threaded must stay bit-for-bit under every
+    // FaultKind, across every topology generator, threads {1, 2, 4, 8}
+    // × shards {1, 2, 8}. The channel is a counter-keyed (non-iid) noisy
+    // one — the scalar iid path draws from the sequential RNG and is
+    // only distribution-equal, so it cannot anchor a bit-exact oracle.
+    let mut rng = StdRng::seed_from_u64(0xFA17);
+    let channel: ChannelModel = GilbertElliott::try_new(0.05, 0.3, 0.25, 0.4)
+        .unwrap()
+        .into();
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        for (key, plan) in fault_plans(n) {
+            for shards in SHARD_COUNTS {
+                let mut scalar = BeepNetwork::new(graph.clone(), channel.clone(), 19);
+                scalar.set_shard_count(shards);
+                scalar.set_fault_plan(plan.clone()).unwrap();
+                let mut threaded: Vec<BeepNetwork> = THREAD_COUNTS
+                    .iter()
+                    .map(|&threads| {
+                        let mut net = BeepNetwork::new(graph.clone(), channel.clone(), 19);
+                        net.set_shard_count(shards);
+                        net.set_parallelism(threads);
+                        net.set_fault_plan(plan.clone()).unwrap();
+                        net
+                    })
+                    .collect();
+                for round in 0..6 {
+                    let density = [0.0, 0.1, 0.5, 1.0][round % 4];
+                    let actions = random_actions(n, density, &mut rng);
+                    let beepers = beeper_bitmap(&actions);
+                    let expected = scalar.run_round(&actions).unwrap();
+                    for net in &mut threaded {
+                        let received = net.run_round_bitset(&beepers).unwrap();
+                        assert_eq!(
+                            expected,
+                            received.iter_bits().collect::<Vec<bool>>(),
+                            "{name} {key} round {round} threads={} shards={shards}",
+                            net.parallelism(),
+                        );
+                    }
+                }
+                for net in &threaded {
+                    assert_eq!(
+                        scalar.stats(),
+                        net.stats(),
+                        "{name} {key} shards={shards} stats"
+                    );
+                    assert_eq!(
+                        scalar.beeps_by_node(),
+                        net.beeps_by_node(),
+                        "{name} {key} shards={shards} energy"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_frames_match_round_by_round_driving() {
+    // run_frame under a fault plan ≡ driving the same frame one
+    // run_round at a time: the overlay must apply per-slot inside the
+    // batched kernel too (a crash round can split a frame). Counter-keyed
+    // channel for the same reason as the bit-exact oracle above.
+    let mut rng = StdRng::seed_from_u64(0xFA18);
+    let channel: ChannelModel = GilbertElliott::try_new(0.05, 0.3, 0.25, 0.4)
+        .unwrap()
+        .into();
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let len = 8;
+        let plan = FaultPlan::realize(n, 0.3, FaultKind::Crash { round: 4 }, 0xFD).unwrap();
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 2 == 0).then(|| BitVec::random_uniform(len, &mut rng)))
+            .collect();
+        let mut scalar = BeepNetwork::new(graph.clone(), channel.clone(), 31);
+        scalar.set_fault_plan(plan.clone()).unwrap();
+        let mut batched = BeepNetwork::new(graph.clone(), channel.clone(), 31);
+        batched.set_fault_plan(plan).unwrap();
+        let mut expected: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(len)).collect();
+        let mut actions = vec![Action::Listen; n];
+        for i in 0..len {
+            for (v, frame) in frames.iter().enumerate() {
+                actions[v] = match frame {
+                    Some(f) if f.get(i) => Action::Beep,
+                    _ => Action::Listen,
+                };
+            }
+            for (v, &bit) in scalar.run_round(&actions).unwrap().iter().enumerate() {
+                if bit {
+                    expected[v].set(i, true);
+                }
+            }
+        }
+        let heard = batched.run_frame(&frames).unwrap();
+        assert_eq!(heard, expected, "{name}");
+        assert_eq!(scalar.stats(), batched.stats(), "{name} stats");
+    }
+}
+
+#[test]
+fn faulted_noisy_transcripts_are_thread_and_shard_invariant() {
+    // The tentpole contract extended by the fault axis: transcripts are
+    // pure functions of (graph, channel, faults, seed, actions,
+    // shard_count) — bit-identical at every tested thread count, for
+    // every FaultKind.
+    let mut rng = StdRng::seed_from_u64(0xFA19);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let beeper_sets: Vec<BitVec> = (0..6)
+            .map(|round| {
+                let density = [0.0, 0.1, 0.5][round % 3];
+                beeper_bitmap(&random_actions(n, density, &mut rng))
+            })
+            .collect();
+        for (key, plan) in fault_plans(n) {
+            for shards in SHARD_COUNTS {
+                let run = |threads: usize| {
+                    let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.25), 7);
+                    net.set_shard_count(shards);
+                    net.set_parallelism(threads);
+                    net.set_fault_plan(plan.clone()).unwrap();
+                    beeper_sets
+                        .iter()
+                        .map(|b| net.run_round_bitset(b).unwrap())
+                        .collect::<Vec<BitVec>>()
+                };
+                let reference = run(THREAD_COUNTS[0]);
+                for &threads in &THREAD_COUNTS[1..] {
+                    assert_eq!(
+                        run(threads),
+                        reference,
+                        "{name} {key} threads={threads} shards={shards}"
+                    );
+                }
+            }
         }
     }
 }

@@ -21,8 +21,8 @@
 
 use beep_bits::BitVec;
 use beep_net::{
-    noise_stream_seed, topology, AdversarialErasure, BeepNetwork, ChannelModel, GilbertElliott,
-    Noise, PerNodeEps,
+    noise_stream_seed, topology, AdversarialErasure, BeepNetwork, ChannelModel, FaultKind,
+    FaultPlan, GilbertElliott, Noise, PerNodeEps,
 };
 
 /// FNV-1a over the words of a sequence of received frames — a stable,
@@ -222,6 +222,125 @@ fn golden_channel_transcripts_survive_any_thread_count() {
             );
         }
     }
+}
+
+#[test]
+fn golden_fault_plan_realization_is_pinned() {
+    // Plan realization draws from the reserved FAULT_PLAN_STREAM shard of
+    // the same counter-keyed generator the channels use, so the sampled
+    // node set is part of the reproducibility contract: pin it per
+    // (n, fraction, kind, seed). A change to the sampler (or to the
+    // reserved stream id) moves every faulted cell in every campaign.
+    let mut computed = Vec::new();
+    for &(n, fraction, kind, seed) in &[
+        (16usize, 0.25f64, FaultKind::Crash { round: 5 }, 1u64),
+        (16, 0.25, FaultKind::Crash { round: 5 }, 9),
+        (16, 0.5, FaultKind::ByzantineSpam, 1),
+        (512, 0.02, FaultKind::ByzantineMute, 7),
+    ] {
+        let plan = FaultPlan::realize(n, fraction, kind, seed).unwrap();
+        let nodes: Vec<usize> = plan.assignments().iter().map(|&(v, _)| v).collect();
+        println!("realize({n}, {fraction}, {kind:?}, {seed}) -> {nodes:?}");
+        computed.push(nodes);
+    }
+    assert_eq!(
+        computed,
+        vec![
+            vec![1usize, 4, 10, 15],
+            vec![2, 5, 7, 12],
+            vec![1, 2, 4, 5, 7, 10, 11, 15],
+            vec![3, 20, 97, 180, 205, 246, 315, 367, 428, 492],
+        ]
+    );
+}
+
+/// Like [`noisy_transcript`], but under a fault plan realized from the
+/// run seed (kind per call; fraction fixed at 1/8 of the nodes).
+fn faulted_transcript(
+    kind: FaultKind,
+    seed: u64,
+    shards: usize,
+    rounds: usize,
+    threads: usize,
+) -> Vec<BitVec> {
+    let n = 512;
+    let plan = FaultPlan::realize(n, 0.125, kind, seed).unwrap();
+    let mut net = BeepNetwork::new(topology::cycle(n).unwrap(), Noise::bernoulli(0.1), seed);
+    net.set_shard_count(shards);
+    net.set_parallelism(threads);
+    net.set_fault_plan(plan).unwrap();
+    let beepers = BitVec::from_fn(n, |v| v % 37 == 0);
+    (0..rounds)
+        .map(|_| net.run_round_bitset(&beepers).unwrap())
+        .collect()
+}
+
+/// The golden fault suite: one entry per fault kind (the crash round sits
+/// mid-transcript so the pin covers both regimes).
+const GOLDEN_FAULTS: [(&str, FaultKind); 3] = [
+    ("crash", FaultKind::Crash { round: 4 }),
+    ("spam", FaultKind::ByzantineSpam),
+    ("mute", FaultKind::ByzantineMute),
+];
+
+#[test]
+fn golden_faulted_transcripts_per_kind_seed_shards() {
+    // The fault overlay composes with the pinned noise stream without
+    // disturbing it: each (kind, seed, shards) cell gets its own
+    // fingerprint. A change to the overlay order (overlay before channel,
+    // deafness after) or to plan realization fails here.
+    let mut computed = Vec::new();
+    for (key, kind) in GOLDEN_FAULTS {
+        for &(seed, shards) in &[(1u64, 1usize), (1, 8), (9, 8)] {
+            let fp = transcript_fingerprint(&faulted_transcript(kind, seed, shards, 8, 1));
+            println!("{key} seed={seed} shards={shards}: {fp:#018X}");
+            computed.push(fp);
+        }
+    }
+    assert_eq!(
+        computed,
+        vec![
+            0xCF55_2C3C_07E1_FB3A,
+            0x8416_1AB7_9380_08BD,
+            0x515D_5352_2EA9_F00F,
+            0x7CA9_E1FB_E073_EAE3,
+            0xED5C_E8D3_A2BE_C59D,
+            0x8917_89B8_A392_014D,
+            0xB2E4_DADD_15CC_9C23,
+            0x8A8D_67C1_414E_81BD,
+            0xF31A_4373_6281_2981,
+        ]
+    );
+}
+
+#[test]
+fn golden_faulted_transcripts_survive_any_thread_count() {
+    // Faulted pins are thread-count-invariant too: the parallel path must
+    // reproduce the single-thread fingerprint for every fault kind.
+    for (key, kind) in GOLDEN_FAULTS {
+        let reference = transcript_fingerprint(&faulted_transcript(kind, 1, 8, 8, 1));
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                transcript_fingerprint(&faulted_transcript(kind, 1, 8, 8, threads)),
+                reference,
+                "{key} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_leaves_the_golden_stream_untouched() {
+    // Installing an empty plan is a byte-level no-op: the fault-free
+    // golden fingerprint must come out unchanged.
+    let mut net = BeepNetwork::new(topology::cycle(512).unwrap(), Noise::bernoulli(0.1), 1);
+    net.set_shard_count(8);
+    net.set_fault_plan(FaultPlan::none()).unwrap();
+    let beepers = BitVec::from_fn(512, |v| v % 37 == 0);
+    let frames: Vec<BitVec> = (0..8)
+        .map(|_| net.run_round_bitset(&beepers).unwrap())
+        .collect();
+    assert_eq!(transcript_fingerprint(&frames), 0xF20B_61B1_63CB_81F1);
 }
 
 #[test]

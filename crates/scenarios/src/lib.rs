@@ -3,14 +3,18 @@
 //! Declarative scenario campaigns for the noisy-beeps workspace.
 //!
 //! A **campaign** sweeps `topology families × sizes × channel models ×
-//! protocols × seeds` as one declarative spec ([`CampaignSpec`], parsed
-//! from a checked-in file or built in code), expands it into a cell
-//! matrix, executes every cell on the sharded bitset engine (in parallel
-//! across worker threads), and emits both a human table and a stable,
-//! schema-versioned JSON report ([`CampaignReport`]) suitable for
-//! perf-trajectory tracking in CI. The channel axis covers the paper's
-//! iid `ε` sweep plus the richer [`ChannelSpec`] families (bursty
-//! Gilbert–Elliott, per-node rates, adversarial erasure).
+//! fault plans × protocols × seeds` as one declarative spec
+//! ([`CampaignSpec`], parsed from a checked-in file or built in code),
+//! expands it into a cell matrix, executes every cell on the sharded
+//! bitset engine (in parallel across worker threads), and emits both a
+//! human table and a stable, schema-versioned JSON report
+//! ([`CampaignReport`]) suitable for perf-trajectory tracking in CI. The
+//! channel axis covers the paper's iid `ε` sweep plus the richer
+//! [`ChannelSpec`] families (bursty Gilbert–Elliott, per-node rates,
+//! adversarial erasure); the fault axis ([`FaultSpec`], `[[faults]]`
+//! tables) sweeps deterministic crash/spam/mute plans over a fraction of
+//! each cell's nodes, with fault-intolerant protocols recorded as
+//! skipped cells.
 //!
 //! The scenario layer is the workspace's front door for new workloads:
 //! instead of writing a bespoke experiment module per sweep, describe
@@ -23,8 +27,11 @@
 //! `include_timing = false`), a report is a byte-for-byte pure function
 //! of its spec: cell seeds derive from cell *ids* (not positions), the
 //! topology instance is shared across the (ε, protocol) cells of one
-//! family × size × sweep-seed, and results land in matrix order at every
-//! thread count. `wall_ms` fields are the only nondeterministic output.
+//! family × size × sweep-seed, fault plans realize from cell seeds, and
+//! results land in matrix order at every thread count. `wall_ms` fields
+//! are the only nondeterministic output. Fault-free cell ids carry no
+//! fault segment, so adding `[[faults]]` tables to an existing spec
+//! leaves every pre-existing cell's id — and seed — untouched.
 //!
 //! # Example
 //!
@@ -55,4 +62,6 @@ pub use report::{
     validate_report, CampaignReport, CellResult, CellStatus, Summary, SCHEMA_NAME, SCHEMA_VERSION,
 };
 pub use run::{run_campaign, RunOptions};
-pub use spec::{cell_seed, CampaignSpec, CellSpec, ChannelSpec, TopologyFamily, TopologySpec};
+pub use spec::{
+    cell_seed, CampaignSpec, CellSpec, ChannelSpec, FaultSpec, TopologyFamily, TopologySpec,
+};

@@ -1,12 +1,12 @@
 //! Campaign results: per-cell records, the campaign summary, the
 //! schema-versioned JSON report, and a human-readable table.
 //!
-//! # Report schema (`beep-campaign-report`, version 2)
+//! # Report schema (`beep-campaign-report`, version 3)
 //!
 //! ```json
 //! {
 //!   "schema": "beep-campaign-report",
-//!   "version": 2,
+//!   "version": 3,
 //!   "campaign": "<name>",
 //!   "cells": [ { …one object per cell, in matrix order… } ],
 //!   "summary": { "cells": N, "ok": …, "failed": …, "skipped": …,
@@ -18,6 +18,9 @@
 //!
 //! Version 2 added the per-cell `"channel"` string (the channel-axis
 //! label, `eps{ε}` for iid cells) alongside the calibration `"epsilon"`.
+//! Version 3 added the per-cell `"faults"` string — the fault-axis label
+//! (`crash-f{fraction}-r{round}`, `spam-f{fraction}`, `mute-f{fraction}`)
+//! or `"none"` for fault-free cells.
 //!
 //! Everything except the `wall_ms` fields (one per cell plus the
 //! campaign-level one) is a pure function of the spec — re-running the
@@ -32,8 +35,9 @@ use crate::json::Json;
 /// Schema identifier carried by every report.
 pub const SCHEMA_NAME: &str = "beep-campaign-report";
 /// Current schema version. Bump on structural change and record the
-/// break in CHANGES.md. Version 2 added the per-cell `channel` label.
-pub const SCHEMA_VERSION: i64 = 2;
+/// break in CHANGES.md. Version 2 added the per-cell `channel` label;
+/// version 3 added the per-cell `faults` label.
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// How a cell's execution ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +86,9 @@ pub struct CellResult {
     /// Channel-axis label (`eps{ε}` for iid cells, `ge-…`/`pernode-…`/
     /// `adv-…` for the richer models).
     pub channel: String,
+    /// Fault-axis label (`crash-f{fraction}-r{round}`/`spam-f{fraction}`/
+    /// `mute-f{fraction}`; `"none"` for fault-free cells).
+    pub faults: String,
     /// Protocol registry name.
     pub protocol: String,
     /// Sweep seed.
@@ -125,6 +132,7 @@ impl CellResult {
             ),
             ("epsilon", Json::Float(self.epsilon)),
             ("channel", Json::Str(self.channel.clone())),
+            ("faults", Json::Str(self.faults.clone())),
             ("protocol", Json::Str(self.protocol.clone())),
             ("seed", int_u64(self.seed)),
             ("cell_seed", Json::Str(format!("{:#018x}", self.cell_seed))),
@@ -341,10 +349,10 @@ impl CampaignReport {
     }
 }
 
-/// Validates a parsed report against the version-2 schema: identifier and
+/// Validates a parsed report against the version-3 schema: identifier and
 /// version match, the cell set is non-empty, every cell carries the
-/// required typed fields (including its `channel` label), and the summary
-/// is consistent with the cells.
+/// required typed fields (including its `channel` and `faults` labels),
+/// and the summary is consistent with the cells.
 ///
 /// # Errors
 ///
@@ -387,6 +395,9 @@ pub fn validate_report(json: &Json) -> Result<(), ScenarioError> {
         if cell.get("channel").and_then(Json::as_str).is_none() {
             return fail(ctx("missing channel"));
         }
+        if cell.get("faults").and_then(Json::as_str).is_none() {
+            return fail(ctx("missing faults"));
+        }
         if cell.get("protocol").and_then(Json::as_str).is_none() {
             return fail(ctx("missing protocol"));
         }
@@ -428,6 +439,7 @@ mod tests {
             topology_params: vec![],
             epsilon: 0.05,
             channel: "eps0.05".into(),
+            faults: "none".into(),
             protocol: "matching".into(),
             seed: 1,
             cell_seed: 0xABCD,
@@ -485,7 +497,7 @@ mod tests {
         let good = demo_report().to_json(false).to_pretty();
         for (from, to, needle) in [
             ("beep-campaign-report", "other-schema", "schema"),
-            ("\"version\": 2", "\"version\": 3", "version"),
+            ("\"version\": 3", "\"version\": 4", "version"),
             (
                 "\"status\": \"failed\"",
                 "\"status\": \"exploded\"",
@@ -496,6 +508,7 @@ mod tests {
                 "\"chan\": \"eps0.05\"",
                 "channel",
             ),
+            ("\"faults\": \"none\"", "\"fault\": \"none\"", "faults"),
             ("\"ok\": 2", "\"ok\": 3", "summary.ok"),
         ] {
             let bad = good.replacen(from, to, 1);

@@ -8,15 +8,17 @@
 //! *same* graph instance (the topology seed is derived from
 //! `family/size/sweep-seed` only), so protocol and channel comparisons
 //! are apples-to-apples. Each cell instantiates its channel against the
-//! realized node count (the adversary's budget scales with `n`) and
-//! dispatches through [`beep_apps::Protocol::run_channel`]; noiseless-only
-//! protocols under a noisy channel become skipped cells.
+//! realized node count (the adversary's budget scales with `n`), realizes
+//! its fault plan (if any) from the cell seed, and dispatches through
+//! [`beep_apps::Protocol::run_with_faults`]; noiseless-only protocols
+//! under a noisy channel — and fault-intolerant protocols under a
+//! non-empty fault plan — become skipped cells.
 
 use crate::error::ScenarioError;
 use crate::report::{CampaignReport, CellResult, CellStatus};
 use crate::spec::{cell_seed, CampaignSpec, CellSpec};
 use beep_apps::AppError;
-use beep_net::Graph;
+use beep_net::{FaultPlan, Graph};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -127,6 +129,10 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
         topology_params: Vec::new(),
         epsilon: cell.epsilon,
         channel: cell.channel.label(),
+        faults: cell
+            .fault
+            .as_ref()
+            .map_or_else(|| "none".into(), super::spec::FaultSpec::label),
         protocol: cell.protocol.name().into(),
         seed: cell.sweep_seed,
         cell_seed: cell.cell_seed,
@@ -149,30 +155,47 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
             result.max_degree = graph.max_degree();
             result.topology_params = params.clone();
             // The channel instantiates against the realized size (the
-            // adversary's budget is a fraction of n). Parse-time range
-            // checks make a build failure unreachable for file-parsed
-            // specs, but programmatic ones record a failed cell.
-            let run = match cell.channel.build(graph.node_count()) {
-                Err(e) => Err(AppError::InvalidOutput {
-                    detail: e.to_string(),
-                }),
+            // adversary's budget is a fraction of n), and the fault plan
+            // realizes against it too (the faulty *count* is a fraction
+            // of n, the set drawn from the cell seed's reserved stream).
+            // Parse-time range checks make build failures unreachable
+            // for file-parsed specs, but programmatic ones record a
+            // failed cell.
+            let built_channel =
+                cell.channel
+                    .build(graph.node_count())
+                    .map_err(|e| AppError::InvalidOutput {
+                        detail: e.to_string(),
+                    });
+            let plan = cell.fault.as_ref().map_or_else(
+                || Ok(FaultPlan::none()),
+                |f| {
+                    f.realize(graph.node_count(), cell.cell_seed)
+                        .map_err(AppError::Net)
+                },
+            );
+            let run = match (built_channel, plan) {
+                (Err(e), _) | (_, Err(e)) => Err(e),
                 // A panicking protocol (e.g. an assert on a degenerate
                 // graph) must not take down the campaign — or, worse,
                 // poison the worker pool: it becomes a failed cell like
                 // any other error.
-                Ok(channel) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    cell.protocol.run_channel(graph, &channel, cell.cell_seed)
-                }))
-                .unwrap_or_else(|panic| {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(ToString::to_string)
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    Err(AppError::InvalidOutput {
-                        detail: format!("protocol panicked: {msg}"),
+                (Ok(channel), Ok(plan)) => {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cell.protocol
+                            .run_with_faults(graph, &channel, &plan, cell.cell_seed)
+                    }))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(ToString::to_string)
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(AppError::InvalidOutput {
+                            detail: format!("protocol panicked: {msg}"),
+                        })
                     })
-                }),
+                }
             };
             match run {
                 Ok(outcome) => {
@@ -186,7 +209,9 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
                         .map(|(k, v)| (k.to_string(), v))
                         .collect();
                 }
-                Err(e @ AppError::NoiseUnsupported { .. }) => {
+                Err(
+                    e @ (AppError::NoiseUnsupported { .. } | AppError::FaultsUnsupported { .. }),
+                ) => {
                     result.status = CellStatus::Skipped;
                     result.detail = e.to_string();
                 }
@@ -222,6 +247,7 @@ mod tests {
             ],
             epsilons: vec![0.0, 0.05],
             channels: vec![],
+            faults: vec![],
             protocols: vec![Protocol::Wave, Protocol::RoundSim],
             seeds: vec![1],
         }
@@ -278,6 +304,7 @@ mod tests {
             }],
             epsilons: vec![0.0],
             channels: vec![],
+            faults: vec![],
             protocols: vec![Protocol::Leader, Protocol::Wave],
             seeds: vec![1],
         };
@@ -315,6 +342,7 @@ mod tests {
                     design_epsilon: 0.05,
                 },
             ],
+            faults: vec![],
             protocols: vec![Protocol::RoundSim, Protocol::Wave],
             seeds: vec![1],
         };
@@ -350,6 +378,80 @@ mod tests {
     }
 
     #[test]
+    fn fault_axis_cells_run_skip_and_stay_thread_invariant() {
+        use crate::spec::FaultSpec;
+        use beep_net::FaultKind;
+        let spec = CampaignSpec {
+            name: "faults".into(),
+            topologies: vec![TopologySpec {
+                family: TopologyFamily::Complete,
+                sizes: vec![8],
+            }],
+            epsilons: vec![0.1],
+            channels: vec![],
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKind::Crash { round: 4 },
+                    fraction: 0.25,
+                },
+                FaultSpec {
+                    kind: FaultKind::ByzantineSpam,
+                    fraction: 0.125,
+                },
+            ],
+            protocols: vec![Protocol::BeepConsensus, Protocol::Matching],
+            seeds: vec![1],
+        };
+        let report = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+        // (1 channel) × (fault-free + 2 faults) × 2 protocols × 1 seed.
+        assert_eq!(report.cells.len(), 3 * 2);
+        for cell in &report.cells {
+            match (cell.protocol.as_str(), cell.faults.as_str()) {
+                // Consensus runs everywhere, faulted or not.
+                ("beep_consensus", _) => {
+                    assert_eq!(cell.status, CellStatus::Ok, "{}: {}", cell.id, cell.detail);
+                    assert!(cell.success, "{}: {}", cell.id, cell.detail);
+                }
+                // Matching runs fault-free but has no fault story: a
+                // non-empty plan makes it a skipped cell, not a failure.
+                ("matching", "none") => {
+                    assert_eq!(cell.status, CellStatus::Ok, "{}: {}", cell.id, cell.detail);
+                }
+                ("matching", _) => {
+                    assert_eq!(cell.status, CellStatus::Skipped, "{}", cell.id);
+                    assert!(
+                        cell.detail.contains("fault-tolerance"),
+                        "{}: {}",
+                        cell.id,
+                        cell.detail
+                    );
+                }
+                other => panic!("unexpected cell {other:?}"),
+            }
+        }
+        let labels: Vec<&str> = report.cells.iter().map(|c| c.faults.as_str()).collect();
+        assert!(labels.contains(&"none"));
+        assert!(labels.contains(&"crash-f0.25-r4"));
+        assert!(labels.contains(&"spam-f0.125"));
+        // Faulted cells carry the six-segment id and report their label.
+        let faulted = report
+            .cells
+            .iter()
+            .find(|c| c.faults == "spam-f0.125" && c.protocol == "beep_consensus")
+            .unwrap();
+        assert_eq!(
+            faulted.id,
+            "complete/n8/eps0.1/spam-f0.125/beep_consensus/s1"
+        );
+        // The report stays byte-identical across worker counts.
+        let parallel = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+        assert_eq!(
+            report.to_json(false).to_pretty(),
+            parallel.to_json(false).to_pretty()
+        );
+    }
+
+    #[test]
     fn unrealizable_topology_is_skipped_not_fatal() {
         let spec = CampaignSpec {
             name: "bad-torus".into(),
@@ -359,6 +461,7 @@ mod tests {
             }],
             epsilons: vec![0.0],
             channels: vec![],
+            faults: vec![],
             protocols: vec![Protocol::Wave],
             seeds: vec![1],
         };

@@ -32,14 +32,28 @@
 //! p_bad_to_good = 0.5
 //! ```
 //!
+//! A `[[faults]]` table adds a fault-axis entry ([`FaultSpec`]): a node
+//! misbehavior kind applied to a swept fraction of each cell's nodes,
+//! realized per cell from the engine's reserved fault stream:
+//!
+//! ```toml
+//! [[faults]]
+//! kind = "crash"             # or "spam" / "mute"
+//! fraction = 0.25
+//! round = 8                  # crash-only: first dead round
+//! ```
+//!
+//! The fault axis always starts with the implicit fault-free entry, so
+//! adding `[[faults]]` tables never perturbs existing cell ids or seeds.
+//!
 //! Supported syntax: `key = value` pairs (strings, numbers, booleans,
-//! flat arrays), `[[topology]]`/`[[channel]]` table arrays, and `#`
-//! comments. Nothing else of TOML is needed or accepted.
+//! flat arrays), `[[topology]]`/`[[channel]]`/`[[faults]]` table arrays,
+//! and `#` comments. Nothing else of TOML is needed or accepted.
 
 use crate::error::ScenarioError;
 use crate::json::Json;
 use beep_apps::Protocol;
-use beep_net::{topology, ChannelModel, Graph, Noise};
+use beep_net::{topology, ChannelModel, FaultKind, FaultPlan, Graph, Noise};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -471,6 +485,100 @@ impl ChannelSpec {
     }
 }
 
+/// One fault-axis entry: a [`FaultKind`] applied to a swept fraction of
+/// each cell's nodes.
+///
+/// The fraction is swept like ε: the *count* `⌊fraction · n⌋` scales
+/// with each cell's realized size, and the faulty node set is realized
+/// per cell from the engine's reserved fault stream
+/// ([`FaultPlan::realize`] keyed by the cell seed), so a cell's faults
+/// are a pure function of its id. The campaign fault axis is the
+/// implicit fault-free entry followed by the spec's `[[faults]]` tables
+/// in order; fault-free cell ids carry no fault segment, so pre-fault
+/// specs keep their ids — and therefore their seeds — byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// How the sampled nodes misbehave (the crash round rides inside).
+    pub kind: FaultKind,
+    /// Fraction of nodes to sample, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+impl FaultSpec {
+    /// The canonical label, used as the cell-id fault segment and the
+    /// report's `faults` field: `crash-f{fraction}-r{round}`,
+    /// `spam-f{fraction}`, or `mute-f{fraction}`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.kind {
+            FaultKind::Crash { round } => format!("crash-f{}-r{round}", self.fraction),
+            FaultKind::ByzantineSpam => format!("spam-f{}", self.fraction),
+            FaultKind::ByzantineMute => format!("mute-f{}", self.fraction),
+        }
+    }
+
+    /// Realizes the concrete [`FaultPlan`] for a cell: `⌊fraction · n⌋`
+    /// nodes sampled from `seed`'s reserved fault stream.
+    ///
+    /// # Errors
+    ///
+    /// [`beep_net::NetError::InvalidFaultPlan`] if the fraction is out of
+    /// range — unreachable for parsed specs, which range-check it.
+    pub fn realize(&self, n: usize, seed: u64) -> Result<FaultPlan, beep_net::NetError> {
+        FaultPlan::realize(n, self.fraction, self.kind, seed)
+    }
+
+    /// Parses a `[[faults]]` table: `kind = "crash"|"spam"|"mute"`,
+    /// `fraction ∈ [0, 1]`, and (crash only) the first dead `round`.
+    fn from_spec(table: &Json, line: usize) -> Result<FaultSpec, ScenarioError> {
+        let spec_err = |detail: String| ScenarioError::Spec { line, detail };
+        let kind_name = table.get("kind").and_then(Json::as_str).ok_or_else(|| {
+            spec_err("[[faults]] needs kind = \"crash\"|\"spam\"|\"mute\"".into())
+        })?;
+        let allowed: &[&str] = match kind_name {
+            "crash" => &["round"],
+            "spam" | "mute" => &[],
+            other => return Err(spec_err(format!("unknown fault kind {other:?}"))),
+        };
+        if let Json::Obj(pairs) = table {
+            for (key, _) in pairs {
+                if key != "kind" && key != "fraction" && !allowed.contains(&key.as_str()) {
+                    return Err(spec_err(format!(
+                        "unknown key {key:?} for fault kind {kind_name:?} \
+                         (accepted: kind, fraction{}{})",
+                        if allowed.is_empty() { "" } else { ", " },
+                        allowed.join(", ")
+                    )));
+                }
+            }
+        }
+        let fraction = table
+            .get("fraction")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| spec_err("[[faults]] needs fraction = <number>".into()))?;
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(spec_err(format!("fraction {fraction} outside [0, 1]")));
+        }
+        let kind = match kind_name {
+            "crash" => {
+                let round = table
+                    .get("round")
+                    .and_then(Json::as_i64)
+                    .filter(|&r| r >= 0)
+                    .ok_or_else(|| {
+                        spec_err("crash faults need round = <non-negative integer>".into())
+                    })?;
+                FaultKind::Crash {
+                    round: u64::try_from(round).expect("non-negative"),
+                }
+            }
+            "spam" => FaultKind::ByzantineSpam,
+            _ => FaultKind::ByzantineMute,
+        };
+        Ok(FaultSpec { kind, fraction })
+    }
+}
+
 /// A declarative campaign: the full sweep description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -483,6 +591,9 @@ pub struct CampaignSpec {
     /// Channel-axis entries beyond `epsilons` (`[[channel]]` tables),
     /// appended to the axis in spec order.
     pub channels: Vec<ChannelSpec>,
+    /// Fault-axis entries (`[[faults]]` tables); the implicit fault-free
+    /// entry always precedes them.
+    pub faults: Vec<FaultSpec>,
     /// Protocol axis.
     pub protocols: Vec<Protocol>,
     /// Seed axis (each seed reruns the whole grid).
@@ -493,8 +604,12 @@ pub struct CampaignSpec {
 /// seed)` run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellSpec {
-    /// Stable id: `family/n{size}/{channel}/protocol/s{seed}`, where the
-    /// channel segment is [`ChannelSpec::label`] (`eps{ε}` for iid).
+    /// Stable id: `family/n{size}/{channel}/protocol/s{seed}` for
+    /// fault-free cells (byte-identical to pre-fault campaigns), with a
+    /// [`FaultSpec::label`] segment spliced in before the protocol —
+    /// `family/n{size}/{channel}/{fault}/protocol/s{seed}` — for faulted
+    /// cells. The channel segment is [`ChannelSpec::label`] (`eps{ε}`
+    /// for iid).
     pub id: String,
     /// The topology family to instantiate.
     pub family: TopologyFamily,
@@ -506,6 +621,8 @@ pub struct CellSpec {
     pub epsilon: f64,
     /// The channel-axis entry to instantiate.
     pub channel: ChannelSpec,
+    /// The fault-axis entry to realize (`None` = fault-free).
+    pub fault: Option<FaultSpec>,
     /// The protocol to run.
     pub protocol: Protocol,
     /// The sweep seed this cell belongs to.
@@ -541,39 +658,61 @@ impl CampaignSpec {
         axis
     }
 
+    /// The full fault axis: the implicit fault-free entry (`None`), then
+    /// the `[[faults]]` entries in spec order.
+    #[must_use]
+    pub fn fault_axis(&self) -> Vec<Option<FaultSpec>> {
+        let mut axis: Vec<Option<FaultSpec>> = vec![None];
+        axis.extend(self.faults.iter().copied().map(Some));
+        axis
+    }
+
     /// Expands the sweep into its cell matrix, in deterministic order
-    /// (topologies → sizes → channels → protocols → seeds).
+    /// (topologies → sizes → channels → faults → protocols → seeds).
+    ///
+    /// Fault-free cells keep the historical five-segment id, so adding
+    /// `[[faults]]` tables to a spec never changes their ids or derived
+    /// seeds; faulted cells splice the fault label in before the
+    /// protocol segment.
     ///
     /// # Errors
     ///
     /// [`ScenarioError::EmptyMatrix`] if any axis is empty.
     pub fn expand(&self) -> Result<Vec<CellSpec>, ScenarioError> {
         let axis = self.channel_axis();
+        let fault_axis = self.fault_axis();
         let mut cells = Vec::new();
         for topo in &self.topologies {
             for &n in &topo.sizes {
                 for channel in &axis {
-                    for &protocol in &self.protocols {
-                        for &seed in &self.seeds {
-                            let id = format!(
-                                "{}/n{}/{}/{}/s{}",
-                                topo.family.label(),
-                                n,
-                                channel.label(),
-                                protocol.name(),
-                                seed
-                            );
-                            let derived = cell_seed(&id);
-                            cells.push(CellSpec {
-                                id,
-                                family: topo.family,
-                                requested_n: n,
-                                epsilon: channel.calibration_epsilon(),
-                                channel: channel.clone(),
-                                protocol,
-                                sweep_seed: seed,
-                                cell_seed: derived,
-                            });
+                    for fault in &fault_axis {
+                        for &protocol in &self.protocols {
+                            for &seed in &self.seeds {
+                                let fault_segment = fault
+                                    .as_ref()
+                                    .map_or(String::new(), |f| format!("{}/", f.label()));
+                                let id = format!(
+                                    "{}/n{}/{}/{}{}/s{}",
+                                    topo.family.label(),
+                                    n,
+                                    channel.label(),
+                                    fault_segment,
+                                    protocol.name(),
+                                    seed
+                                );
+                                let derived = cell_seed(&id);
+                                cells.push(CellSpec {
+                                    id,
+                                    family: topo.family,
+                                    requested_n: n,
+                                    epsilon: channel.calibration_epsilon(),
+                                    channel: channel.clone(),
+                                    fault: *fault,
+                                    protocol,
+                                    sweep_seed: seed,
+                                    cell_seed: derived,
+                                });
+                            }
                         }
                     }
                 }
@@ -593,11 +732,13 @@ impl CampaignSpec {
     /// [`ScenarioError::Spec`] with a line number on malformed input.
     pub fn parse(text: &str) -> Result<CampaignSpec, ScenarioError> {
         // Accumulate key/value tables: one root table plus one per
-        // [[topology]]/[[channel]] header, then assemble the typed spec.
+        // [[topology]]/[[channel]]/[[faults]] header, then assemble the
+        // typed spec.
         #[derive(PartialEq)]
         enum Kind {
             Topology,
             Channel,
+            Fault,
         }
         type Table = Vec<(String, Json)>;
         let mut root: Table = Vec::new();
@@ -616,11 +757,16 @@ impl CampaignSpec {
                 tables.push((line_no, Kind::Channel, Vec::new()));
                 continue;
             }
+            if line == "[[faults]]" {
+                tables.push((line_no, Kind::Fault, Vec::new()));
+                continue;
+            }
             if line.starts_with('[') {
                 return Err(ScenarioError::Spec {
                     line: line_no,
                     detail: format!(
-                        "unsupported table header {line:?} (only [[topology]] and [[channel]])"
+                        "unsupported table header {line:?} \
+                         (only [[topology]], [[channel]], and [[faults]])"
                     ),
                 });
             }
@@ -638,10 +784,12 @@ impl CampaignSpec {
         }
         let mut topo_tables: Vec<(usize, Table)> = Vec::new();
         let mut channel_tables: Vec<(usize, Table)> = Vec::new();
+        let mut fault_tables: Vec<(usize, Table)> = Vec::new();
         for (line, kind, table) in tables {
             match kind {
                 Kind::Topology => topo_tables.push((line, table)),
                 Kind::Channel => channel_tables.push((line, table)),
+                Kind::Fault => fault_tables.push((line, table)),
             }
         }
 
@@ -801,11 +949,29 @@ impl CampaignSpec {
             channels.push(channel);
         }
 
+        let mut faults = Vec::new();
+        let mut fault_labels: Vec<String> = Vec::new();
+        for (line, table) in fault_tables {
+            let fault = FaultSpec::from_spec(&Json::Obj(table), line)?;
+            let label = fault.label();
+            // Same rationale as channel labels: two identical fault
+            // entries would collide on cell ids, and therefore on seeds.
+            if fault_labels.contains(&label) {
+                return Err(ScenarioError::Spec {
+                    line,
+                    detail: format!("duplicate fault {label:?} in the fault axis"),
+                });
+            }
+            fault_labels.push(label);
+            faults.push(fault);
+        }
+
         Ok(CampaignSpec {
             name,
             topologies,
             epsilons,
             channels,
+            faults,
             protocols,
             seeds,
         })
@@ -986,6 +1152,88 @@ mod tests {
                 p_bad_to_good: 0.5,
             }]
         );
+        assert!(spec.faults.is_empty(), "no [[faults]] tables in the demo");
+        assert_eq!(spec.fault_axis(), vec![None]);
+    }
+
+    #[test]
+    fn fault_specs_parse_and_label() {
+        let spec = CampaignSpec::parse(concat!(
+            "protocols = [\"beep_consensus\"]\n",
+            "[[topology]]\nfamily = \"complete\"\nsizes = [8]\n",
+            "[[faults]]\nkind = \"crash\"\nfraction = 0.25\nround = 8\n",
+            "[[faults]]\nkind = \"spam\"\nfraction = 0.125\n",
+            "[[faults]]\nkind = \"mute\"\nfraction = 0.5\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            spec.faults,
+            vec![
+                FaultSpec {
+                    kind: FaultKind::Crash { round: 8 },
+                    fraction: 0.25
+                },
+                FaultSpec {
+                    kind: FaultKind::ByzantineSpam,
+                    fraction: 0.125
+                },
+                FaultSpec {
+                    kind: FaultKind::ByzantineMute,
+                    fraction: 0.5
+                },
+            ]
+        );
+        let labels: Vec<String> = spec.faults.iter().map(FaultSpec::label).collect();
+        assert_eq!(labels, vec!["crash-f0.25-r8", "spam-f0.125", "mute-f0.5"]);
+        // The axis leads with the implicit fault-free entry.
+        assert_eq!(spec.fault_axis().len(), 4);
+        assert_eq!(spec.fault_axis()[0], None);
+    }
+
+    #[test]
+    fn fault_axis_extends_ids_without_touching_fault_free_cells() {
+        let base = concat!(
+            "protocols = [\"beep_consensus\"]\nseeds = [1]\n",
+            "[[topology]]\nfamily = \"complete\"\nsizes = [8]\n",
+        );
+        let faulted = format!("{base}[[faults]]\nkind = \"mute\"\nfraction = 0.25\n");
+        let plain_cells = CampaignSpec::parse(base).unwrap().expand().unwrap();
+        let cells = CampaignSpec::parse(&faulted).unwrap().expand().unwrap();
+        assert_eq!(cells.len(), 2 * plain_cells.len());
+        // Fault-free cells are byte-identical to the pre-fault spec's —
+        // same five-segment ids, same derived seeds.
+        assert_eq!(cells[0].id, "complete/n8/eps0/beep_consensus/s1");
+        assert_eq!(cells[0].id, plain_cells[0].id);
+        assert_eq!(cells[0].cell_seed, plain_cells[0].cell_seed);
+        assert_eq!(cells[0].fault, None);
+        // Faulted cells splice the label in before the protocol.
+        assert_eq!(cells[1].id, "complete/n8/eps0/mute-f0.25/beep_consensus/s1");
+        assert_eq!(
+            cells[1].fault,
+            Some(FaultSpec {
+                kind: FaultKind::ByzantineMute,
+                fraction: 0.25
+            })
+        );
+        assert_eq!(cells[1].cell_seed, cell_seed(&cells[1].id));
+    }
+
+    #[test]
+    fn fault_spec_realizes_a_plan_from_the_cell_seed() {
+        let spec = FaultSpec {
+            kind: FaultKind::Crash { round: 3 },
+            fraction: 0.5,
+        };
+        let plan = spec.realize(8, 77).unwrap();
+        assert_eq!(plan.len(), 4, "⌊0.5 · 8⌋ nodes");
+        assert_eq!(
+            plan.assignments(),
+            spec.realize(8, 77).unwrap().assignments()
+        );
+        assert!(plan
+            .assignments()
+            .iter()
+            .all(|&(_, k)| k == FaultKind::Crash { round: 3 }));
     }
 
     #[test]
@@ -1131,6 +1379,41 @@ mod tests {
             (
                 "epsilons = [0.05]\nprotocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[channel]]\nmodel = \"iid\"\nepsilon = 0.05",
                 "duplicate channel",
+            ),
+            // Fault tables: same strictness as the other table arrays.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nfraction = 0.1",
+                "needs kind",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"gray\"\nfraction = 0.1",
+                "unknown fault kind",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"spam\"",
+                "needs fraction",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"spam\"\nfraction = 1.5",
+                "outside [0, 1]",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"crash\"\nfraction = 0.1",
+                "crash faults need round",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"crash\"\nfraction = 0.1\nround = -2",
+                "crash faults need round",
+            ),
+            // `round` only means something for crashes.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"mute\"\nfraction = 0.1\nround = 3",
+                "unknown key \"round\"",
+            ),
+            // Two identical fault entries collide on ids.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"spam\"\nfraction = 0.1\n[[faults]]\nkind = \"spam\"\nfraction = 0.1",
+                "duplicate fault",
             ),
         ] {
             let err = CampaignSpec::parse(bad).unwrap_err().to_string();

@@ -46,6 +46,7 @@ fn golden_spec() -> CampaignSpec {
         ],
         epsilons: vec![0.0, 0.1],
         channels: vec![],
+        faults: vec![],
         protocols: vec![Protocol::Wave, Protocol::RoundSim],
         seeds: vec![7],
     }

@@ -81,6 +81,7 @@ fn prelude_scenario_layer_runs_a_campaign() {
         }],
         epsilons: vec![0.0],
         channels: vec![],
+        faults: vec![],
         protocols: vec![Protocol::Wave],
         seeds: vec![1],
     };
