@@ -10,6 +10,12 @@
 //!     --topologies cycle,torus,rgg --sizes 16,32 \
 //!     --epsilons 0.0,0.05 --protocols matching,round_sim --seeds 1,2
 //!
+//! # Checkpointed / resumable (re-run the same command to finish an
+//! # interrupted campaign; the journal replays completed cells):
+//! cargo run --release -p beep-bench --bin campaign -- \
+//!     --spec scenarios/smoke.toml --checkpoint smoke.ck.jsonl \
+//!     --out campaign_smoke.json
+//!
 //! # Validate an existing report against the schema (CI smoke):
 //! cargo run --release -p beep-bench --bin campaign -- --check report.json
 //! ```
@@ -17,21 +23,79 @@
 //! The human table always prints to stdout (suppress with `--quiet`);
 //! `--out` additionally writes the schema-versioned JSON report.
 //! `--no-timing` strips the wall-clock fields, making the JSON a pure
-//! function of the spec (the golden-fixture form).
+//! function of the spec (the golden-fixture form). `--max-cells N`
+//! (requires `--checkpoint`) stops after N cells — the deterministic
+//! "interruption" the CI resume smoke uses.
+//!
+//! Conflicting flags are usage errors (exit 2), not silent drops:
+//! `--check` takes no other flags, and `--spec` excludes the inline
+//! axis flags (`--name`/`--topologies`/`--sizes`/`--epsilons`/
+//! `--protocols`/`--seeds`).
 
 use beep_scenarios::json::Json;
 use beep_scenarios::{
-    run_campaign, validate_report, CampaignSpec, RunOptions, TopologyFamily, TopologySpec,
+    run_campaign, run_campaign_resumable, validate_report, CampaignSpec, RunOptions,
+    TopologyFamily, TopologySpec,
 };
+use std::path::Path;
+
+/// What the CLI was asked to do.
+#[derive(Debug)]
+enum Mode {
+    /// `--check PATH`: schema-validate an existing report.
+    Check(String),
+    /// Everything else: run a campaign.
+    Run(RunConfig),
+}
+
+/// A validated run invocation.
+#[derive(Debug)]
+struct RunConfig {
+    source: SpecSource,
+    out: Option<String>,
+    threads: usize,
+    include_timing: bool,
+    quiet: bool,
+    checkpoint: Option<String>,
+    max_cells: Option<usize>,
+}
+
+/// Where the campaign spec comes from.
+#[derive(Debug)]
+enum SpecSource {
+    File(String),
+    Inline {
+        name: Option<String>,
+        topologies: Option<Vec<String>>,
+        sizes: Option<Vec<usize>>,
+        epsilons: Option<Vec<f64>>,
+        protocols: Option<Vec<String>>,
+        seeds: Option<Vec<u64>>,
+    },
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut spec_path: Option<String> = None;
-    let mut check_path: Option<String> = None;
-    let mut out_path: Option<String> = None;
+    let mode = parse_args(&args).unwrap_or_else(|e| die(&e));
+    match mode {
+        Mode::Check(path) => check(&path),
+        Mode::Run(config) => run(&config),
+    }
+}
+
+/// Parses and cross-validates the argument list. Pure (no I/O, no
+/// exits) so the conflict rules are unit-testable; `main` turns the
+/// `Err` into a usage error (exit 2).
+fn parse_args(args: &[String]) -> Result<Mode, String> {
+    let mut spec: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut out: Option<String> = None;
     let mut threads = 0usize;
+    let mut threads_set = false;
     let mut include_timing = true;
     let mut quiet = false;
+    let mut checkpoint: Option<String> = None;
+    let mut max_cells: Option<usize> = None;
     let mut name: Option<String> = None;
     let mut topologies: Option<Vec<String>> = None;
     let mut sizes: Option<Vec<usize>> = None;
@@ -41,78 +105,166 @@ fn main() {
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut take = |what: &str| -> String {
+        let mut take = |what: &str| -> Result<String, String> {
             iter.next()
                 .cloned()
-                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+                .ok_or_else(|| format!("{what} needs a value"))
         };
         match arg.as_str() {
-            "--spec" => spec_path = Some(take("--spec")),
-            "--check" => check_path = Some(take("--check")),
-            "--out" => out_path = Some(take("--out")),
-            "--name" => name = Some(take("--name")),
-            "--threads" => threads = parse_or_die(&take("--threads"), "--threads"),
+            "--spec" => spec = Some(take("--spec")?),
+            "--check" => check = Some(take("--check")?),
+            "--out" => out = Some(take("--out")?),
+            "--name" => name = Some(take("--name")?),
+            "--threads" => {
+                threads = parse_value(&take("--threads")?, "--threads")?;
+                threads_set = true;
+            }
             "--no-timing" => include_timing = false,
             "--quiet" => quiet = true,
-            "--topologies" => topologies = Some(split_list(&take("--topologies"))),
+            "--checkpoint" => checkpoint = Some(take("--checkpoint")?),
+            "--max-cells" => max_cells = Some(parse_value(&take("--max-cells")?, "--max-cells")?),
+            "--topologies" => topologies = Some(split_list(&take("--topologies")?)),
             "--sizes" => {
-                sizes = Some(
-                    split_list(&take("--sizes"))
-                        .iter()
-                        .map(|s| parse_or_die(s, "--sizes"))
-                        .collect(),
-                );
+                sizes = Some(parse_list(&take("--sizes")?, "--sizes")?);
             }
             "--epsilons" => {
-                epsilons = Some(
-                    split_list(&take("--epsilons"))
-                        .iter()
-                        .map(|s| parse_or_die(s, "--epsilons"))
-                        .collect(),
-                );
+                epsilons = Some(parse_list(&take("--epsilons")?, "--epsilons")?);
             }
-            "--protocols" => protocols = Some(split_list(&take("--protocols"))),
+            "--protocols" => protocols = Some(split_list(&take("--protocols")?)),
             "--seeds" => {
                 // Parsed as i64 so every seed fits the JSON report's
                 // integer fields (spec files get the same bound).
-                seeds = Some(
-                    split_list(&take("--seeds"))
-                        .iter()
-                        .map(|s| {
-                            let v: i64 = parse_or_die(s, "--seeds");
-                            u64::try_from(v)
-                                .unwrap_or_else(|_| die(&format!("seed {v} must be non-negative")))
-                        })
-                        .collect(),
-                );
+                let raw: Vec<i64> = parse_list(&take("--seeds")?, "--seeds")?;
+                let mut list = Vec::with_capacity(raw.len());
+                for v in raw {
+                    list.push(
+                        u64::try_from(v).map_err(|_| format!("seed {v} must be non-negative"))?,
+                    );
+                }
+                seeds = Some(list);
             }
-            other => die(&format!("unknown flag {other:?} (see the module docs)")),
+            other => return Err(format!("unknown flag {other:?} (see the module docs)")),
         }
     }
 
-    if let Some(path) = check_path {
-        check(&path);
-        return;
+    let inline_axes = name.is_some()
+        || topologies.is_some()
+        || sizes.is_some()
+        || epsilons.is_some()
+        || protocols.is_some()
+        || seeds.is_some();
+    if let Some(path) = check {
+        // `--check` validates an existing report; combining it with run
+        // flags used to silently drop them — now it's a usage error.
+        let run_flags = spec.is_some()
+            || out.is_some()
+            || threads_set
+            || !include_timing
+            || quiet
+            || checkpoint.is_some()
+            || max_cells.is_some()
+            || inline_axes;
+        if run_flags {
+            return Err("--check validates an existing report and takes no other flags".into());
+        }
+        return Ok(Mode::Check(path));
     }
+    if spec.is_some() && inline_axes {
+        // A spec file defines the whole matrix; inline axis flags used
+        // to be silently ignored next to it — now it's a usage error.
+        return Err("--spec conflicts with the inline axis flags \
+             (--name/--topologies/--sizes/--epsilons/--protocols/--seeds)"
+            .into());
+    }
+    if max_cells.is_some() && checkpoint.is_none() {
+        return Err("--max-cells stops a run early and requires --checkpoint \
+                    (otherwise the partial progress is lost)"
+            .into());
+    }
+    let source = match spec {
+        Some(path) => SpecSource::File(path),
+        None => SpecSource::Inline {
+            name,
+            topologies,
+            sizes,
+            epsilons,
+            protocols,
+            seeds,
+        },
+    };
+    Ok(Mode::Run(RunConfig {
+        source,
+        out,
+        threads,
+        include_timing,
+        quiet,
+        checkpoint,
+        max_cells,
+    }))
+}
 
-    let spec = match spec_path {
-        Some(path) => {
-            let text = std::fs::read_to_string(&path)
+fn run(config: &RunConfig) {
+    let spec = match &config.source {
+        SpecSource::File(path) => {
+            let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
             CampaignSpec::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
         }
-        None => inline_spec(name, topologies, sizes, epsilons, protocols, seeds),
+        SpecSource::Inline {
+            name,
+            topologies,
+            sizes,
+            epsilons,
+            protocols,
+            seeds,
+        } => inline_spec(
+            name.clone(),
+            topologies.clone(),
+            sizes.clone(),
+            epsilons.clone(),
+            protocols.clone(),
+            seeds.clone(),
+        ),
+    };
+    let options = RunOptions {
+        threads: config.threads,
+        max_cells: config.max_cells,
     };
 
-    let report = run_campaign(&spec, &RunOptions { threads })
-        .unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
-    if !quiet {
+    let report = if let Some(path) = &config.checkpoint {
+        let outcome = run_campaign_resumable(&spec, &options, Path::new(path))
+            .unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+        if !config.quiet {
+            println!(
+                "checkpoint {path}: {} cell(s) replayed, {} executed, {} total",
+                outcome.replayed, outcome.executed, outcome.total
+            );
+        }
+        match outcome.report {
+            Some(report) => report,
+            None => {
+                // A --max-cells cut: the journal holds the progress.
+                // Intentional partial runs exit 0 so the CI resume
+                // smoke can chain them.
+                println!(
+                    "campaign partial: {}/{} cells done; re-run with --checkpoint {path} to finish",
+                    outcome.replayed + outcome.executed,
+                    outcome.total
+                );
+                return;
+            }
+        }
+    } else {
+        run_campaign(&spec, &options).unwrap_or_else(|e| die(&format!("campaign failed: {e}")))
+    };
+
+    if !config.quiet {
         print!("{}", report.render_table());
     }
-    if let Some(path) = out_path {
-        let json = report.to_json(include_timing).to_pretty();
-        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        if !quiet {
+    if let Some(path) = &config.out {
+        let json = report.to_json(config.include_timing).to_pretty();
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        if !config.quiet {
             println!("report written to {path}");
         }
     }
@@ -199,12 +351,115 @@ fn split_list(text: &str) -> Vec<String> {
         .collect()
 }
 
-fn parse_or_die<T: std::str::FromStr>(text: &str, what: &str) -> T {
+fn parse_list<T: std::str::FromStr>(text: &str, what: &str) -> Result<Vec<T>, String> {
+    split_list(text)
+        .iter()
+        .map(|s| parse_value(s, what))
+        .collect()
+}
+
+fn parse_value<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
     text.parse()
-        .unwrap_or_else(|_| die(&format!("{what}: cannot parse {text:?}")))
+        .map_err(|_| format!("{what}: cannot parse {text:?}"))
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("campaign: {msg}");
     std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn check_alone_parses() {
+        let mode = parse_args(&args(&["--check", "report.json"])).unwrap();
+        assert!(matches!(mode, Mode::Check(path) if path == "report.json"));
+    }
+
+    #[test]
+    fn check_rejects_every_run_flag() {
+        for extra in [
+            ["--out", "x.json"],
+            ["--spec", "s.toml"],
+            ["--threads", "2"],
+            ["--checkpoint", "ck.jsonl"],
+            ["--topologies", "cycle"],
+        ] {
+            let mut a = args(&["--check", "report.json"]);
+            a.extend(args(&extra));
+            let err = parse_args(&a).unwrap_err();
+            assert!(err.contains("--check"), "{extra:?}: {err}");
+        }
+        // Valueless flags conflict too.
+        for extra in ["--quiet", "--no-timing"] {
+            let err = parse_args(&args(&["--check", "r.json", extra])).unwrap_err();
+            assert!(err.contains("--check"), "{extra}: {err}");
+        }
+    }
+
+    #[test]
+    fn spec_rejects_inline_axis_flags() {
+        for extra in [
+            ["--topologies", "cycle"],
+            ["--sizes", "8"],
+            ["--epsilons", "0.05"],
+            ["--protocols", "wave"],
+            ["--seeds", "1"],
+            ["--name", "x"],
+        ] {
+            let mut a = args(&["--spec", "s.toml"]);
+            a.extend(args(&extra));
+            let err = parse_args(&a).unwrap_err();
+            assert!(err.contains("--spec conflicts"), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn spec_still_combines_with_run_flags() {
+        let mode = parse_args(&args(&[
+            "--spec",
+            "s.toml",
+            "--out",
+            "r.json",
+            "--threads",
+            "2",
+            "--no-timing",
+            "--quiet",
+            "--checkpoint",
+            "ck.jsonl",
+            "--max-cells",
+            "3",
+        ]))
+        .unwrap();
+        let Mode::Run(config) = mode else {
+            panic!("expected a run");
+        };
+        assert!(matches!(&config.source, SpecSource::File(p) if p == "s.toml"));
+        assert_eq!(config.out.as_deref(), Some("r.json"));
+        assert_eq!(config.threads, 2);
+        assert!(!config.include_timing);
+        assert!(config.quiet);
+        assert_eq!(config.checkpoint.as_deref(), Some("ck.jsonl"));
+        assert_eq!(config.max_cells, Some(3));
+    }
+
+    #[test]
+    fn max_cells_requires_checkpoint() {
+        let err = parse_args(&args(&["--spec", "s.toml", "--max-cells", "3"])).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_errors() {
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--spec"])).is_err());
+        assert!(parse_args(&args(&["--threads", "many"])).is_err());
+        assert!(parse_args(&args(&["--seeds", "-1", "--topologies", "cycle"])).is_err());
+    }
 }

@@ -24,6 +24,21 @@ pub enum ScenarioError {
         /// What is wrong.
         detail: String,
     },
+    /// A checkpoint journal could not be written, read, or trusted
+    /// (I/O failure, corrupt non-final line, or a spec-fingerprint
+    /// mismatch against the campaign being resumed).
+    Checkpoint {
+        /// What is wrong.
+        detail: String,
+    },
+    /// The executor stopped before every cell completed (a `max_cells`
+    /// cut) where a full report was required.
+    Incomplete {
+        /// Cells that finished (replayed or executed).
+        completed: usize,
+        /// Cells in the expanded matrix.
+        total: usize,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -36,6 +51,12 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::Json(e) => write!(f, "report is not JSON: {e}"),
             ScenarioError::Report { detail } => write!(f, "report schema violation: {detail}"),
+            ScenarioError::Checkpoint { detail } => write!(f, "checkpoint: {detail}"),
+            ScenarioError::Incomplete { completed, total } => write!(
+                f,
+                "campaign incomplete: {completed}/{total} cells done \
+                 (resume from the checkpoint to finish)"
+            ),
         }
     }
 }

@@ -106,6 +106,47 @@ impl Json {
         out
     }
 
+    /// Renders on a single line (`{"a": 1, "b": [2, 3]}`) — the JSONL
+    /// form used by the checkpoint journal and the campaign daemon,
+    /// where one value per line is the framing. Same separators as
+    /// [`to_pretty`](Json::to_pretty) (`": "` after keys, `", "`
+    /// between items) so textual greps behave identically on both
+    /// forms; parseable by [`Json::parse`].
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -444,6 +485,30 @@ mod tests {
     fn floats_always_carry_a_fraction_marker() {
         assert!(Json::Float(2.0).to_pretty().contains("2.0"));
         assert!(Json::Float(0.5).to_pretty().contains("0.5"));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let v = Json::obj(vec![
+            ("index", Json::Int(3)),
+            (
+                "cell",
+                Json::obj(vec![
+                    ("id", Json::Str("cycle/n8".into())),
+                    ("eps", Json::Float(0.05)),
+                    ("tags", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+                ]),
+            ),
+        ]);
+        let s = v.to_compact();
+        assert!(!s.contains('\n'), "{s}");
+        assert_eq!(
+            s,
+            r#"{"index": 3, "cell": {"id": "cycle/n8", "eps": 0.05, "tags": [1, 2]}}"#
+        );
+        assert_eq!(Json::parse(&s).unwrap(), v);
+        assert_eq!(Json::Arr(vec![]).to_compact(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_compact(), "{}");
     }
 
     #[test]

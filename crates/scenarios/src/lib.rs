@@ -33,6 +33,18 @@
 //! fault segment, so adding `[[faults]]` tables to an existing spec
 //! leaves every pre-existing cell's id — and seed — untouched.
 //!
+//! # Executor, sinks, checkpoints
+//!
+//! [`run_campaign`] is a thin wrapper over the engine-agnostic executor
+//! ([`run_campaign_with_sink`]): completed cells stream into a pluggable
+//! [`ResultSink`], of which the in-memory report assembly
+//! ([`MemorySink`]) is one implementation and the incremental JSONL
+//! checkpoint journal ([`CheckpointSink`]) another.
+//! [`run_campaign_resumable`] replays a journal's completed cells,
+//! executes only the remainder, and — because cell seeds are pure
+//! functions of cell ids — produces a final timing-free report
+//! byte-identical to an uninterrupted run.
+//!
 //! # Example
 //!
 //! ```
@@ -50,18 +62,28 @@
 //! assert!(report.cells[0].success);
 //! ```
 
+pub mod checkpoint;
 pub mod json;
+pub mod sink;
 
 mod error;
 mod report;
 mod run;
 mod spec;
 
+pub use checkpoint::{
+    load_checkpoint, spec_fingerprint, Checkpoint, CheckpointSink, CHECKPOINT_SCHEMA,
+    CHECKPOINT_VERSION,
+};
 pub use error::ScenarioError;
 pub use report::{
     validate_report, CampaignReport, CellResult, CellStatus, Summary, SCHEMA_NAME, SCHEMA_VERSION,
 };
-pub use run::{run_campaign, RunOptions};
+pub use run::{
+    run_campaign, run_campaign_resumable, run_campaign_with_sink, InstanceCache, ResumeOutcome,
+    RunOptions,
+};
+pub use sink::{FnSink, MemorySink, ResultSink, TeeSink};
 pub use spec::{
     cell_seed, CampaignSpec, CellSpec, ChannelSpec, FaultSpec, TopologyFamily, TopologySpec,
 };

@@ -61,6 +61,17 @@ impl CellStatus {
             CellStatus::Skipped => "skipped",
         }
     }
+
+    /// Parses the schema string back.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<CellStatus> {
+        match s {
+            "ok" => Some(CellStatus::Ok),
+            "failed" => Some(CellStatus::Failed),
+            "skipped" => Some(CellStatus::Skipped),
+            _ => None,
+        }
+    }
 }
 
 /// The outcome of one campaign cell.
@@ -113,7 +124,11 @@ pub struct CellResult {
 }
 
 impl CellResult {
-    fn to_json(&self, include_timing: bool) -> Json {
+    /// Serializes the cell as its report-`cells`-array element. The
+    /// checkpoint journal writes exactly this shape (with timing) per
+    /// completed cell; [`CellResult::from_json`] is the inverse.
+    #[must_use]
+    pub fn to_json(&self, include_timing: bool) -> Json {
         let mut pairs = vec![
             ("id", Json::Str(self.id.clone())),
             ("family", Json::Str(self.family.clone())),
@@ -155,6 +170,90 @@ impl CellResult {
             pairs.push(("wall_ms", Json::Float(self.wall_ms)));
         }
         Json::obj(pairs)
+    }
+
+    /// Parses a per-cell JSON object (the element shape of a report's
+    /// `cells` array) back into a [`CellResult`] — the replay half of the
+    /// checkpoint journal's round-trip contract. Every non-timing field
+    /// survives the trip bit for bit (floats render shortest-roundtrip
+    /// and parse back exactly); a missing `wall_ms` reads as `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Report`] naming the first missing or ill-typed
+    /// field.
+    pub fn from_json(json: &Json) -> Result<CellResult, ScenarioError> {
+        let fail = |what: &str| ScenarioError::Report {
+            detail: format!("cell record: {what}"),
+        };
+        let s = |key: &'static str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(ToString::to_string)
+                .ok_or_else(|| fail(&format!("missing string {key}")))
+        };
+        let u = |key: &'static str| {
+            json.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| fail(&format!("missing or negative {key}")))
+        };
+        let pairs = |key: &'static str| -> Result<Vec<(String, f64)>, ScenarioError> {
+            match json.get(key) {
+                Some(Json::Obj(entries)) => entries
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|v| (k.clone(), v))
+                            .ok_or_else(|| fail(&format!("non-numeric {key} entry {k:?}")))
+                    })
+                    .collect(),
+                _ => Err(fail(&format!("missing object {key}"))),
+            }
+        };
+        let seed_hex = s("cell_seed")?;
+        let cell_seed = seed_hex
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| fail(&format!("malformed cell_seed {seed_hex:?}")))?;
+        Ok(CellResult {
+            id: s("id")?,
+            family: s("family")?,
+            requested_n: u("requested_n")?,
+            n: u("n")?,
+            edges: u("edges")?,
+            max_degree: u("max_degree")?,
+            topology_params: pairs("topology_params")?,
+            epsilon: json
+                .get("epsilon")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("missing epsilon"))?,
+            channel: s("channel")?,
+            faults: s("faults")?,
+            protocol: s("protocol")?,
+            seed: json
+                .get("seed")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| fail("missing or negative seed"))?,
+            cell_seed,
+            status: s("status").and_then(|raw| {
+                CellStatus::from_str_opt(&raw).ok_or_else(|| fail(&format!("bad status {raw:?}")))
+            })?,
+            success: json
+                .get("success")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| fail("missing success"))?,
+            rounds: u("rounds")?,
+            beeps: json
+                .get("beeps")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| fail("missing or negative beeps"))?,
+            metrics: pairs("metrics")?,
+            detail: s("detail")?,
+            wall_ms: json.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        })
     }
 }
 
@@ -463,6 +562,49 @@ mod tests {
                 demo_cell("d", CellStatus::Skipped, false),
             ],
             wall_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn cell_results_round_trip_through_json() {
+        // The checkpoint journal's replay contract: to_json → from_json
+        // is the identity, timing included.
+        let cell = demo_cell("cycle/n8/eps0.05/matching/s1", CellStatus::Ok, true);
+        let back = CellResult::from_json(&cell.to_json(true)).unwrap();
+        assert_eq!(back, cell);
+        // Without timing the wall clock reads back as zero; everything
+        // else is untouched.
+        let back = CellResult::from_json(&cell.to_json(false)).unwrap();
+        assert_eq!(
+            back,
+            CellResult {
+                wall_ms: 0.0,
+                ..cell
+            }
+        );
+    }
+
+    #[test]
+    fn cell_from_json_rejects_malformed_records() {
+        let good = demo_cell("a", CellStatus::Failed, false).to_json(true);
+        for (from, to, needle) in [
+            (
+                "\"status\": \"failed\"",
+                "\"status\": \"gone\"",
+                "bad status",
+            ),
+            ("\"id\": \"a\"", "\"ident\": \"a\"", "missing string id"),
+            ("\"rounds\": 100", "\"rounds\": -1", "negative rounds"),
+            (
+                "\"cell_seed\": \"0x000000000000abcd\"",
+                "\"cell_seed\": \"zz\"",
+                "malformed cell_seed",
+            ),
+        ] {
+            let text = good.to_pretty().replacen(from, to, 1);
+            assert_ne!(text, good.to_pretty(), "{from} not found");
+            let err = CellResult::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
         }
     }
 

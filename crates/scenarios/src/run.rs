@@ -1,104 +1,319 @@
-//! Campaign execution: expand the spec, run every cell on the engine —
-//! in parallel across worker threads — and assemble the report.
+//! Campaign execution: the engine-agnostic executor behind every
+//! campaign entry point.
 //!
-//! Cell results are written into their matrix slot regardless of which
-//! worker ran them, so the report is identical at every thread count;
-//! only the `wall_ms` fields vary. Within one sweep seed, every
-//! `(channel, protocol)` cell of a given family × size runs on the
-//! *same* graph instance (the topology seed is derived from
-//! `family/size/sweep-seed` only), so protocol and channel comparisons
-//! are apples-to-apples. Each cell instantiates its channel against the
-//! realized node count (the adversary's budget scales with `n`), realizes
-//! its fault plan (if any) from the cell seed, and dispatches through
+//! The executor expands the spec, runs cells on the engine in parallel
+//! across worker threads, and hands each completed [`CellResult`] to a
+//! pluggable [`ResultSink`] — the in-memory report assembly
+//! ([`MemorySink`]) is just one sink, the incremental JSONL checkpoint
+//! journal ([`CheckpointSink`](crate::checkpoint::CheckpointSink)) is
+//! another, and they compose ([`TeeSink`](crate::sink::TeeSink)). Three
+//! entry points share it:
+//!
+//! * [`run_campaign`] — the classic one-shot: every cell, report out.
+//! * [`run_campaign_with_sink`] — bring your own sink (and optionally a
+//!   shared [`InstanceCache`]); what the campaign daemon builds on.
+//! * [`run_campaign_resumable`] — checkpointed execution: replay the
+//!   journal's completed cells, run only the remainder, stream new
+//!   completions back to the journal.
+//!
+//! Cell results are recorded under their matrix index regardless of
+//! which worker ran them, so the report is identical at every thread
+//! count; only the `wall_ms` fields vary. Topology instances build
+//! **lazily, once per group, from the worker pool**: the first worker to
+//! reach a `family × size × sweep-seed` group builds the instance inside
+//! its [`std::sync::OnceLock`] (the build is seeded by the group key, so
+//! *which* worker builds it cannot matter), later workers share it, and
+//! groups whose every cell is replayed from a checkpoint never build at
+//! all. An [`InstanceCache`] handed to [`run_campaign_with_sink`]
+//! carries those instances across campaigns — the daemon's cache.
+//!
+//! Builds and protocol runs are both panic-guarded: a panicking topology
+//! generator fails that group's cells, and a panicking protocol fails
+//! its cell, without aborting the campaign or poisoning the worker pool.
+//!
+//! Each cell instantiates its channel against the realized node count
+//! (the adversary's budget scales with `n`), realizes its fault plan (if
+//! any) from the cell seed, and dispatches through
 //! [`beep_apps::Protocol::run_with_faults`]; noiseless-only protocols
 //! under a noisy channel — and fault-intolerant protocols under a
 //! non-empty fault plan — become skipped cells.
 
+use crate::checkpoint::{load_checkpoint, CheckpointSink};
 use crate::error::ScenarioError;
 use crate::report::{CampaignReport, CellResult, CellStatus};
+use crate::sink::{MemorySink, ResultSink, TeeSink};
 use crate::spec::{cell_seed, CampaignSpec, CellSpec};
 use beep_apps::AppError;
 use beep_net::{FaultPlan, Graph};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Why a topology instance is unusable, and how its cells report it:
+/// generator *errors* (unrealizable sizes) are structural — skipped —
+/// while generator *panics* are failures, mirroring protocol panics.
+#[derive(Debug)]
+struct BuildFailure {
+    status: CellStatus,
+    detail: String,
+}
 
 /// A built (or unbuildable) topology instance, shared by all the cells
 /// of one family × size × sweep-seed group.
-type BuiltInstance = Result<(Graph, Vec<(String, f64)>), ScenarioError>;
+type BuiltInstance = Result<(Graph, Vec<(String, f64)>), BuildFailure>;
+
+/// Lazily built topology instances, keyed by the cell group
+/// (`family/n{size}/s{seed}/topology`). Safe to share across campaigns
+/// and threads: instance seeds derive from the group key alone, so a
+/// cache hit is byte-equivalent to a rebuild. The campaign daemon keeps
+/// one of these alive across every campaign it serves.
+#[derive(Debug, Default)]
+pub struct InstanceCache {
+    inner: Mutex<HashMap<String, Arc<OnceLock<BuiltInstance>>>>,
+}
+
+impl InstanceCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> InstanceCache {
+        InstanceCache::default()
+    }
+
+    /// Instance groups resident in the cache (built or building).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no instances.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The group's `OnceLock` slot, inserted empty on first touch. The
+    /// map lock is held only for the lookup — builds happen outside it,
+    /// serialized per group by the `OnceLock` itself.
+    fn slot(&self, key: String) -> Arc<OnceLock<BuiltInstance>> {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+}
 
 /// Execution options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunOptions {
     /// Worker threads; 0 = one per core (capped at the cell count).
     pub threads: usize,
+    /// Stop dispatching after this many cells complete (taken from the
+    /// front of the pending list in matrix order) — the deterministic
+    /// "interrupted campaign" used by the checkpoint/resume tests and
+    /// the CI resume smoke. `None` runs everything.
+    pub max_cells: Option<usize>,
 }
 
-/// Runs a campaign to completion.
+/// What a resumable run did.
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The assembled report, or `None` when a `max_cells` cut stopped
+    /// the run before every cell completed (the checkpoint holds the
+    /// progress; resume to finish).
+    pub report: Option<CampaignReport>,
+    /// Cells in the expanded matrix.
+    pub total: usize,
+    /// Cells replayed from the checkpoint journal.
+    pub replayed: usize,
+    /// Cells executed fresh this run.
+    pub executed: usize,
+}
+
+/// Runs a campaign to completion and assembles the in-memory report.
 ///
 /// # Errors
 ///
-/// [`ScenarioError::EmptyMatrix`] if the spec expands to zero cells.
+/// [`ScenarioError::EmptyMatrix`] if the spec expands to zero cells;
+/// [`ScenarioError::Incomplete`] if `options.max_cells` stopped the run
+/// early (use [`run_campaign_resumable`] for interruptible runs).
 /// Individual cell failures never abort the campaign — they are recorded
 /// as `failed`/`skipped` cells.
 pub fn run_campaign(
     spec: &CampaignSpec,
     options: &RunOptions,
 ) -> Result<CampaignReport, ScenarioError> {
-    let cells = spec.expand()?;
     let start = Instant::now();
+    let cells = spec.expand()?;
+    let mut memory = MemorySink::new(spec.name.clone(), cells.len());
+    let pending: Vec<usize> = (0..cells.len()).collect();
+    let completed = execute(
+        &cells,
+        &pending,
+        options,
+        &InstanceCache::new(),
+        &mut memory,
+    )?;
+    memory
+        .try_into_report(start.elapsed().as_secs_f64() * 1e3)
+        .ok_or(ScenarioError::Incomplete {
+            completed,
+            total: cells.len(),
+        })
+}
+
+/// Runs a campaign through a caller-supplied sink — the engine-agnostic
+/// executor surface. `cache` may be shared across campaigns (the daemon
+/// keeps one process-wide); pass a fresh [`InstanceCache`] when reuse is
+/// unwanted. Returns the number of cells completed (all of them, unless
+/// `options.max_cells` cut the run short).
+///
+/// # Errors
+///
+/// [`ScenarioError::EmptyMatrix`] on an empty expansion; any error a
+/// sink returns from [`ResultSink::record`] (the executor stops
+/// dispatching and surfaces the first one).
+pub fn run_campaign_with_sink(
+    spec: &CampaignSpec,
+    options: &RunOptions,
+    cache: &InstanceCache,
+    sink: &mut dyn ResultSink,
+) -> Result<usize, ScenarioError> {
+    let cells = spec.expand()?;
+    let pending: Vec<usize> = (0..cells.len()).collect();
+    execute(&cells, &pending, options, cache, sink)
+}
+
+/// Checkpointed execution: load `checkpoint` (if it exists), verify its
+/// spec fingerprint, replay its completed cells, execute only the
+/// remainder (streaming each completion back to the journal), and
+/// assemble the final report.
+///
+/// The resume contract — pinned by `tests/checkpoint_resume.rs` and the
+/// CI resume smoke — is that the final `--no-timing` report is
+/// byte-identical to an uninterrupted [`run_campaign`] of the same spec:
+/// cell seeds are pure functions of cell ids, so a replayed cell and a
+/// re-executed cell are the same cell.
+///
+/// # Errors
+///
+/// [`ScenarioError::EmptyMatrix`] on an empty expansion;
+/// [`ScenarioError::Checkpoint`] if the journal is unreadable, corrupt,
+/// or fingerprint-mismatched (it belongs to a different campaign).
+pub fn run_campaign_resumable(
+    spec: &CampaignSpec,
+    options: &RunOptions,
+    checkpoint: &Path,
+) -> Result<ResumeOutcome, ScenarioError> {
+    let start = Instant::now();
+    let cells = spec.expand()?;
+    let mut memory = MemorySink::new(spec.name.clone(), cells.len());
+    let mut done = vec![false; cells.len()];
+    let mut replayed = 0usize;
+    let mut journal = match load_checkpoint(checkpoint, spec, &cells)? {
+        Some(loaded) => {
+            for (index, cell) in &loaded.completed {
+                memory.record(*index, cell)?;
+                done[*index] = true;
+            }
+            replayed = loaded.completed.len();
+            CheckpointSink::append(checkpoint)?
+        }
+        None => CheckpointSink::create(checkpoint, spec, &cells)?,
+    };
+    let pending: Vec<usize> = (0..cells.len()).filter(|&i| !done[i]).collect();
+    let executed = {
+        let mut tee = TeeSink(&mut memory, &mut journal);
+        execute(&cells, &pending, options, &InstanceCache::new(), &mut tee)?
+    };
+    Ok(ResumeOutcome {
+        report: memory.try_into_report(start.elapsed().as_secs_f64() * 1e3),
+        total: cells.len(),
+        replayed,
+        executed,
+    })
+}
+
+/// The executor core: run `pending` (indices into `cells`, truncated by
+/// `options.max_cells`) across the worker pool, recording each
+/// completion into `sink` under one lock.
+fn execute(
+    cells: &[CellSpec],
+    pending: &[usize],
+    options: &RunOptions,
+    cache: &InstanceCache,
+    sink: &mut dyn ResultSink,
+) -> Result<usize, ScenarioError> {
+    let limit = options
+        .max_cells
+        .unwrap_or(pending.len())
+        .min(pending.len());
+    let pending = &pending[..limit];
+    struct SinkState<'a> {
+        sink: &'a mut dyn ResultSink,
+        error: Option<ScenarioError>,
+        completed: usize,
+    }
+    let shared = Mutex::new(SinkState {
+        sink,
+        error: None,
+        completed: 0,
+    });
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let work = || loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&index) = pending.get(k) else { break };
+        let cell = &cells[index];
+        // Lazy, once-per-group, from the worker pool: the OnceLock
+        // serializes concurrent initializers of one group while other
+        // groups build in parallel.
+        let slot = cache.slot(instance_key(cell));
+        let built = slot.get_or_init(|| build_instance(cell));
+        let result = run_cell(cell, built);
+        let mut state = shared.lock().expect("no poisoned workers");
+        if state.error.is_some() {
+            break;
+        }
+        match state.sink.record(index, &result) {
+            Ok(()) => state.completed += 1,
+            Err(e) => {
+                state.error = Some(e);
+                abort.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    };
+
     let workers = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         options.threads
     }
-    .min(cells.len())
+    .min(pending.len())
     .max(1);
-
-    // Build each unique topology instance once — not once per cell: the
-    // (ε, protocol) cells of one family × size × sweep-seed share the
-    // graph, and a large random instance can dominate cell runtime.
-    let instances: HashMap<String, BuiltInstance> = {
-        let mut map = HashMap::new();
-        for cell in &cells {
-            map.entry(instance_key(cell))
-                .or_insert_with(|| cell.family.build(cell.requested_n, topology_seed(cell)));
-        }
-        map
-    };
-
-    let mut results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
-    let next = AtomicUsize::new(0);
     if workers == 1 {
-        let results = results.get_mut().expect("unshared");
-        for (i, cell) in cells.iter().enumerate() {
-            results[i] = Some(run_cell(cell, &instances[&instance_key(cell)]));
-        }
+        work();
     } else {
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let result = run_cell(cell, &instances[&instance_key(cell)]);
-                    results.lock().expect("no poisoned workers")[i] = Some(result);
-                });
+                scope.spawn(work);
             }
         });
     }
 
-    let cells = results
-        .into_inner()
-        .expect("workers joined")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect();
-    Ok(CampaignReport {
-        campaign: spec.name.clone(),
-        cells,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
-    })
+    let state = shared.into_inner().expect("workers joined");
+    match state.error {
+        Some(e) => Err(e),
+        None => Ok(state.completed),
+    }
 }
 
 /// The key grouping cells that share one topology instance: every
@@ -115,6 +330,52 @@ fn instance_key(cell: &CellSpec) -> String {
 /// The topology instance seed, derived from the group key.
 fn topology_seed(cell: &CellSpec) -> u64 {
     cell_seed(&instance_key(cell))
+}
+
+/// The requested size the test-only build hook panics on — a seam for
+/// proving the executor survives a panicking topology generator (every
+/// shipped generator is total over its error type, so there is no
+/// organic input that unwinds).
+#[cfg(test)]
+const PANICKING_BUILD_N: usize = 0x0BAD_BEEF;
+
+/// Renders a caught panic payload (`&str` / `String` are the common
+/// shapes; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Builds one group's topology instance, panic-guarded: a panicking
+/// generator must fail that group's cells, not abort the campaign (or
+/// poison a `OnceLock` mid-init).
+fn build_instance(cell: &CellSpec) -> BuiltInstance {
+    let seed = topology_seed(cell);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(test)]
+        assert_ne!(
+            cell.requested_n, PANICKING_BUILD_N,
+            "injected topology-build panic"
+        );
+        cell.family.build(cell.requested_n, seed)
+    }));
+    match attempt {
+        Ok(Ok(instance)) => Ok(instance),
+        // Generator errors (unrealizable sizes) are structural: skipped.
+        Ok(Err(e)) => Err(BuildFailure {
+            status: CellStatus::Skipped,
+            detail: e.to_string(),
+        }),
+        // Generator panics are bugs surfacing: failed, like protocol
+        // panics.
+        Err(payload) => Err(BuildFailure {
+            status: CellStatus::Failed,
+            detail: format!("topology build panicked: {}", panic_message(&*payload)),
+        }),
+    }
 }
 
 fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
@@ -145,9 +406,9 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
         wall_ms: 0.0,
     };
     match built {
-        Err(e) => {
-            result.status = CellStatus::Skipped;
-            result.detail = e.to_string();
+        Err(failure) => {
+            result.status = failure.status;
+            result.detail = failure.detail.clone();
         }
         Ok((graph, params)) => {
             result.n = graph.node_count();
@@ -180,22 +441,15 @@ fn run_cell(cell: &CellSpec, built: &BuiltInstance) -> CellResult {
                 // graph) must not take down the campaign — or, worse,
                 // poison the worker pool: it becomes a failed cell like
                 // any other error.
-                (Ok(channel), Ok(plan)) => {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        cell.protocol
-                            .run_with_faults(graph, &channel, &plan, cell.cell_seed)
-                    }))
-                    .unwrap_or_else(|panic| {
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(ToString::to_string)
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        Err(AppError::InvalidOutput {
-                            detail: format!("protocol panicked: {msg}"),
-                        })
+                (Ok(channel), Ok(plan)) => catch_unwind(AssertUnwindSafe(|| {
+                    cell.protocol
+                        .run_with_faults(graph, &channel, &plan, cell.cell_seed)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(AppError::InvalidOutput {
+                        detail: format!("protocol panicked: {}", panic_message(&*payload)),
                     })
-                }
+                }),
             };
             match run {
                 Ok(outcome) => {
@@ -231,6 +485,13 @@ mod tests {
     use super::*;
     use crate::spec::{ChannelSpec, TopologyFamily, TopologySpec};
     use beep_apps::Protocol;
+
+    fn threads(n: usize) -> RunOptions {
+        RunOptions {
+            threads: n,
+            ..RunOptions::default()
+        }
+    }
 
     fn small_spec() -> CampaignSpec {
         CampaignSpec {
@@ -268,8 +529,8 @@ mod tests {
     #[test]
     fn reports_are_thread_count_invariant_modulo_timing() {
         let spec = small_spec();
-        let serial = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
-        let parallel = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+        let serial = run_campaign(&spec, &threads(1)).unwrap();
+        let parallel = run_campaign(&spec, &threads(4)).unwrap();
         assert_eq!(
             serial.to_json(false).to_pretty(),
             parallel.to_json(false).to_pretty()
@@ -278,7 +539,7 @@ mod tests {
 
     #[test]
     fn shared_topology_instance_across_protocols() {
-        let report = run_campaign(&small_spec(), &RunOptions { threads: 1 }).unwrap();
+        let report = run_campaign(&small_spec(), &threads(1)).unwrap();
         // Same family/size/seed ⇒ same realized graph facts across ε and
         // protocol cells.
         let torus: Vec<&CellResult> = report
@@ -289,6 +550,68 @@ mod tests {
         assert!(torus.len() > 1);
         assert!(torus.iter().all(|c| c.n == torus[0].n));
         assert!(torus.iter().all(|c| c.edges == torus[0].edges));
+    }
+
+    #[test]
+    fn instance_cache_is_lazy_and_reusable_across_campaigns() {
+        let spec = small_spec();
+        let cache = InstanceCache::new();
+        assert!(cache.is_empty());
+        let mut first = MemorySink::new(spec.name.clone(), 8);
+        run_campaign_with_sink(&spec, &threads(2), &cache, &mut first).unwrap();
+        // One lazily built instance per family × size × sweep-seed group.
+        assert_eq!(cache.len(), 2);
+        // A second campaign over the same grid reuses the cache (no new
+        // groups) and reproduces the report byte for byte.
+        let mut second = MemorySink::new(spec.name.clone(), 8);
+        run_campaign_with_sink(&spec, &threads(1), &cache, &mut second).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            first
+                .try_into_report(0.0)
+                .unwrap()
+                .to_json(false)
+                .to_pretty(),
+            second
+                .try_into_report(0.0)
+                .unwrap()
+                .to_json(false)
+                .to_pretty()
+        );
+    }
+
+    #[test]
+    fn max_cells_stops_early_and_run_campaign_reports_incomplete() {
+        let spec = small_spec();
+        let options = RunOptions {
+            threads: 1,
+            max_cells: Some(3),
+        };
+        let err = run_campaign(&spec, &options).unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::Incomplete {
+                completed: 3,
+                total: 8
+            }
+        );
+    }
+
+    #[test]
+    fn sink_errors_abort_the_campaign() {
+        use crate::sink::FnSink;
+        let spec = small_spec();
+        let mut calls = 0usize;
+        let mut sink = FnSink(|_, _: &CellResult| {
+            calls += 1;
+            Err(ScenarioError::Report {
+                detail: "sink refused".into(),
+            })
+        });
+        let err = run_campaign_with_sink(&spec, &threads(1), &InstanceCache::new(), &mut sink)
+            .unwrap_err();
+        assert!(err.to_string().contains("sink refused"), "{err}");
+        assert_eq!(calls, 1, "executor stops dispatching after a sink error");
     }
 
     #[test]
@@ -308,7 +631,7 @@ mod tests {
             protocols: vec![Protocol::Leader, Protocol::Wave],
             seeds: vec![1],
         };
-        let report = run_campaign(&spec, &RunOptions { threads: 2 }).unwrap();
+        let report = run_campaign(&spec, &threads(2)).unwrap();
         let leader = report
             .cells
             .iter()
@@ -316,6 +639,55 @@ mod tests {
             .unwrap();
         assert_eq!(leader.status, CellStatus::Failed);
         assert!(leader.detail.contains("panicked"), "{}", leader.detail);
+    }
+
+    #[test]
+    fn panicking_topology_build_becomes_failed_cells() {
+        // The mirror of `panicking_protocol_becomes_a_failed_cell` for
+        // the *build* side: instance builds run on the worker pool, so a
+        // panicking generator must fail its group's cells — with the
+        // panic surfaced in the detail — while every other group still
+        // runs. Injected via the test-only sentinel size (all shipped
+        // generators are total).
+        let spec = CampaignSpec {
+            name: "build-panic".into(),
+            topologies: vec![
+                TopologySpec {
+                    family: TopologyFamily::Grid,
+                    sizes: vec![PANICKING_BUILD_N],
+                },
+                TopologySpec {
+                    family: TopologyFamily::Cycle,
+                    sizes: vec![6],
+                },
+            ],
+            epsilons: vec![0.0],
+            channels: vec![],
+            faults: vec![],
+            protocols: vec![Protocol::Wave, Protocol::RoundSim],
+            seeds: vec![1],
+        };
+        let report = run_campaign(&spec, &threads(2)).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            if cell.family == "grid" {
+                assert_eq!(cell.status, CellStatus::Failed, "{}", cell.id);
+                assert!(
+                    cell.detail.contains("topology build panicked"),
+                    "{}: {}",
+                    cell.id,
+                    cell.detail
+                );
+            } else {
+                assert_eq!(cell.status, CellStatus::Ok, "{}: {}", cell.id, cell.detail);
+            }
+        }
+        // And the threaded/serial reports agree, panics included.
+        let serial = run_campaign(&spec, &threads(1)).unwrap();
+        assert_eq!(
+            serial.to_json(false).to_pretty(),
+            report.to_json(false).to_pretty()
+        );
     }
 
     #[test]
@@ -346,7 +718,7 @@ mod tests {
             protocols: vec![Protocol::RoundSim, Protocol::Wave],
             seeds: vec![1],
         };
-        let report = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+        let report = run_campaign(&spec, &threads(1)).unwrap();
         assert_eq!(report.cells.len(), 4 * 2);
         for cell in &report.cells {
             match cell.protocol.as_str() {
@@ -370,7 +742,7 @@ mod tests {
         assert!(labels.contains(&"pernode-0-0.05"));
         assert!(labels.contains(&"adv-f0.2-e0.05"));
         // The report stays byte-identical across worker counts.
-        let parallel = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+        let parallel = run_campaign(&spec, &threads(4)).unwrap();
         assert_eq!(
             report.to_json(false).to_pretty(),
             parallel.to_json(false).to_pretty()
@@ -402,7 +774,7 @@ mod tests {
             protocols: vec![Protocol::BeepConsensus, Protocol::Matching],
             seeds: vec![1],
         };
-        let report = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+        let report = run_campaign(&spec, &threads(1)).unwrap();
         // (1 channel) × (fault-free + 2 faults) × 2 protocols × 1 seed.
         assert_eq!(report.cells.len(), 3 * 2);
         for cell in &report.cells {
@@ -444,7 +816,7 @@ mod tests {
             "complete/n8/eps0.1/spam-f0.125/beep_consensus/s1"
         );
         // The report stays byte-identical across worker counts.
-        let parallel = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+        let parallel = run_campaign(&spec, &threads(4)).unwrap();
         assert_eq!(
             report.to_json(false).to_pretty(),
             parallel.to_json(false).to_pretty()

@@ -76,8 +76,22 @@ fn golden_fixture_passes_schema_validation() {
 #[test]
 fn golden_report_is_thread_count_invariant() {
     let spec = golden_spec();
-    let serial = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
-    let threaded = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+    let serial = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 1,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let threaded = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
     assert_eq!(
         serial.to_json(false).to_pretty(),
         threaded.to_json(false).to_pretty()

@@ -20,7 +20,14 @@ fn checked_in_channel_sweep_runs_all_four_families_deterministically() {
     assert_eq!(spec.channels.len(), 3);
     assert_eq!(spec.channel_axis().len(), 4);
 
-    let report = run_campaign(&spec, &RunOptions { threads: 1 }).unwrap();
+    let report = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 1,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
     let summary = report.summary();
     assert_eq!(summary.failed, 0, "{}", report.render_table());
     assert_eq!(summary.skipped, 0, "{}", report.render_table());
@@ -52,7 +59,14 @@ fn checked_in_channel_sweep_runs_all_four_families_deterministically() {
     validate_report(&report.to_json(true)).unwrap();
 
     // And a pure function of the spec at every worker count.
-    let threaded = run_campaign(&spec, &RunOptions { threads: 4 }).unwrap();
+    let threaded = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
     assert_eq!(
         report.to_json(false).to_pretty(),
         threaded.to_json(false).to_pretty()

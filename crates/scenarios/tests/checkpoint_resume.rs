@@ -1,0 +1,137 @@
+//! The checkpoint/resume contract, end to end on the checked-in smoke
+//! campaign: interrupt a run (deterministically, via `max_cells`, and
+//! destructively, by truncating the journal), resume it, and require the
+//! final timing-free report to be **byte-identical** to an uninterrupted
+//! run — the property the CI resume smoke re-checks from the CLI.
+//!
+//! Identity holds because every cell is a pure function of its id (cell
+//! seeds derive from ids, instances from group keys) and replayed cells
+//! round-trip losslessly through the JSONL journal (shortest-roundtrip
+//! float rendering, hex cell seeds).
+
+use beep_scenarios::{
+    run_campaign, run_campaign_resumable, CampaignSpec, RunOptions, ScenarioError,
+    CHECKPOINT_SCHEMA,
+};
+use std::path::PathBuf;
+
+const SMOKE: &str = include_str!("../../../scenarios/smoke.toml");
+
+fn smoke_spec() -> CampaignSpec {
+    CampaignSpec::parse(SMOKE).expect("checked-in smoke spec parses")
+}
+
+/// A per-test temp path (the test process cleans up after itself).
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("beep-resume-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn options(threads: usize, max_cells: Option<usize>) -> RunOptions {
+    RunOptions { threads, max_cells }
+}
+
+/// The uninterrupted baseline every resume path must reproduce.
+fn oneshot_bytes(spec: &CampaignSpec) -> String {
+    run_campaign(spec, &options(2, None))
+        .expect("smoke campaign runs")
+        .to_json(false)
+        .to_pretty()
+}
+
+#[test]
+fn max_cells_interrupt_then_resume_is_byte_identical() {
+    let spec = smoke_spec();
+    let baseline = oneshot_bytes(&spec);
+    let journal = temp_journal("maxcells");
+    let _ = std::fs::remove_file(&journal);
+
+    // "Interrupt" after 5 of the 12 cells: report not yet assemblable.
+    let partial = run_campaign_resumable(&spec, &options(2, Some(5)), &journal)
+        .expect("partial run succeeds");
+    assert!(partial.report.is_none());
+    assert_eq!(partial.total, 12);
+    assert_eq!(partial.replayed, 0);
+    assert_eq!(partial.executed, 5);
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    assert!(text.starts_with('{'), "JSONL journal");
+    assert!(text.contains(CHECKPOINT_SCHEMA), "header names the schema");
+    assert_eq!(text.lines().count(), 1 + 5, "header + one line per cell");
+
+    // Resume (different thread count on purpose) and finish.
+    let resumed =
+        run_campaign_resumable(&spec, &options(3, None), &journal).expect("resumed run succeeds");
+    assert_eq!(resumed.replayed, 5);
+    assert_eq!(resumed.executed, 7);
+    let report = resumed.report.expect("complete after resume");
+    assert_eq!(report.to_json(false).to_pretty(), baseline);
+
+    // Resuming a *finished* campaign replays everything and runs nothing.
+    let idle =
+        run_campaign_resumable(&spec, &options(1, None), &journal).expect("no-op resume succeeds");
+    assert_eq!((idle.replayed, idle.executed), (12, 0));
+    assert_eq!(
+        idle.report
+            .expect("still complete")
+            .to_json(false)
+            .to_pretty(),
+        baseline
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn truncated_journal_resumes_to_the_same_bytes() {
+    let spec = smoke_spec();
+    let baseline = oneshot_bytes(&spec);
+    let journal = temp_journal("truncate");
+    let _ = std::fs::remove_file(&journal);
+
+    // Run to completion, journalling every cell.
+    let full =
+        run_campaign_resumable(&spec, &options(2, None), &journal).expect("full run succeeds");
+    assert_eq!(full.executed, 12);
+
+    // Simulate a crash: keep the header and the first 4 records —
+    // including a torn (half-written) 5th, which a loader must tolerate.
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 13);
+    let mut torn = lines[..5].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[5][..lines[5].len() / 2]);
+    std::fs::write(&journal, torn).expect("truncate journal");
+
+    let resumed =
+        run_campaign_resumable(&spec, &options(4, None), &journal).expect("resume succeeds");
+    assert_eq!(resumed.replayed, 4, "torn record is discarded");
+    assert_eq!(resumed.executed, 8);
+    assert_eq!(
+        resumed
+            .report
+            .expect("complete after resume")
+            .to_json(false)
+            .to_pretty(),
+        baseline
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn checkpoint_from_a_different_spec_is_rejected() {
+    let spec = smoke_spec();
+    let journal = temp_journal("fingerprint");
+    let _ = std::fs::remove_file(&journal);
+    run_campaign_resumable(&spec, &options(1, Some(3)), &journal).expect("partial run succeeds");
+
+    // Same file, different campaign (an extra seed changes the matrix):
+    // the fingerprint must refuse the journal rather than mix results.
+    let mut other = smoke_spec();
+    other.seeds.push(2);
+    let err = run_campaign_resumable(&other, &options(1, None), &journal)
+        .expect_err("mismatched journal is rejected");
+    assert!(
+        matches!(&err, ScenarioError::Checkpoint { detail } if detail.contains("fingerprint")),
+        "{err}"
+    );
+    let _ = std::fs::remove_file(&journal);
+}
