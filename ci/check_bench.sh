@@ -2,7 +2,7 @@
 # Shared perf-bar checker for CI and local use.
 #
 # The engine benches emit machine-readable metrics files
-# (target/bench-json/BENCH_e8.json … BENCH_e11.json —
+# (target/bench-json/BENCH_e8.json … BENCH_e12.json —
 # schema "beep-bench-metrics", see crates/bench/src/perfjson.rs). This
 # script asserts a named metric clears a floor by delegating to the
 # hermetic Rust checker (no jq/python dependency):
@@ -11,6 +11,7 @@
 #   ci/check_bench.sh target/bench-json/BENCH_e9.json --key speedup_n1000000 --min 2 --min-cores 4
 #   ci/check_bench.sh target/bench-json/BENCH_e10.json --key models --min 4
 #   ci/check_bench.sh target/bench-json/BENCH_e11.json --key kinds --min 3
+#   ci/check_bench.sh target/bench-json/BENCH_e12.json --key policies --min 3
 #
 # --min-cores N waives the floor (but still requires the metric to exist)
 # on machines with fewer than N cores — thread speedups need threads.

@@ -1,0 +1,281 @@
+//! Randomized binary consensus on noisy beeps, in the style of Ben-Or.
+//!
+//! Where [`beep_consensus`](crate::beep_consensus) is 1-biased (a single 1
+//! floods), this protocol is *symmetric*: ties between 0-holders and
+//! 1-holders are broken by private coin flips, so a uniformly-0 network
+//! decides 0 and a uniformly-1 network decides 1 without either value
+//! being privileged.
+//!
+//! # Protocol
+//!
+//! Every node starts with a binary input. Time is divided into `P` phases
+//! of three slot groups, each `R` beep slots long:
+//!
+//! * **group 0** — nodes whose current value is 0 beep every slot;
+//! * **group 1** — nodes whose current value is 1 beep every slot;
+//! * **coin group** — a node that heard *both* value groups (majority of
+//!   slots per group, self-hearing included) beeps iff its private coin
+//!   for this phase is 1.
+//!
+//! At the end of a phase a node updates: heard exactly one value → adopt
+//! it; heard both → adopt 1 iff it heard the coin group (a neighborhood
+//! coin-OR); heard neither (possible only for an isolated node) → keep.
+//! After `P` phases each node decides its current value.
+//!
+//! Coins are **counter-keyed**: node `v`'s phase-`p` coin is
+//! [`protocol_coin`]`(seed, v, p)`, drawn from the reserved
+//! `PROTOCOL_COIN_STREAM` shard — never from the engine's channel streams
+//! — so the transcript stays a pure function of
+//! `(graph, channel, faults, seed, inputs, shard_count)` and the coin
+//! draws cannot perturb the channel noise, fault realization, or adaptive
+//! adversary decisions.
+//!
+//! On a mixed complete graph every node sees both groups, so one phase of
+//! the coin rule re-unifies the network (everyone reads the same coin-OR)
+//! and agreement then persists; `P = 3·(diameter + 2)` leaves w.h.p.
+//! slack on connected correct subgraphs, and the statistical tests pin
+//! termination within that bound.
+//!
+//! # Fault tolerance (and its honest limits)
+//!
+//! * **Crash / Byzantine mute**: a silent node cannot split the survivors
+//!   — it merely stops contributing to its group. Agreement holds among
+//!   correct nodes while they stay connected through correct paths.
+//! * **Byzantine spam** is this protocol's documented *defeat*: a spammer
+//!   beeps in every slot of every group, so every correct neighbor reads
+//!   "both values present, coin-OR = 1" forever and adopts 1 — validity
+//!   is broken whenever the correct inputs were uniformly 0 (the registry
+//!   verdict and the defeat test assert exactly this forced-1 outcome,
+//!   which preserves agreement).
+
+use crate::consensus::consensus_slots_per_phase;
+use crate::error::AppError;
+use beep_bits::BitVec;
+use beep_net::{protocol_coin, BeepNetwork, ChannelModel, FaultPlan, Graph, NoiseModel};
+
+/// Outcome of one [`beep_ben_or`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenOrReport {
+    /// Per-node decided values (faulty nodes included; their entries carry
+    /// no guarantee).
+    pub decisions: Vec<bool>,
+    /// Beep rounds executed (`phases × 3 × slots_per_phase`).
+    pub rounds: usize,
+    /// Total beeps emitted (energy), faults included.
+    pub beeps: u64,
+    /// Phases run (`3 · (diameter + 2)`).
+    pub phases: usize,
+    /// Beep slots per slot group (see
+    /// [`consensus_slots_per_phase`](crate::consensus_slots_per_phase)).
+    pub slots_per_phase: usize,
+    /// The first 0-based phase after which every *correct* node held the
+    /// same value (`None` if the run never unified — the w.h.p. failure
+    /// the statistical tests bound).
+    pub agreement_phase: Option<usize>,
+}
+
+/// Runs Ben-Or-style randomized binary consensus over noisy beeps under a
+/// [`FaultPlan`].
+///
+/// `inputs[v]` is node `v`'s initial value; the run is a pure function of
+/// `(graph, channel, faults, seed, inputs)`. See the module docs for the
+/// protocol, its guarantees, and its documented defeat under spam.
+///
+/// # Errors
+///
+/// * [`AppError::InvalidOutput`] if `inputs.len() != n`.
+/// * [`AppError::Net`] if the fault plan names a node `≥ n` or the engine
+///   rejects a round.
+pub fn beep_ben_or(
+    graph: &Graph,
+    channel: &ChannelModel,
+    faults: &FaultPlan,
+    seed: u64,
+    inputs: &[bool],
+) -> Result<BenOrReport, AppError> {
+    let n = graph.node_count();
+    if inputs.len() != n {
+        return Err(AppError::InvalidOutput {
+            detail: format!("ben_or got {} inputs for {n} nodes", inputs.len()),
+        });
+    }
+    let mut net = BeepNetwork::new(graph.clone(), channel.clone(), seed);
+    net.set_fault_plan(faults.clone())?;
+    let phases = 3 * (graph.diameter().unwrap_or(n.saturating_sub(1)).max(1) + 2);
+    let slots = consensus_slots_per_phase(n, 3 * phases, channel.calibration_epsilon());
+    let correct: Vec<usize> = (0..n).filter(|&v| faults.fault_of(v).is_none()).collect();
+    let mut value = BitVec::from_fn(n, |v| inputs[v]);
+    let mut received = BitVec::zeros(n);
+    let mut agreement_phase = None;
+    for phase in 0..phases {
+        // Value groups 0 and 1, then the coin group for split neighborhoods.
+        let heard0 = run_group(&mut net, &!&value, slots, &mut received)?;
+        let heard1 = run_group(&mut net, &value, slots, &mut received)?;
+        let flippers = BitVec::from_fn(n, |v| {
+            heard0.get(v) && heard1.get(v) && protocol_coin(seed, v, phase as u64)
+        });
+        let heard_coin = run_group(&mut net, &flippers, slots, &mut received)?;
+        for v in 0..n {
+            match (heard0.get(v), heard1.get(v)) {
+                (false, true) => value.set(v, true),
+                (true, false) => value.set(v, false),
+                (true, true) => value.set(v, heard_coin.get(v)),
+                (false, false) => {} // isolated and silent: keep
+            }
+        }
+        if agreement_phase.is_none()
+            && correct
+                .windows(2)
+                .all(|w| value.get(w[0]) == value.get(w[1]))
+        {
+            agreement_phase = Some(phase);
+        }
+    }
+    let stats = net.stats();
+    Ok(BenOrReport {
+        decisions: (0..n).map(|v| value.get(v)).collect(),
+        rounds: stats.rounds,
+        beeps: stats.beeps,
+        phases,
+        slots_per_phase: slots,
+        agreement_phase,
+    })
+}
+
+/// Runs one slot group: `beepers` beep in all `slots` slots; returns the
+/// per-node majority verdict (`2·heard ≥ slots`).
+fn run_group(
+    net: &mut BeepNetwork,
+    beepers: &BitVec,
+    slots: usize,
+    received: &mut BitVec,
+) -> Result<BitVec, AppError> {
+    let n = beepers.len();
+    let mut heard = vec![0usize; n];
+    for _ in 0..slots {
+        net.run_round_bitset_into(beepers, received)?;
+        for v in received.iter_ones() {
+            heard[v] += 1;
+        }
+    }
+    Ok(BitVec::from_fn(n, |v| 2 * heard[v] >= slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beep_net::{topology, FaultKind, Noise};
+
+    fn clean() -> ChannelModel {
+        Noise::Noiseless.into()
+    }
+
+    #[test]
+    fn uniform_inputs_decide_that_value_noiselessly() {
+        let g = topology::complete(6).unwrap();
+        let none = FaultPlan::none();
+        for (inputs, expect) in [([false; 6], false), ([true; 6], true)] {
+            let r = beep_ben_or(&g, &clean(), &none, 1, &inputs).unwrap();
+            assert!(
+                r.decisions.iter().all(|&d| d == expect),
+                "{:?}",
+                r.decisions
+            );
+            assert_eq!(r.agreement_phase, Some(0));
+            assert_eq!(r.rounds, r.phases * 3 * r.slots_per_phase);
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_unify_within_the_phase_bound() {
+        let g = topology::complete(8).unwrap();
+        let none = FaultPlan::none();
+        for seed in 0..10 {
+            let mut inputs = [false; 8];
+            inputs[..4].fill(true);
+            let r = beep_ben_or(&g, &clean(), &none, seed, &inputs).unwrap();
+            let first = r.decisions[0];
+            assert!(r.decisions.iter().all(|&d| d == first), "seed {seed}");
+            assert!(r.agreement_phase.is_some(), "seed {seed} never unified");
+        }
+    }
+
+    #[test]
+    fn noisy_runs_reach_agreement_whp() {
+        let g = topology::complete(8).unwrap();
+        let ch: ChannelModel = Noise::bernoulli(0.1).into();
+        let none = FaultPlan::none();
+        let mut agreed = 0;
+        for seed in 0..20 {
+            let mut inputs = [false; 8];
+            inputs[(seed as usize) % 8] = true;
+            inputs[(seed as usize + 3) % 8] = true;
+            let r = beep_ben_or(&g, &ch, &none, seed, &inputs).unwrap();
+            let first = r.decisions[0];
+            if r.decisions.iter().all(|&d| d == first) && r.agreement_phase.is_some() {
+                agreed += 1;
+            }
+        }
+        assert!(agreed >= 19, "only {agreed}/20 noisy runs agreed");
+    }
+
+    #[test]
+    fn coins_are_counter_keyed_not_sequential() {
+        // Same run twice: identical coins, identical outcome — and a
+        // different seed reaches a (generally) different transcript while
+        // both still agree internally.
+        let g = topology::complete(8).unwrap();
+        let ch: ChannelModel = Noise::bernoulli(0.05).into();
+        let none = FaultPlan::none();
+        let mut inputs = [false; 8];
+        inputs[0] = true;
+        inputs[5] = true;
+        let a = beep_ben_or(&g, &ch, &none, 3, &inputs).unwrap();
+        let b = beep_ben_or(&g, &ch, &none, 3, &inputs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_faults_leave_survivors_in_agreement() {
+        let g = topology::complete(8).unwrap();
+        let plan = FaultPlan::try_from_assignments(vec![
+            (0, FaultKind::Crash { round: 2 }),
+            (3, FaultKind::Crash { round: 7 }),
+        ])
+        .unwrap();
+        for seed in 0..5 {
+            let mut inputs = [false; 8];
+            inputs[0] = true; // a crashing holder: either outcome is legal
+            let r = beep_ben_or(&g, &clean(), &plan, seed, &inputs).unwrap();
+            let survivors: Vec<usize> = (1..8).filter(|&v| v != 3).collect();
+            let first = r.decisions[survivors[0]];
+            assert!(
+                survivors.iter().all(|&v| r.decisions[v] == first),
+                "seed {seed}: {:?}",
+                r.decisions
+            );
+        }
+    }
+
+    #[test]
+    fn spam_defeat_forces_one_on_all_zero_inputs() {
+        // The documented defeat condition, asserted rather than skipped: a
+        // single spammer breaks validity (all-zero correct inputs decide 1)
+        // while agreement survives.
+        let g = topology::complete(6).unwrap();
+        let plan = FaultPlan::try_from_assignments(vec![(2, FaultKind::ByzantineSpam)]).unwrap();
+        let r = beep_ben_or(&g, &clean(), &plan, 5, &[false; 6]).unwrap();
+        assert!(
+            (0..6).filter(|&v| v != 2).all(|v| r.decisions[v]),
+            "spam failed to force 1: {:?}",
+            r.decisions
+        );
+    }
+
+    #[test]
+    fn input_length_mismatch_is_an_error() {
+        let g = topology::path(4).unwrap();
+        let err = beep_ben_or(&g, &clean(), &FaultPlan::none(), 0, &[true; 5]).unwrap_err();
+        assert!(matches!(err, AppError::InvalidOutput { .. }), "{err}");
+    }
+}

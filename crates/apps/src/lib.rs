@@ -18,26 +18,35 @@
 //! | Multi-source broadcast | [`multi_source_broadcast`] | noiseless beeps | `O(q²·D)` (superimposed codes, \[6\]) |
 //! | Leader election | [`beep_leader_election`] | noiseless beeps | `O(D log n)` |
 //! | Binary consensus | [`beep_consensus`] | noisy beeps **+ faults** | `O(D · log(n·D)/(½−ε)²)` |
+//! | Randomized consensus | [`beep_ben_or`] | noisy beeps **+ faults** | `O(D · log(n·D)/(½−ε)²)` |
+//! | Reliable broadcast | [`beep_reliable_broadcast`] | noisy beeps **+ faults** | `O(D · log(n·D)/(½−ε)²)` |
+//! | Leader re-election | [`beep_leader_reelect`] | noisy beeps **+ faults** | `O(E·D·log n · log(n·D)/(½−ε)²)` |
 //!
 //! Every task (plus the round-simulation, TDMA-baseline, and
 //! local-broadcast pipelines from `beep-core`) is also addressable *by
 //! name* through the [`Protocol`] registry — the uniform entry point the
 //! scenario-campaign layer (`beep-scenarios`) sweeps.
 
+mod ben_or;
 mod broadcast_wave;
 mod consensus;
 mod error;
 mod leader;
+mod leader_reelect;
 mod multicast;
 mod registry;
+mod reliable_broadcast;
 mod tasks;
 
+pub use ben_or::{beep_ben_or, BenOrReport};
 pub use broadcast_wave::{beep_wave_broadcast, BeepWaveReport};
 pub use consensus::{beep_consensus, consensus_slots_per_phase, ConsensusReport};
 pub use error::AppError;
 pub use leader::{beep_leader_election, LeaderReport};
+pub use leader_reelect::{beep_leader_reelect, LeaderReelectReport};
 pub use multicast::{multi_source_broadcast, MulticastReport};
 pub use registry::{Protocol, ProtocolOutcome};
+pub use reliable_broadcast::{beep_reliable_broadcast, ReliableBroadcastReport};
 pub use tasks::{
     coloring, coloring_with_channel, coloring_with_faults, maximal_independent_set,
     maximal_independent_set_with_channel, maximal_independent_set_with_faults, maximal_matching,

@@ -412,7 +412,7 @@ fn int(v: usize) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use beep_scenarios::validate_report;
+    use beep_scenarios::{validate_report, SCHEMA_VERSION};
     use std::time::Duration;
 
     /// Boots a daemon on an ephemeral port; returns its address and
@@ -514,7 +514,10 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         let report = Json::parse(&body).expect("valid report JSON");
         validate_report(&report).expect("schema-valid report");
-        assert_eq!(report.get("version").and_then(Json::as_i64), Some(3));
+        assert_eq!(
+            report.get("version").and_then(Json::as_i64),
+            Some(SCHEMA_VERSION)
+        );
         assert_eq!(
             report.get("campaign").and_then(Json::as_str),
             Some("daemon-smoke")

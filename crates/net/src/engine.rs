@@ -2,7 +2,7 @@
 
 use crate::channel::{apply_channel_sharded, ChannelCtx, ChannelModel, NoiseModel};
 use crate::error::NetError;
-use crate::faults::FaultPlan;
+use crate::faults::{AdversaryView, FaultPlan, RoundFaults};
 use crate::graph::Graph;
 use crate::node::{Action, BeepProtocol};
 use crate::noise::Noise;
@@ -247,8 +247,13 @@ impl ShardCtx<'_> {
 /// faulty nodes' actions are overridden before the neighborhood OR (so the
 /// overlay is applied identically regardless of shard layout or thread
 /// count), and crashed nodes' received bits are forced to 0 after the
-/// channel. The channel's RNG streams are untouched, so a run with the
-/// empty plan is byte-identical to a fault-free run.
+/// channel. A plan may also carry an
+/// [`AdaptivePolicy`](crate::AdaptivePolicy): its per-round choices are
+/// computed once before the shard fan-out, from observables (submitted
+/// beepers, cumulative per-node beep counts, last network activity) that
+/// are identical in every kernel, and applied through the same two
+/// passes. The channel's RNG streams are untouched either way, so a run
+/// with the empty plan is byte-identical to a fault-free run.
 ///
 /// # Example
 ///
@@ -274,6 +279,9 @@ pub struct BeepNetwork {
     rng: StdRng,
     stats: NetStats,
     beeps_per_node: Vec<u64>,
+    /// The most recent round in which any node effectively beeped (before
+    /// adaptive additions) — part of what an [`AdversaryView`] observes.
+    last_activity: Option<u64>,
     self_hearing_noisy: bool,
     transcript: Option<Transcript>,
     kernel: AdjKernel,
@@ -305,6 +313,7 @@ impl BeepNetwork {
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
             beeps_per_node,
+            last_activity: None,
             self_hearing_noisy: true,
             transcript: None,
             kernel,
@@ -528,14 +537,37 @@ impl BeepNetwork {
         let round = self.stats.rounds as u64;
         // Fault overlay, step 1: override faulty nodes' actions *before*
         // the neighborhood OR and the channel — the same pre-channel point
-        // at which the bitset kernel edits its beeper bitmap.
+        // at which the bitset kernel edits its beeper bitmap. An adaptive
+        // policy then observes the static-effective submissions (the same
+        // AdversaryView the bitset kernel builds pre-fan-out) and adds its
+        // per-round choices on top.
         let overridden: Vec<Action>;
+        let decision: RoundFaults;
+        let pre_adaptive_active: bool;
         let actions: &[Action] = if self.faults.is_empty() {
+            decision = RoundFaults::none();
+            pre_adaptive_active = actions.contains(&Action::Beep);
             actions
         } else {
-            overridden = (0..n)
+            let mut eff: Vec<Action> = (0..n)
                 .map(|v| self.faults.effective_action(v, round, actions[v]))
                 .collect();
+            let submitted = BitVec::from_fn(n, |v| eff[v] == Action::Beep);
+            pre_adaptive_active = submitted.count_ones() > 0;
+            decision = self.faults.decide(&AdversaryView {
+                seed: self.seed,
+                round,
+                beepers: &submitted,
+                beeps_per_node: &self.beeps_per_node,
+                last_activity: self.last_activity,
+            });
+            for &v in decision.spam() {
+                eff[v] = Action::Beep;
+            }
+            for &v in decision.mute() {
+                eff[v] = Action::Listen;
+            }
+            overridden = eff;
             &overridden
         };
         let graph = &self.graph;
@@ -589,8 +621,15 @@ impl BeepNetwork {
         };
         // Fault overlay, step 2: crashed nodes are deaf — their received
         // bit is forced to 0 *after* the channel, so feedback sees silence.
+        // Adaptive deafening clears at the same point.
         for v in self.faults.crashed(round) {
             received[v] = false;
+        }
+        for &v in decision.deafen() {
+            received[v] = false;
+        }
+        if pre_adaptive_active {
+            self.last_activity = Some(round);
         }
         self.stats.rounds += 1;
         for (v, a) in actions.iter().enumerate() {
@@ -683,17 +722,33 @@ impl BeepNetwork {
         // here keeps thread/shard invariance trivial (every shard reads
         // the same beepers) and leaves the channel's counter-keyed streams
         // untouched; an empty plan takes this branch never and the round
-        // is byte-identical to a fault-free run.
+        // is byte-identical to a fault-free run. An adaptive policy makes
+        // its per-round choice here too — once, from observables that are
+        // identical at every thread and shard count — and its spam/mute
+        // edits land on the same bitmap.
         let faulty: BitVec;
+        let decision: RoundFaults;
+        let mut pre_adaptive_count: Option<usize> = None;
         let beepers: &BitVec = if self.faults.is_empty() {
+            decision = RoundFaults::none();
             beepers
         } else {
             let mut effective = beepers.clone();
             self.faults.apply_to_beepers(round, &mut effective);
+            pre_adaptive_count = Some(effective.count_ones());
+            decision = self.faults.decide(&AdversaryView {
+                seed: self.seed,
+                round,
+                beepers: &effective,
+                beeps_per_node: &self.beeps_per_node,
+                last_activity: self.last_activity,
+            });
+            decision.apply_to_beepers(&mut effective);
             faulty = effective;
             &faulty
         };
         let beep_count = beepers.count_ones();
+        let pre_adaptive_active = pre_adaptive_count.map_or(beep_count > 0, |c| c > 0);
         let rows = match &self.kernel {
             AdjKernel::Dense(rows) => Some(rows.as_slice()),
             _ => None,
@@ -763,8 +818,13 @@ impl BeepNetwork {
         }
         // Fault overlay, step 2: crashed nodes are deaf — their received
         // bit is cleared *after* the channel, so feedback (and run_frame
-        // outputs) see silence.
+        // outputs) see silence. Adaptive deafening clears at the same
+        // point.
         self.faults.silence_crashed(round, received);
+        decision.apply_to_received(received);
+        if pre_adaptive_active {
+            self.last_activity = Some(round);
+        }
         self.stats.rounds += 1;
         self.stats.beeps += beep_count as u64;
         self.stats.listens += (n - beep_count) as u64;

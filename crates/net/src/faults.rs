@@ -19,6 +19,19 @@
 //! counter-keyed generator the channel models use, so the faulty set is
 //! reproducible from the seed alone and independent of every channel
 //! stream.
+//!
+//! # Adaptive adversaries
+//!
+//! A static plan fixes its targets before round 0. An [`AdaptivePolicy`]
+//! (installed with [`FaultPlan::with_policy`]) instead chooses fresh
+//! per-round faults from what the adversary has *observed*: the round's
+//! submitted beeper set (a rushing adversary sees submissions before
+//! delivery), each node's cumulative beep count, and when the network was
+//! last active. The choice is a pure function of that observed transcript
+//! prefix plus the reserved [`ADAPTIVE_POLICY_STREAM`] — so adaptive runs
+//! stay bit-identical at every thread and shard count, and a policy draws
+//! from a stream disjoint from both the channel streams and the static
+//! plan realization stream.
 
 use crate::error::NetError;
 use crate::node::Action;
@@ -36,6 +49,20 @@ use rand::{RngExt, SeedableRng};
 /// constants), so the plan's randomness never collides with a channel
 /// noise stream or the Gilbert–Elliott state stream.
 pub const FAULT_PLAN_STREAM: u64 = u64::MAX - 1;
+
+/// The reserved shard index of the adaptive-adversary decision stream.
+///
+/// An [`AdaptivePolicy`] that needs randomness (e.g.
+/// [`AdaptivePolicy::RushingSpam`]'s target selection) draws round `r`'s
+/// choices from
+/// `StdRng::seed_from_u64(noise_stream_seed(seed, r, ADAPTIVE_POLICY_STREAM))`.
+/// This must be its *own* reserved index: keying adaptive draws by
+/// [`FAULT_PLAN_STREAM`] would collide with static plan realization at
+/// round 0, and reusing [`ROUND_STATE_STREAM`](crate::ROUND_STATE_STREAM)
+/// would collide with the channel's per-round state draws in **every**
+/// round. The [`crate::RESERVED_STREAMS`] registry (and its collision
+/// test) pins all reserved indices pairwise distinct.
+pub const ADAPTIVE_POLICY_STREAM: u64 = u64::MAX - 2;
 
 /// How a faulty node misbehaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +93,217 @@ impl FaultKind {
             FaultKind::Crash { .. } => "crash",
             FaultKind::ByzantineSpam => "spam",
             FaultKind::ByzantineMute => "mute",
+        }
+    }
+}
+
+/// What an adaptive adversary observes when choosing one round's faults.
+///
+/// Everything here is a pure function of the execution prefix (plus the
+/// static fault overlay), identical in every kernel at every thread and
+/// shard count — which is exactly why adaptive decisions preserve the
+/// engine's determinism contract.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryView<'a> {
+    /// The network seed (adaptive draws key their reserved stream off it).
+    pub seed: u64,
+    /// The engine round about to execute (0-based cumulative counter).
+    pub round: u64,
+    /// The round's submitted beeper set *after* static fault overrides —
+    /// a rushing adversary reacts to submissions before they are
+    /// delivered.
+    pub beepers: &'a BitVec,
+    /// Cumulative effective beeps per node over all earlier rounds.
+    pub beeps_per_node: &'a [u64],
+    /// The most recent earlier round in which any node effectively beeped
+    /// (before adaptive additions), `None` if the network has been silent.
+    pub last_activity: Option<u64>,
+}
+
+impl AdversaryView<'_> {
+    /// Number of nodes in the network.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.beepers.len()
+    }
+}
+
+/// One round's adaptive fault choices: node sets the adversary forces to
+/// beep, forces silent, or deafens. Applied by every kernel through the
+/// same two override passes as a static plan: `spam`/`mute` edit the
+/// beeper bitmap before the shard fan-out (mute wins where both name a
+/// node), `deafen` clears received bits after the channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundFaults {
+    spam: Vec<usize>,
+    mute: Vec<usize>,
+    deafen: Vec<usize>,
+}
+
+impl RoundFaults {
+    /// The empty decision: the adversary sits this round out.
+    #[must_use]
+    pub fn none() -> Self {
+        RoundFaults::default()
+    }
+
+    /// Builds a decision from sorted-or-not node lists (each is sorted
+    /// internally; duplicates are harmless — set/clear is idempotent).
+    #[must_use]
+    pub fn new(mut spam: Vec<usize>, mut mute: Vec<usize>, mut deafen: Vec<usize>) -> Self {
+        spam.sort_unstable();
+        mute.sort_unstable();
+        deafen.sort_unstable();
+        RoundFaults { spam, mute, deafen }
+    }
+
+    /// `true` iff the decision changes nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spam.is_empty() && self.mute.is_empty() && self.deafen.is_empty()
+    }
+
+    /// Nodes forced to beep this round, ascending.
+    #[must_use]
+    pub fn spam(&self) -> &[usize] {
+        &self.spam
+    }
+
+    /// Nodes forced silent this round, ascending.
+    #[must_use]
+    pub fn mute(&self) -> &[usize] {
+        &self.mute
+    }
+
+    /// Nodes whose received bit is cleared after the channel, ascending.
+    #[must_use]
+    pub fn deafen(&self) -> &[usize] {
+        &self.deafen
+    }
+
+    /// Pass 1: edits the round's beeper bitmap in place — spam bits are
+    /// set first, then mute bits cleared, so mute wins on overlap.
+    pub fn apply_to_beepers(&self, beepers: &mut BitVec) {
+        for &v in &self.spam {
+            beepers.set(v, true);
+        }
+        for &v in &self.mute {
+            beepers.set(v, false);
+        }
+    }
+
+    /// Pass 2: clears deafened nodes' received bits after the channel.
+    pub fn apply_to_received(&self, received: &mut BitVec) {
+        for &v in &self.deafen {
+            received.set(v, false);
+        }
+    }
+}
+
+/// An adversary that chooses faults from the observed execution rather
+/// than a static plan. [`AdaptivePolicy`] is the closed enum of shipped
+/// implementations (mirroring how [`crate::NoiseModel`] relates to
+/// [`crate::ChannelModel`]).
+pub trait AdaptiveAdversary {
+    /// Stable id string, used in reports and campaign cell ids.
+    fn label(&self) -> String;
+
+    /// `true` iff [`decide`](Self::decide) provably returns the empty
+    /// decision in every round — such a policy must be a byte-identical
+    /// no-op on the transcript (pinned by the golden suite).
+    fn is_noop(&self) -> bool;
+
+    /// Chooses this round's faults from the observed prefix. Must be a
+    /// pure function of `view` (randomness only via the reserved
+    /// [`ADAPTIVE_POLICY_STREAM`] keyed by `(view.seed, view.round)`).
+    fn decide(&self, view: &AdversaryView<'_>) -> RoundFaults;
+}
+
+/// The closed set of adaptive adversaries the engine ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptivePolicy {
+    /// Targets the `budget` nodes with the highest cumulative beep count
+    /// (ties to the lower id; nodes that never beeped are not worth a
+    /// slot of the budget) and jams them for the round: they are both
+    /// muted and deafened — a per-round targeted outage of whoever
+    /// carries the most information.
+    TargetLoudest {
+        /// Maximum nodes jammed per round (0 = provable no-op).
+        budget: usize,
+    },
+    /// A rushing spammer: whenever any node submits a beep this round —
+    /// the adversary sees submissions before delivery — or the network
+    /// was active within the last `window` rounds, it forces `budget`
+    /// silent nodes (drawn without replacement from the reserved
+    /// [`ADAPTIVE_POLICY_STREAM`]) to beep too, flooding the carrier
+    /// right when the protocol is trying to say something.
+    RushingSpam {
+        /// Maximum nodes forced to beep per active round (0 = no-op).
+        budget: usize,
+        /// How many rounds after observed activity the spam keeps going.
+        window: u64,
+    },
+}
+
+impl AdaptiveAdversary for AdaptivePolicy {
+    fn label(&self) -> String {
+        match *self {
+            AdaptivePolicy::TargetLoudest { budget } => format!("loudest-b{budget}"),
+            AdaptivePolicy::RushingSpam { budget, window } => {
+                format!("rushing-b{budget}-w{window}")
+            }
+        }
+    }
+
+    fn is_noop(&self) -> bool {
+        match *self {
+            AdaptivePolicy::TargetLoudest { budget }
+            | AdaptivePolicy::RushingSpam { budget, .. } => budget == 0,
+        }
+    }
+
+    fn decide(&self, view: &AdversaryView<'_>) -> RoundFaults {
+        match *self {
+            AdaptivePolicy::TargetLoudest { budget } => {
+                if budget == 0 {
+                    return RoundFaults::none();
+                }
+                let mut loud: Vec<usize> = (0..view.node_count())
+                    .filter(|&v| view.beeps_per_node[v] > 0)
+                    .collect();
+                loud.sort_by(|&a, &b| {
+                    view.beeps_per_node[b]
+                        .cmp(&view.beeps_per_node[a])
+                        .then(a.cmp(&b))
+                });
+                loud.truncate(budget);
+                RoundFaults::new(Vec::new(), loud.clone(), loud)
+            }
+            AdaptivePolicy::RushingSpam { budget, window } => {
+                if budget == 0 {
+                    return RoundFaults::none();
+                }
+                let rushing = view.beepers.count_ones() > 0;
+                let lingering = view.last_activity.is_some_and(|a| view.round - a <= window);
+                if !rushing && !lingering {
+                    return RoundFaults::none();
+                }
+                let mut silent: Vec<usize> = (0..view.node_count())
+                    .filter(|&v| !view.beepers.get(v))
+                    .collect();
+                let count = budget.min(silent.len());
+                let mut rng = StdRng::seed_from_u64(noise_stream_seed(
+                    view.seed,
+                    view.round,
+                    ADAPTIVE_POLICY_STREAM,
+                ));
+                for i in 0..count {
+                    let j = rng.random_range(i..silent.len());
+                    silent.swap(i, j);
+                }
+                silent.truncate(count);
+                RoundFaults::new(silent, Vec::new(), Vec::new())
+            }
         }
     }
 }
@@ -105,6 +343,9 @@ impl FaultKind {
 pub struct FaultPlan {
     /// Assignments sorted by node id, one per node.
     assignments: Vec<(usize, FaultKind)>,
+    /// Optional adaptive adversary choosing additional per-round faults
+    /// from the observed transcript (applied after the static overrides).
+    policy: Option<AdaptivePolicy>,
 }
 
 impl FaultPlan {
@@ -128,7 +369,10 @@ impl FaultPlan {
                 detail: format!("node {} assigned two faults", w[0].0),
             });
         }
-        Ok(FaultPlan { assignments })
+        Ok(FaultPlan {
+            assignments,
+            policy: None,
+        })
     }
 
     /// Realizes a plan over `n` nodes: `⌊fraction · n⌋` distinct nodes are
@@ -162,13 +406,55 @@ impl FaultPlan {
         nodes.sort_unstable();
         Ok(FaultPlan {
             assignments: nodes.into_iter().map(|v| (v, kind)).collect(),
+            policy: None,
         })
     }
 
-    /// `true` iff no node is faulty (the plan is a guaranteed no-op).
+    /// Attaches an [`AdaptivePolicy`] to the plan: from then on the
+    /// engine asks the policy for extra per-round faults (computed once
+    /// per round, before the shard fan-out) on top of the static
+    /// assignments.
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdaptivePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// A plan with no static assignments, only an adaptive policy.
+    #[must_use]
+    pub fn from_policy(policy: AdaptivePolicy) -> Self {
+        FaultPlan::none().with_policy(policy)
+    }
+
+    /// The attached adaptive policy, if any.
+    #[must_use]
+    pub fn policy(&self) -> Option<AdaptivePolicy> {
+        self.policy
+    }
+
+    /// `true` iff the attached policy can actually act (present and not a
+    /// provable no-op).
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        self.policy.is_some_and(|p| !p.is_noop())
+    }
+
+    /// Asks the attached policy (if it can act) for this round's extra
+    /// faults; static-only and no-op-policy plans return the empty
+    /// decision without consuming any stream.
+    #[must_use]
+    pub fn decide(&self, view: &AdversaryView<'_>) -> RoundFaults {
+        match self.policy {
+            Some(p) if !p.is_noop() => p.decide(view),
+            _ => RoundFaults::none(),
+        }
+    }
+
+    /// `true` iff no node is faulty and no adaptive policy can act — the
+    /// plan is a guaranteed (byte-identical) no-op.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.assignments.is_empty()
+        self.assignments.is_empty() && !self.is_adaptive()
     }
 
     /// Number of faulty nodes.
@@ -394,5 +680,178 @@ mod tests {
         assert_eq!(FaultKind::Crash { round: 0 }.keyword(), "crash");
         assert_eq!(FaultKind::ByzantineSpam.keyword(), "spam");
         assert_eq!(FaultKind::ByzantineMute.keyword(), "mute");
+    }
+
+    fn view<'a>(
+        seed: u64,
+        round: u64,
+        beepers: &'a BitVec,
+        beeps: &'a [u64],
+        last_activity: Option<u64>,
+    ) -> AdversaryView<'a> {
+        AdversaryView {
+            seed,
+            round,
+            beepers,
+            beeps_per_node: beeps,
+            last_activity,
+        }
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        use crate::faults::AdaptiveAdversary;
+        assert_eq!(
+            AdaptivePolicy::TargetLoudest { budget: 2 }.label(),
+            "loudest-b2"
+        );
+        assert_eq!(
+            AdaptivePolicy::RushingSpam {
+                budget: 3,
+                window: 4
+            }
+            .label(),
+            "rushing-b3-w4"
+        );
+    }
+
+    #[test]
+    fn zero_budget_policies_are_noops_and_keep_plans_empty() {
+        use crate::faults::AdaptiveAdversary;
+        for p in [
+            AdaptivePolicy::TargetLoudest { budget: 0 },
+            AdaptivePolicy::RushingSpam {
+                budget: 0,
+                window: 9,
+            },
+        ] {
+            assert!(p.is_noop());
+            let beepers = BitVec::ones(6);
+            let beeps = vec![5; 6];
+            assert!(p.decide(&view(1, 3, &beepers, &beeps, Some(2))).is_empty());
+            let plan = FaultPlan::from_policy(p);
+            assert!(plan.is_empty(), "no-op policy must keep the plan empty");
+            assert!(!plan.is_adaptive());
+        }
+        let active = FaultPlan::from_policy(AdaptivePolicy::TargetLoudest { budget: 1 });
+        assert!(!active.is_empty());
+        assert!(active.is_adaptive());
+        assert_eq!(active.len(), 0, "no static assignments");
+    }
+
+    #[test]
+    fn target_loudest_jams_top_beepers_ties_to_lower_id() {
+        let p = AdaptivePolicy::TargetLoudest { budget: 2 };
+        let beepers = BitVec::zeros(6);
+        // Counts: node 4 loudest, nodes 1 and 3 tied — the tie goes to 1.
+        let beeps = vec![0, 3, 0, 3, 7, 1];
+        let d = FaultPlan::from_policy(p).decide(&view(9, 5, &beepers, &beeps, Some(4)));
+        assert_eq!(d.mute(), &[1, 4]);
+        assert_eq!(d.deafen(), &[1, 4]);
+        assert!(d.spam().is_empty());
+        // An all-silent history gives the adversary nothing to target.
+        let silent = vec![0; 6];
+        assert!(FaultPlan::from_policy(p)
+            .decide(&view(9, 5, &beepers, &silent, None))
+            .is_empty());
+    }
+
+    #[test]
+    fn rushing_spam_reacts_to_submissions_and_lingers_in_its_window() {
+        let p = AdaptivePolicy::RushingSpam {
+            budget: 2,
+            window: 3,
+        };
+        let plan = FaultPlan::from_policy(p);
+        let beeps = vec![0; 8];
+        // Nothing observed, nothing submitted: no spam.
+        let quiet = BitVec::zeros(8);
+        assert!(plan.decide(&view(7, 0, &quiet, &beeps, None)).is_empty());
+        // A submission this round triggers spam of silent nodes only.
+        let loud = BitVec::from_indices(8, [2]);
+        let d = plan.decide(&view(7, 1, &loud, &beeps, None));
+        assert_eq!(d.spam().len(), 2);
+        assert!(d.spam().iter().all(|&v| v != 2 && v < 8));
+        assert!(d.mute().is_empty() && d.deafen().is_empty());
+        // Within the window after observed activity the spam keeps going…
+        assert!(!plan.decide(&view(7, 4, &quiet, &beeps, Some(1))).is_empty());
+        // …and stops once the window has passed.
+        assert!(plan.decide(&view(7, 5, &quiet, &beeps, Some(1))).is_empty());
+    }
+
+    #[test]
+    fn rushing_spam_draws_from_the_reserved_adaptive_stream() {
+        // Re-derive the target selection from the documented stream alone.
+        let p = AdaptivePolicy::RushingSpam {
+            budget: 3,
+            window: 0,
+        };
+        let n = 12;
+        let loud = BitVec::from_indices(n, [5]);
+        let beeps = vec![0; n];
+        let d = FaultPlan::from_policy(p).decide(&view(42, 6, &loud, &beeps, None));
+        let mut rng = StdRng::seed_from_u64(noise_stream_seed(42, 6, ADAPTIVE_POLICY_STREAM));
+        let mut silent: Vec<usize> = (0..n).filter(|&v| v != 5).collect();
+        for i in 0..3 {
+            let j = rng.random_range(i..silent.len());
+            silent.swap(i, j);
+        }
+        let mut expected = silent[..3].to_vec();
+        expected.sort_unstable();
+        assert_eq!(d.spam(), expected.as_slice());
+        // Same view, same decision: the draw is counter-keyed, not stateful.
+        let again = FaultPlan::from_policy(p).decide(&view(42, 6, &loud, &beeps, None));
+        assert_eq!(d, again);
+    }
+
+    #[test]
+    fn round_faults_apply_spam_then_mute_then_deafen() {
+        let d = RoundFaults::new(vec![3, 1], vec![3], vec![0]);
+        assert_eq!(
+            (d.spam(), d.mute(), d.deafen()),
+            (&[1, 3][..], &[3][..], &[0][..])
+        );
+        let mut beepers = BitVec::from_indices(5, [4]);
+        d.apply_to_beepers(&mut beepers);
+        // 1 spammed, 3 spammed-then-muted (mute wins), 4 untouched.
+        assert_eq!(beepers.to_string(), "01001");
+        let mut received = BitVec::ones(5);
+        d.apply_to_received(&mut received);
+        assert_eq!(received.to_string(), "01111");
+        assert!(RoundFaults::none().is_empty());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn reserved_stream_ids_never_collide() {
+        // Satellite fix: adaptive-policy draws must not collide with the
+        // channel's ROUND_STATE_STREAM (or any other reserved stream).
+        // Enumerate ALL reserved shard ids: pairwise distinct, far outside
+        // any real shard range, and keying distinct streams.
+        let streams = crate::RESERVED_STREAMS;
+        assert_eq!(streams.len(), 4, "register new reserved streams here");
+        for (i, &(name_a, id_a)) in streams.iter().enumerate() {
+            assert!(
+                id_a > u64::MAX - 64,
+                "{name_a} must sit far above real shard indices"
+            );
+            for &(name_b, id_b) in &streams[i + 1..] {
+                assert_ne!(id_a, id_b, "{name_a} collides with {name_b}");
+                // And the keyed streams differ at every (seed, round) the
+                // reserved draws actually use (round 0 = realization).
+                for round in [0u64, 1, 7] {
+                    assert_ne!(
+                        noise_stream_seed(11, round, id_a),
+                        noise_stream_seed(11, round, id_b),
+                        "{name_a} and {name_b} key the same stream at round {round}"
+                    );
+                }
+            }
+        }
+        let ids: Vec<u64> = streams.iter().map(|&(_, id)| id).collect();
+        assert!(ids.contains(&crate::ROUND_STATE_STREAM));
+        assert!(ids.contains(&FAULT_PLAN_STREAM));
+        assert!(ids.contains(&ADAPTIVE_POLICY_STREAM));
+        assert!(ids.contains(&crate::PROTOCOL_COIN_STREAM));
     }
 }

@@ -72,8 +72,28 @@ pub use channel::{
 };
 pub use engine::BeepNetwork;
 pub use error::{GraphError, NetError};
-pub use faults::{FaultKind, FaultPlan, FAULT_PLAN_STREAM};
+pub use faults::{
+    AdaptiveAdversary, AdaptivePolicy, AdversaryView, FaultKind, FaultPlan, RoundFaults,
+    ADAPTIVE_POLICY_STREAM, FAULT_PLAN_STREAM,
+};
 pub use graph::{Graph, NodeId};
 pub use node::{Action, BeepProtocol};
-pub use noise::{noise_stream_seed, Noise};
+pub use noise::{noise_stream_seed, protocol_coin, Noise, PROTOCOL_COIN_STREAM};
 pub use trace::{NetStats, Transcript};
+
+/// Every reserved shard index in the workspace, by stable name.
+///
+/// Real shard indices are `0..S` for small constant shard counts; reserved
+/// indices sit at the top of the `u64` range so counter-keyed draws that
+/// are *not* per-shard channel noise (per-round channel state, fault-plan
+/// realization, adaptive-adversary decisions, protocol coins) can never
+/// collide with any shard's flip stream — or with each other. The
+/// registry exists so the collision test in `faults.rs` enumerates *all*
+/// reserved indices: adding a stream without registering it here fails
+/// that test's count check.
+pub const RESERVED_STREAMS: [(&str, u64); 4] = [
+    ("round-state", ROUND_STATE_STREAM),
+    ("fault-plan", FAULT_PLAN_STREAM),
+    ("adaptive-policy", ADAPTIVE_POLICY_STREAM),
+    ("protocol-coin", PROTOCOL_COIN_STREAM),
+];

@@ -2,7 +2,8 @@
 
 use crate::error::NetError;
 use beep_bits::BitVec;
-use rand::{Rng, RngExt};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
 
 /// Derives the seed of the noise RNG stream for one `(seed, round, shard)`
 /// cell — the determinism contract of the sharded round engine.
@@ -23,6 +24,33 @@ use rand::{Rng, RngExt};
 #[must_use]
 pub fn noise_stream_seed(seed: u64, round: u64, shard: u64) -> u64 {
     seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shard.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+}
+
+/// The reserved shard index of the per-(node, phase) protocol coin stream.
+///
+/// Randomized protocols built on the engine (currently `beep_ben_or` in
+/// `beep-apps`) derive node `v`'s phase-`p` coin via [`protocol_coin`] —
+/// counter-keyed like everything else, so transcripts stay pure functions
+/// of `(graph, channel, faults, seed, actions, shard_count)` and coins
+/// never perturb (or collide with) the channel, fault-realization, or
+/// adaptive-policy streams. Listed in
+/// [`RESERVED_STREAMS`](crate::RESERVED_STREAMS); coin golden values are
+/// pinned by `noise_stream_golden.rs`.
+pub const PROTOCOL_COIN_STREAM: u64 = u64::MAX - 3;
+
+/// Node `node`'s fair coin for phase `phase` of a randomized protocol
+/// seeded with `seed`.
+///
+/// The draw is `StdRng::seed_from_u64(noise_stream_seed(seed, phase,
+/// PROTOCOL_COIN_STREAM) ^ (node + 1)·M)` with `M` an odd 64-bit mixing
+/// constant (the rrmxmx finalizer multiplier), so distinct nodes key
+/// distinct streams and node 0 is not the unmixed phase key. Pinned by the
+/// coin-stream golden test; change it only with a documented break.
+#[must_use]
+pub fn protocol_coin(seed: u64, node: usize, phase: u64) -> bool {
+    let key = noise_stream_seed(seed, phase, PROTOCOL_COIN_STREAM)
+        ^ (node as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    StdRng::seed_from_u64(key).random_bool(0.5)
 }
 
 /// The channel model applied to every bit a node receives.

@@ -11,8 +11,8 @@
 
 use beep_bits::BitVec;
 use beep_net::{
-    topology, Action, AdversarialErasure, BeepNetwork, ChannelModel, FaultKind, FaultPlan,
-    GilbertElliott, Graph, Noise, PerNodeEps,
+    topology, Action, AdaptiveAdversary, AdaptivePolicy, AdversarialErasure, BeepNetwork,
+    ChannelModel, FaultKind, FaultPlan, GilbertElliott, Graph, Noise, PerNodeEps,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -525,6 +525,188 @@ fn fault_plans(n: usize) -> Vec<(&'static str, FaultPlan)> {
             .unwrap(),
         ),
     ]
+}
+
+/// Every adaptive policy the oracles sweep: each pure-policy variant at a
+/// budget that bites at these sizes, plus static + adaptive compositions
+/// that pin the overlay order (static overrides first, then the adaptive
+/// decision) in every kernel.
+fn adaptive_plans(n: usize) -> Vec<(String, FaultPlan)> {
+    let mut plans: Vec<(String, FaultPlan)> = [
+        AdaptivePolicy::TargetLoudest { budget: n / 4 + 1 },
+        AdaptivePolicy::RushingSpam {
+            budget: n / 8 + 1,
+            window: 2,
+        },
+    ]
+    .into_iter()
+    .map(|p| (p.label(), FaultPlan::from_policy(p)))
+    .collect();
+    plans.push((
+        "crash+loudest".into(),
+        FaultPlan::realize(n, 0.25, FaultKind::Crash { round: 3 }, 0xAE)
+            .unwrap()
+            .with_policy(AdaptivePolicy::TargetLoudest { budget: 3 }),
+    ));
+    plans.push((
+        "mute+rushing".into(),
+        FaultPlan::realize(n, 0.25, FaultKind::ByzantineMute, 0xAF)
+            .unwrap()
+            .with_policy(AdaptivePolicy::RushingSpam {
+                budget: 2,
+                window: 1,
+            }),
+    ));
+    plans
+}
+
+#[test]
+fn adaptive_scalar_bitset_threaded_agree_bit_for_bit() {
+    // The adaptive decision is computed once per round from thread-
+    // invariant observables (post-static submitted beepers, cumulative
+    // per-node energy, last activity round) and applied through the same
+    // two override passes as static faults — so scalar ≡ bitset ≡ threaded
+    // must stay bit-for-bit under every AdaptivePolicy, across every
+    // topology generator, threads {1, 2, 4, 8} × shards {1, 2, 8}.
+    // Counter-keyed channel for the same reason as the static-fault oracle.
+    let mut rng = StdRng::seed_from_u64(0xADA7);
+    let channel: ChannelModel = GilbertElliott::try_new(0.05, 0.3, 0.25, 0.4)
+        .unwrap()
+        .into();
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        for (key, plan) in adaptive_plans(n) {
+            for shards in SHARD_COUNTS {
+                let mut scalar = BeepNetwork::new(graph.clone(), channel.clone(), 23);
+                scalar.set_shard_count(shards);
+                scalar.set_fault_plan(plan.clone()).unwrap();
+                let mut threaded: Vec<BeepNetwork> = THREAD_COUNTS
+                    .iter()
+                    .map(|&threads| {
+                        let mut net = BeepNetwork::new(graph.clone(), channel.clone(), 23);
+                        net.set_shard_count(shards);
+                        net.set_parallelism(threads);
+                        net.set_fault_plan(plan.clone()).unwrap();
+                        net
+                    })
+                    .collect();
+                for round in 0..6 {
+                    let density = [0.0, 0.1, 0.5, 1.0][round % 4];
+                    let actions = random_actions(n, density, &mut rng);
+                    let beepers = beeper_bitmap(&actions);
+                    let expected = scalar.run_round(&actions).unwrap();
+                    for net in &mut threaded {
+                        let received = net.run_round_bitset(&beepers).unwrap();
+                        assert_eq!(
+                            expected,
+                            received.iter_bits().collect::<Vec<bool>>(),
+                            "{name} {key} round {round} threads={} shards={shards}",
+                            net.parallelism(),
+                        );
+                    }
+                }
+                for net in &threaded {
+                    assert_eq!(
+                        scalar.stats(),
+                        net.stats(),
+                        "{name} {key} shards={shards} stats"
+                    );
+                    assert_eq!(
+                        scalar.beeps_by_node(),
+                        net.beeps_by_node(),
+                        "{name} {key} shards={shards} energy"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_frames_match_round_by_round_driving() {
+    // run_frame under an adaptive plan ≡ driving the same frame one
+    // run_round at a time: the per-round decision must be recomputed per
+    // slot inside the batched kernel (the adversary watches slots, not
+    // frames).
+    let mut rng = StdRng::seed_from_u64(0xADA8);
+    let channel: ChannelModel = GilbertElliott::try_new(0.05, 0.3, 0.25, 0.4)
+        .unwrap()
+        .into();
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let len = 8;
+        let plan = FaultPlan::realize(n, 0.2, FaultKind::Crash { round: 4 }, 0xB0)
+            .unwrap()
+            .with_policy(AdaptivePolicy::RushingSpam {
+                budget: n / 8 + 1,
+                window: 2,
+            });
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 2 == 0).then(|| BitVec::random_uniform(len, &mut rng)))
+            .collect();
+        let mut scalar = BeepNetwork::new(graph.clone(), channel.clone(), 37);
+        scalar.set_fault_plan(plan.clone()).unwrap();
+        let mut batched = BeepNetwork::new(graph.clone(), channel.clone(), 37);
+        batched.set_fault_plan(plan).unwrap();
+        let mut expected: Vec<BitVec> = (0..n).map(|_| BitVec::zeros(len)).collect();
+        let mut actions = vec![Action::Listen; n];
+        for i in 0..len {
+            for (v, frame) in frames.iter().enumerate() {
+                actions[v] = match frame {
+                    Some(f) if f.get(i) => Action::Beep,
+                    _ => Action::Listen,
+                };
+            }
+            for (v, &bit) in scalar.run_round(&actions).unwrap().iter().enumerate() {
+                if bit {
+                    expected[v].set(i, true);
+                }
+            }
+        }
+        let heard = batched.run_frame(&frames).unwrap();
+        assert_eq!(heard, expected, "{name}");
+        assert_eq!(scalar.stats(), batched.stats(), "{name} stats");
+    }
+}
+
+#[test]
+fn adaptive_noisy_transcripts_are_thread_and_shard_invariant() {
+    // The determinism contract extended by the adaptive axis: transcripts
+    // stay pure functions of (graph, channel, faults, seed, actions,
+    // shard_count) — bit-identical at every tested thread count, for every
+    // AdaptivePolicy.
+    let mut rng = StdRng::seed_from_u64(0xADA9);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let beeper_sets: Vec<BitVec> = (0..6)
+            .map(|round| {
+                let density = [0.0, 0.1, 0.5][round % 3];
+                beeper_bitmap(&random_actions(n, density, &mut rng))
+            })
+            .collect();
+        for (key, plan) in adaptive_plans(n) {
+            for shards in SHARD_COUNTS {
+                let run = |threads: usize| {
+                    let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.25), 7);
+                    net.set_shard_count(shards);
+                    net.set_parallelism(threads);
+                    net.set_fault_plan(plan.clone()).unwrap();
+                    beeper_sets
+                        .iter()
+                        .map(|b| net.run_round_bitset(b).unwrap())
+                        .collect::<Vec<BitVec>>()
+                };
+                let reference = run(THREAD_COUNTS[0]);
+                for &threads in &THREAD_COUNTS[1..] {
+                    assert_eq!(
+                        run(threads),
+                        reference,
+                        "{name} {key} threads={threads} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

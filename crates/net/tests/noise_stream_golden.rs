@@ -21,8 +21,8 @@
 
 use beep_bits::BitVec;
 use beep_net::{
-    noise_stream_seed, topology, AdversarialErasure, BeepNetwork, ChannelModel, FaultKind,
-    FaultPlan, GilbertElliott, Noise, PerNodeEps,
+    noise_stream_seed, protocol_coin, topology, AdaptivePolicy, AdversarialErasure, BeepNetwork,
+    ChannelModel, FaultKind, FaultPlan, GilbertElliott, Noise, PerNodeEps, PROTOCOL_COIN_STREAM,
 };
 
 /// FNV-1a over the words of a sequence of received frames — a stable,
@@ -327,6 +327,165 @@ fn golden_faulted_transcripts_survive_any_thread_count() {
             );
         }
     }
+}
+
+/// Like [`faulted_transcript`], but under an arbitrary (possibly adaptive)
+/// plan built by the caller.
+fn adaptive_transcript(plan: FaultPlan, seed: u64, shards: usize, threads: usize) -> Vec<BitVec> {
+    let n = 512;
+    let mut net = BeepNetwork::new(topology::cycle(n).unwrap(), Noise::bernoulli(0.1), seed);
+    net.set_shard_count(shards);
+    net.set_parallelism(threads);
+    net.set_fault_plan(plan).unwrap();
+    let beepers = BitVec::from_fn(n, |v| v % 37 == 0);
+    (0..8)
+        .map(|_| net.run_round_bitset(&beepers).unwrap())
+        .collect()
+}
+
+/// The golden adaptive suite: one actionable parameterization per policy,
+/// plus a static + adaptive composition pinning the overlay order.
+fn golden_policies() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "loudest",
+            FaultPlan::from_policy(AdaptivePolicy::TargetLoudest { budget: 16 }),
+        ),
+        (
+            "rushing",
+            FaultPlan::from_policy(AdaptivePolicy::RushingSpam {
+                budget: 16,
+                window: 2,
+            }),
+        ),
+        (
+            "mute+rushing",
+            FaultPlan::realize(512, 0.125, FaultKind::ByzantineMute, 1)
+                .unwrap()
+                .with_policy(AdaptivePolicy::RushingSpam {
+                    budget: 8,
+                    window: 1,
+                }),
+        ),
+    ]
+}
+
+#[test]
+fn golden_adaptive_transcripts_per_policy_seed_shards() {
+    // The adaptive decision composes with the pinned noise stream without
+    // disturbing it: each (policy, seed, shards) cell gets its own
+    // fingerprint. A change to the decision inputs (post-static beepers,
+    // cumulative energy, last activity), to the RushingSpam draw, or to
+    // the reserved ADAPTIVE_POLICY_STREAM id fails here.
+    let mut computed = Vec::new();
+    for (key, plan) in golden_policies() {
+        for &(seed, shards) in &[(1u64, 1usize), (1, 8), (9, 8)] {
+            let fp = transcript_fingerprint(&adaptive_transcript(plan.clone(), seed, shards, 1));
+            println!("{key} seed={seed} shards={shards}: {fp:#018X}");
+            computed.push(fp);
+        }
+    }
+    assert_eq!(
+        computed,
+        vec![
+            0x0289_2B4C_3A86_C3B5,
+            0xE659_0AE6_E582_CB27,
+            0x4A68_4CEB_30AE_698A,
+            0x178B_8F12_DAF8_F319,
+            0x183C_D741_910D_3517,
+            0x2902_07C4_1E8C_6956,
+            0x37A7_0688_A2DC_8B10,
+            0xF1DD_2931_51A4_D35A,
+            0x499F_4A5D_C554_000C,
+        ]
+    );
+}
+
+#[test]
+fn golden_adaptive_transcripts_survive_any_thread_count() {
+    // Adaptive pins are thread-count-invariant too: the decision is made
+    // once per round before the shard fan-out, so the parallel path must
+    // reproduce the single-thread fingerprint for every policy.
+    for (key, plan) in golden_policies() {
+        let reference = transcript_fingerprint(&adaptive_transcript(plan.clone(), 1, 8, 1));
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                transcript_fingerprint(&adaptive_transcript(plan.clone(), 1, 8, threads)),
+                reference,
+                "{key} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_budget_policies_leave_the_golden_stream_untouched() {
+    // A zero-budget policy is a provable no-op: the plan stays empty, the
+    // engine takes the fault-free fast path, and the fault-free golden
+    // fingerprint must come out byte-identical.
+    for policy in [
+        AdaptivePolicy::TargetLoudest { budget: 0 },
+        AdaptivePolicy::RushingSpam {
+            budget: 0,
+            window: 3,
+        },
+    ] {
+        let frames = adaptive_transcript(FaultPlan::from_policy(policy), 1, 8, 1);
+        assert_eq!(
+            transcript_fingerprint(&frames),
+            0xF20B_61B1_63CB_81F1,
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_protocol_coin_stream_values() {
+    // Protocol coins draw from the reserved PROTOCOL_COIN_STREAM shard of
+    // the same counter-keyed generator: pin the keyed seeds and the coin
+    // bits themselves so a change to the stream id, the per-node mixing
+    // constant, or the draw moves loudly. Recorded `beep_ben_or` runs
+    // depend on exactly these bits.
+    let keys: Vec<u64> = (0..3)
+        .map(|phase| noise_stream_seed(1, phase, PROTOCOL_COIN_STREAM))
+        .collect();
+    println!("coin stream keys (seed 1): {keys:#018X?}");
+    assert_eq!(
+        computed_coin_grid(1),
+        "1010100000001000_0001000000000111_1110111101000001",
+        "coin grid (seed 1)"
+    );
+    assert_eq!(
+        keys,
+        vec![
+            0x8137_8E6B_859C_836D,
+            0x1F00_F7D2_FAD6_FF78,
+            0xBD59_7D19_7B08_7B47,
+        ]
+    );
+    // Coins are seed-sensitive and not constant per phase.
+    assert_ne!(computed_coin_grid(1), computed_coin_grid(2));
+}
+
+/// Phases 0..3 × nodes 0..16 of the coin stream, one `_`-separated bit row
+/// per phase (printed so a deliberate break can regenerate the pin).
+fn computed_coin_grid(seed: u64) -> String {
+    let grid: Vec<String> = (0..3)
+        .map(|phase| {
+            (0..16)
+                .map(|v| {
+                    if protocol_coin(seed, v, phase) {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let joined = grid.join("_");
+    println!("coin grid (seed {seed}): {joined}");
+    joined
 }
 
 #[test]

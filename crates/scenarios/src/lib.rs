@@ -85,5 +85,6 @@ pub use run::{
 };
 pub use sink::{FnSink, MemorySink, ResultSink, TeeSink};
 pub use spec::{
-    cell_seed, CampaignSpec, CellSpec, ChannelSpec, FaultSpec, TopologyFamily, TopologySpec,
+    cell_seed, CampaignSpec, CellSpec, ChannelSpec, FaultSpec, PolicySpec, TopologyFamily,
+    TopologySpec,
 };

@@ -1,12 +1,12 @@
 //! Campaign results: per-cell records, the campaign summary, the
 //! schema-versioned JSON report, and a human-readable table.
 //!
-//! # Report schema (`beep-campaign-report`, version 3)
+//! # Report schema (`beep-campaign-report`, version 4)
 //!
 //! ```json
 //! {
 //!   "schema": "beep-campaign-report",
-//!   "version": 3,
+//!   "version": 4,
 //!   "campaign": "<name>",
 //!   "cells": [ { …one object per cell, in matrix order… } ],
 //!   "summary": { "cells": N, "ok": …, "failed": …, "skipped": …,
@@ -20,7 +20,11 @@
 //! label, `eps{ε}` for iid cells) alongside the calibration `"epsilon"`.
 //! Version 3 added the per-cell `"faults"` string — the fault-axis label
 //! (`crash-f{fraction}-r{round}`, `spam-f{fraction}`, `mute-f{fraction}`)
-//! or `"none"` for fault-free cells.
+//! or `"none"` for fault-free cells. Version 4 extended the `"faults"`
+//! label vocabulary with adaptive-policy segments (`loudest-f{frac}`,
+//! `rushing-f{frac}-w{window}`, and `{static}+{policy}` compositions) —
+//! the field shapes are unchanged, but a v3 consumer would misparse the
+//! new labels, so the version gates them.
 //!
 //! Everything except the `wall_ms` fields (one per cell plus the
 //! campaign-level one) is a pure function of the spec — re-running the
@@ -36,8 +40,9 @@ use crate::json::Json;
 pub const SCHEMA_NAME: &str = "beep-campaign-report";
 /// Current schema version. Bump on structural change and record the
 /// break in CHANGES.md. Version 2 added the per-cell `channel` label;
-/// version 3 added the per-cell `faults` label.
-pub const SCHEMA_VERSION: i64 = 3;
+/// version 3 added the per-cell `faults` label; version 4 extended the
+/// `faults` label vocabulary with adaptive-policy segments.
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// How a cell's execution ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +103,10 @@ pub struct CellResult {
     /// `adv-…` for the richer models).
     pub channel: String,
     /// Fault-axis label (`crash-f{fraction}-r{round}`/`spam-f{fraction}`/
-    /// `mute-f{fraction}`; `"none"` for fault-free cells).
+    /// `mute-f{fraction}` for static entries, `loudest-f{frac}`/
+    /// `rushing-f{frac}-w{window}` for adaptive policies,
+    /// `{static}+{policy}` for compositions; `"none"` for fault-free
+    /// cells).
     pub faults: String,
     /// Protocol registry name.
     pub protocol: String,
@@ -448,7 +456,7 @@ impl CampaignReport {
     }
 }
 
-/// Validates a parsed report against the version-3 schema: identifier and
+/// Validates a parsed report against the version-4 schema: identifier and
 /// version match, the cell set is non-empty, every cell carries the
 /// required typed fields (including its `channel` and `faults` labels),
 /// and the summary is consistent with the cells.
@@ -639,7 +647,7 @@ mod tests {
         let good = demo_report().to_json(false).to_pretty();
         for (from, to, needle) in [
             ("beep-campaign-report", "other-schema", "schema"),
-            ("\"version\": 3", "\"version\": 4", "version"),
+            ("\"version\": 4", "\"version\": 5", "version"),
             (
                 "\"status\": \"failed\"",
                 "\"status\": \"exploded\"",

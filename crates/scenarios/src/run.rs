@@ -763,12 +763,14 @@ mod tests {
             channels: vec![],
             faults: vec![
                 FaultSpec {
-                    kind: FaultKind::Crash { round: 4 },
+                    kind: Some(FaultKind::Crash { round: 4 }),
                     fraction: 0.25,
+                    policy: None,
                 },
                 FaultSpec {
-                    kind: FaultKind::ByzantineSpam,
+                    kind: Some(FaultKind::ByzantineSpam),
                     fraction: 0.125,
+                    policy: None,
                 },
             ],
             protocols: vec![Protocol::BeepConsensus, Protocol::Matching],
@@ -814,6 +816,71 @@ mod tests {
         assert_eq!(
             faulted.id,
             "complete/n8/eps0.1/spam-f0.125/beep_consensus/s1"
+        );
+        // The report stays byte-identical across worker counts.
+        let parallel = run_campaign(&spec, &threads(4)).unwrap();
+        assert_eq!(
+            report.to_json(false).to_pretty(),
+            parallel.to_json(false).to_pretty()
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_cells_run_the_new_protocols_and_stay_thread_invariant() {
+        use crate::spec::{FaultSpec, PolicySpec};
+        use beep_net::FaultKind;
+        let spec = CampaignSpec {
+            name: "adaptive".into(),
+            topologies: vec![TopologySpec {
+                family: TopologyFamily::Complete,
+                sizes: vec![8],
+            }],
+            epsilons: vec![0.1],
+            channels: vec![],
+            faults: vec![
+                FaultSpec {
+                    kind: None,
+                    fraction: 0.0,
+                    policy: Some(PolicySpec::TargetLoudest { budget_frac: 0.125 }),
+                },
+                FaultSpec {
+                    kind: Some(FaultKind::ByzantineMute),
+                    fraction: 0.125,
+                    policy: Some(PolicySpec::RushingSpam {
+                        budget_frac: 0.125,
+                        window: 2,
+                    }),
+                },
+            ],
+            protocols: vec![
+                Protocol::BeepBenOr,
+                Protocol::BeepReliableBroadcast,
+                Protocol::BeepLeaderReelect,
+            ],
+            seeds: vec![1],
+        };
+        let report = run_campaign(&spec, &threads(1)).unwrap();
+        // (1 channel) × (fault-free + 2 adaptive) × 3 protocols × 1 seed.
+        assert_eq!(report.cells.len(), 3 * 3);
+        for cell in &report.cells {
+            // Adaptive cells may honestly report success = false (the
+            // adversary jams *correct* nodes), but they must run.
+            assert_eq!(cell.status, CellStatus::Ok, "{}: {}", cell.id, cell.detail);
+            if cell.faults == "none" {
+                assert!(cell.success, "{}: {}", cell.id, cell.detail);
+            }
+        }
+        let labels: Vec<&str> = report.cells.iter().map(|c| c.faults.as_str()).collect();
+        assert!(labels.contains(&"loudest-f0.125"));
+        assert!(labels.contains(&"mute-f0.125+rushing-f0.125-w2"));
+        let adaptive = report
+            .cells
+            .iter()
+            .find(|c| c.faults == "loudest-f0.125" && c.protocol == "beep_ben_or")
+            .unwrap();
+        assert_eq!(
+            adaptive.id,
+            "complete/n8/eps0.1/loudest-f0.125/beep_ben_or/s1"
         );
         // The report stays byte-identical across worker counts.
         let parallel = run_campaign(&spec, &threads(4)).unwrap();

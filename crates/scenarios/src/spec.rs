@@ -34,13 +34,26 @@
 //!
 //! A `[[faults]]` table adds a fault-axis entry ([`FaultSpec`]): a node
 //! misbehavior kind applied to a swept fraction of each cell's nodes,
-//! realized per cell from the engine's reserved fault stream:
+//! realized per cell from the engine's reserved fault stream, and/or an
+//! *adaptive* policy ([`PolicySpec`]) whose per-round choices react to
+//! the observed transcript (budget swept as a fraction of `n`):
 //!
 //! ```toml
 //! [[faults]]
 //! kind = "crash"             # or "spam" / "mute"
 //! fraction = 0.25
 //! round = 8                  # crash-only: first dead round
+//!
+//! [[faults]]
+//! policy = "target_loudest"  # or "rushing_spam"
+//! budget_frac = 0.25         # per-round budget = ⌊budget_frac · n⌋
+//!
+//! [[faults]]
+//! kind = "mute"              # static faults compose with a policy
+//! fraction = 0.125
+//! policy = "rushing_spam"
+//! budget_frac = 0.125
+//! window = 2                 # rushing-only: rounds of post-activity spam
 //! ```
 //!
 //! The fault axis always starts with the implicit fault-free entry, so
@@ -53,7 +66,7 @@
 use crate::error::ScenarioError;
 use crate::json::Json;
 use beep_apps::Protocol;
-use beep_net::{topology, ChannelModel, FaultKind, FaultPlan, Graph, Noise};
+use beep_net::{topology, AdaptivePolicy, ChannelModel, FaultKind, FaultPlan, Graph, Noise};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -485,97 +498,236 @@ impl ChannelSpec {
     }
 }
 
-/// One fault-axis entry: a [`FaultKind`] applied to a swept fraction of
-/// each cell's nodes.
+/// One adaptive-policy spec: an [`AdaptivePolicy`] with its per-round
+/// budget expressed as a fraction of the cell's realized node count, so
+/// one `[[faults]]` entry scales across a size sweep the way `fraction`
+/// does for static faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PolicySpec {
+    /// Jam the `⌊budget_frac · n⌋` loudest nodes each round
+    /// ([`AdaptivePolicy::TargetLoudest`]).
+    TargetLoudest {
+        /// Per-round jam budget as a fraction of `n`, in `[0, 1]`.
+        budget_frac: f64,
+    },
+    /// Spam `⌊budget_frac · n⌋` silent nodes while the protocol is active
+    /// ([`AdaptivePolicy::RushingSpam`]).
+    RushingSpam {
+        /// Per-round spam budget as a fraction of `n`, in `[0, 1]`.
+        budget_frac: f64,
+        /// Rounds of spam to sustain after the last observed activity.
+        window: u64,
+    },
+}
+
+impl PolicySpec {
+    /// The canonical label fragment, used in cell ids:
+    /// `loudest-f{budget_frac}` or `rushing-f{budget_frac}-w{window}`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::TargetLoudest { budget_frac } => format!("loudest-f{budget_frac}"),
+            PolicySpec::RushingSpam {
+                budget_frac,
+                window,
+            } => format!("rushing-f{budget_frac}-w{window}"),
+        }
+    }
+
+    /// Resolves the concrete [`AdaptivePolicy`] for a realized graph of
+    /// `n` nodes: `budget = ⌊budget_frac · n⌋`.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn realize(&self, n: usize) -> AdaptivePolicy {
+        match self {
+            PolicySpec::TargetLoudest { budget_frac } => AdaptivePolicy::TargetLoudest {
+                budget: (budget_frac * n as f64).floor() as usize,
+            },
+            PolicySpec::RushingSpam {
+                budget_frac,
+                window,
+            } => AdaptivePolicy::RushingSpam {
+                budget: (budget_frac * n as f64).floor() as usize,
+                window: *window,
+            },
+        }
+    }
+}
+
+/// One fault-axis entry: a static [`FaultKind`] applied to a swept
+/// fraction of each cell's nodes, an adaptive [`PolicySpec`], or both
+/// composed (static faults realize first; the policy reacts on top).
 ///
 /// The fraction is swept like ε: the *count* `⌊fraction · n⌋` scales
 /// with each cell's realized size, and the faulty node set is realized
 /// per cell from the engine's reserved fault stream
 /// ([`FaultPlan::realize`] keyed by the cell seed), so a cell's faults
-/// are a pure function of its id. The campaign fault axis is the
-/// implicit fault-free entry followed by the spec's `[[faults]]` tables
-/// in order; fault-free cell ids carry no fault segment, so pre-fault
-/// specs keep their ids — and therefore their seeds — byte-identical.
+/// are a pure function of its id — adaptive decisions likewise draw only
+/// from the reserved adaptive stream keyed by that seed. The campaign
+/// fault axis is the implicit fault-free entry followed by the spec's
+/// `[[faults]]` tables in order; fault-free cell ids carry no fault
+/// segment, so pre-fault specs keep their ids — and therefore their
+/// seeds — byte-identical.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
-    /// How the sampled nodes misbehave (the crash round rides inside).
-    pub kind: FaultKind,
-    /// Fraction of nodes to sample, in `[0, 1]`.
+    /// How the sampled nodes misbehave (the crash round rides inside);
+    /// `None` for a purely adaptive entry.
+    pub kind: Option<FaultKind>,
+    /// Fraction of nodes to sample for `kind`, in `[0, 1]` (0 when
+    /// `kind` is `None`).
     pub fraction: f64,
+    /// The adaptive policy layered on top, if any.
+    pub policy: Option<PolicySpec>,
 }
 
 impl FaultSpec {
     /// The canonical label, used as the cell-id fault segment and the
     /// report's `faults` field: `crash-f{fraction}-r{round}`,
-    /// `spam-f{fraction}`, or `mute-f{fraction}`.
+    /// `spam-f{fraction}`, or `mute-f{fraction}` for static entries, the
+    /// bare [`PolicySpec::label`] for purely adaptive ones, and
+    /// `{static}+{policy}` for composed entries.
     #[must_use]
     pub fn label(&self) -> String {
-        match self.kind {
+        let static_label = self.kind.map(|kind| match kind {
             FaultKind::Crash { round } => format!("crash-f{}-r{round}", self.fraction),
             FaultKind::ByzantineSpam => format!("spam-f{}", self.fraction),
             FaultKind::ByzantineMute => format!("mute-f{}", self.fraction),
+        });
+        match (static_label, self.policy) {
+            (Some(s), Some(p)) => format!("{s}+{}", p.label()),
+            (Some(s), None) => s,
+            (None, Some(p)) => p.label(),
+            (None, None) => "none".into(),
         }
     }
 
     /// Realizes the concrete [`FaultPlan`] for a cell: `⌊fraction · n⌋`
-    /// nodes sampled from `seed`'s reserved fault stream.
+    /// nodes sampled from `seed`'s reserved fault stream, with the
+    /// policy's budget resolved against `n` and attached on top.
     ///
     /// # Errors
     ///
     /// [`beep_net::NetError::InvalidFaultPlan`] if the fraction is out of
     /// range — unreachable for parsed specs, which range-check it.
     pub fn realize(&self, n: usize, seed: u64) -> Result<FaultPlan, beep_net::NetError> {
-        FaultPlan::realize(n, self.fraction, self.kind, seed)
+        let plan = match self.kind {
+            Some(kind) => FaultPlan::realize(n, self.fraction, kind, seed)?,
+            None => FaultPlan::none(),
+        };
+        Ok(match self.policy {
+            Some(policy) => plan.with_policy(policy.realize(n)),
+            None => plan,
+        })
     }
 
-    /// Parses a `[[faults]]` table: `kind = "crash"|"spam"|"mute"`,
-    /// `fraction ∈ [0, 1]`, and (crash only) the first dead `round`.
+    /// Parses a `[[faults]]` table: `kind = "crash"|"spam"|"mute"` with
+    /// `fraction ∈ [0, 1]` (plus, crash only, the first dead `round`),
+    /// and/or `policy = "target_loudest"|"rushing_spam"` with
+    /// `budget_frac ∈ [0, 1]` (plus, rushing only, the post-activity
+    /// `window`). At least one of `kind`/`policy` is required.
     fn from_spec(table: &Json, line: usize) -> Result<FaultSpec, ScenarioError> {
         let spec_err = |detail: String| ScenarioError::Spec { line, detail };
-        let kind_name = table.get("kind").and_then(Json::as_str).ok_or_else(|| {
-            spec_err("[[faults]] needs kind = \"crash\"|\"spam\"|\"mute\"".into())
-        })?;
-        let allowed: &[&str] = match kind_name {
-            "crash" => &["round"],
-            "spam" | "mute" => &[],
-            other => return Err(spec_err(format!("unknown fault kind {other:?}"))),
-        };
+        let kind_name = table.get("kind").and_then(Json::as_str);
+        let policy_name = table.get("policy").and_then(Json::as_str);
+        if kind_name.is_none() && policy_name.is_none() {
+            return Err(spec_err(
+                "[[faults]] needs kind = \"crash\"|\"spam\"|\"mute\" \
+                 and/or policy = \"target_loudest\"|\"rushing_spam\""
+                    .into(),
+            ));
+        }
+        // Same rationale as the other table arrays: a key the entry does
+        // not accept must fail loudly, not silently sweep a default.
+        let mut allowed: Vec<&str> = vec!["kind", "policy"];
+        match kind_name {
+            None => {}
+            Some("crash") => allowed.extend(["fraction", "round"]),
+            Some("spam" | "mute") => allowed.push("fraction"),
+            Some(other) => return Err(spec_err(format!("unknown fault kind {other:?}"))),
+        }
+        match policy_name {
+            None => {}
+            Some("target_loudest") => allowed.push("budget_frac"),
+            Some("rushing_spam") => allowed.extend(["budget_frac", "window"]),
+            Some(other) => return Err(spec_err(format!("unknown fault policy {other:?}"))),
+        }
         if let Json::Obj(pairs) = table {
             for (key, _) in pairs {
-                if key != "kind" && key != "fraction" && !allowed.contains(&key.as_str()) {
+                if !allowed.contains(&key.as_str()) {
                     return Err(spec_err(format!(
-                        "unknown key {key:?} for fault kind {kind_name:?} \
-                         (accepted: kind, fraction{}{})",
-                        if allowed.is_empty() { "" } else { ", " },
+                        "unknown key {key:?} for fault entry (accepted: {})",
                         allowed.join(", ")
                     )));
                 }
             }
         }
-        let fraction = table
-            .get("fraction")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| spec_err("[[faults]] needs fraction = <number>".into()))?;
-        if !(0.0..=1.0).contains(&fraction) {
-            return Err(spec_err(format!("fraction {fraction} outside [0, 1]")));
-        }
-        let kind = match kind_name {
-            "crash" => {
-                let round = table
-                    .get("round")
-                    .and_then(Json::as_i64)
-                    .filter(|&r| r >= 0)
-                    .ok_or_else(|| {
-                        spec_err("crash faults need round = <non-negative integer>".into())
-                    })?;
-                FaultKind::Crash {
-                    round: u64::try_from(round).expect("non-negative"),
-                }
+        let frac_in_range = |key: &str| -> Result<f64, ScenarioError> {
+            let v = table
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| spec_err(format!("[[faults]] needs {key} = <number>")))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(spec_err(format!("{key} {v} outside [0, 1]")));
             }
-            "spam" => FaultKind::ByzantineSpam,
-            _ => FaultKind::ByzantineMute,
+            Ok(v)
         };
-        Ok(FaultSpec { kind, fraction })
+        let (kind, fraction) = match kind_name {
+            None => (None, 0.0),
+            Some(name) => {
+                let fraction = frac_in_range("fraction")?;
+                let kind = match name {
+                    "crash" => {
+                        let round = table
+                            .get("round")
+                            .and_then(Json::as_i64)
+                            .filter(|&r| r >= 0)
+                            .ok_or_else(|| {
+                                spec_err("crash faults need round = <non-negative integer>".into())
+                            })?;
+                        FaultKind::Crash {
+                            round: u64::try_from(round).expect("non-negative"),
+                        }
+                    }
+                    "spam" => FaultKind::ByzantineSpam,
+                    _ => FaultKind::ByzantineMute,
+                };
+                (Some(kind), fraction)
+            }
+        };
+        let policy = match policy_name {
+            None => None,
+            Some(name) => {
+                let budget_frac = frac_in_range("budget_frac")?;
+                Some(match name {
+                    "target_loudest" => PolicySpec::TargetLoudest { budget_frac },
+                    _ => {
+                        let window = table
+                            .get("window")
+                            .and_then(Json::as_i64)
+                            .filter(|&w| w >= 0)
+                            .ok_or_else(|| {
+                                spec_err(
+                                    "rushing_spam needs window = <non-negative integer>".into(),
+                                )
+                            })?;
+                        PolicySpec::RushingSpam {
+                            budget_frac,
+                            window: u64::try_from(window).expect("non-negative"),
+                        }
+                    }
+                })
+            }
+        };
+        Ok(FaultSpec {
+            kind,
+            fraction,
+            policy,
+        })
     }
 }
 
@@ -1170,16 +1322,19 @@ mod tests {
             spec.faults,
             vec![
                 FaultSpec {
-                    kind: FaultKind::Crash { round: 8 },
-                    fraction: 0.25
+                    kind: Some(FaultKind::Crash { round: 8 }),
+                    fraction: 0.25,
+                    policy: None,
                 },
                 FaultSpec {
-                    kind: FaultKind::ByzantineSpam,
-                    fraction: 0.125
+                    kind: Some(FaultKind::ByzantineSpam),
+                    fraction: 0.125,
+                    policy: None,
                 },
                 FaultSpec {
-                    kind: FaultKind::ByzantineMute,
-                    fraction: 0.5
+                    kind: Some(FaultKind::ByzantineMute),
+                    fraction: 0.5,
+                    policy: None,
                 },
             ]
         );
@@ -1188,6 +1343,96 @@ mod tests {
         // The axis leads with the implicit fault-free entry.
         assert_eq!(spec.fault_axis().len(), 4);
         assert_eq!(spec.fault_axis()[0], None);
+    }
+
+    #[test]
+    fn adaptive_policy_specs_parse_and_label() {
+        let spec = CampaignSpec::parse(concat!(
+            "protocols = [\"beep_ben_or\"]\n",
+            "[[topology]]\nfamily = \"complete\"\nsizes = [8]\n",
+            "[[faults]]\npolicy = \"target_loudest\"\nbudget_frac = 0.25\n",
+            "[[faults]]\npolicy = \"rushing_spam\"\nbudget_frac = 0.125\nwindow = 2\n",
+            "[[faults]]\nkind = \"mute\"\nfraction = 0.125\n",
+            "policy = \"rushing_spam\"\nbudget_frac = 0.25\nwindow = 1\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            spec.faults,
+            vec![
+                FaultSpec {
+                    kind: None,
+                    fraction: 0.0,
+                    policy: Some(PolicySpec::TargetLoudest { budget_frac: 0.25 }),
+                },
+                FaultSpec {
+                    kind: None,
+                    fraction: 0.0,
+                    policy: Some(PolicySpec::RushingSpam {
+                        budget_frac: 0.125,
+                        window: 2,
+                    }),
+                },
+                FaultSpec {
+                    kind: Some(FaultKind::ByzantineMute),
+                    fraction: 0.125,
+                    policy: Some(PolicySpec::RushingSpam {
+                        budget_frac: 0.25,
+                        window: 1,
+                    }),
+                },
+            ]
+        );
+        let labels: Vec<String> = spec.faults.iter().map(FaultSpec::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "loudest-f0.25",
+                "rushing-f0.125-w2",
+                "mute-f0.125+rushing-f0.25-w1",
+            ]
+        );
+    }
+
+    #[test]
+    fn adaptive_fault_specs_realize_scaled_budgets() {
+        let spec = FaultSpec {
+            kind: None,
+            fraction: 0.0,
+            policy: Some(PolicySpec::TargetLoudest { budget_frac: 0.25 }),
+        };
+        let plan = spec.realize(16, 5).unwrap();
+        assert_eq!(plan.len(), 0, "purely adaptive: no static assignments");
+        assert_eq!(
+            plan.policy(),
+            Some(AdaptivePolicy::TargetLoudest { budget: 4 })
+        );
+        assert!(plan.is_adaptive());
+        // Composed: static realization plus the resolved policy.
+        let both = FaultSpec {
+            kind: Some(FaultKind::ByzantineMute),
+            fraction: 0.25,
+            policy: Some(PolicySpec::RushingSpam {
+                budget_frac: 0.125,
+                window: 2,
+            }),
+        };
+        let plan = both.realize(16, 5).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(
+            plan.policy(),
+            Some(AdaptivePolicy::RushingSpam {
+                budget: 2,
+                window: 2
+            })
+        );
+        // A zero-budget fraction resolves to the no-op policy, which
+        // keeps the plan behaviourally empty.
+        let noop = FaultSpec {
+            kind: None,
+            fraction: 0.0,
+            policy: Some(PolicySpec::TargetLoudest { budget_frac: 0.01 }),
+        };
+        assert!(noop.realize(8, 1).unwrap().is_empty());
     }
 
     #[test]
@@ -1211,8 +1456,9 @@ mod tests {
         assert_eq!(
             cells[1].fault,
             Some(FaultSpec {
-                kind: FaultKind::ByzantineMute,
-                fraction: 0.25
+                kind: Some(FaultKind::ByzantineMute),
+                fraction: 0.25,
+                policy: None,
             })
         );
         assert_eq!(cells[1].cell_seed, cell_seed(&cells[1].id));
@@ -1221,8 +1467,9 @@ mod tests {
     #[test]
     fn fault_spec_realizes_a_plan_from_the_cell_seed() {
         let spec = FaultSpec {
-            kind: FaultKind::Crash { round: 3 },
+            kind: Some(FaultKind::Crash { round: 3 }),
             fraction: 0.5,
+            policy: None,
         };
         let plan = spec.realize(8, 77).unwrap();
         assert_eq!(plan.len(), 4, "⌊0.5 · 8⌋ nodes");
@@ -1414,6 +1661,33 @@ mod tests {
             (
                 "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nkind = \"spam\"\nfraction = 0.1\n[[faults]]\nkind = \"spam\"\nfraction = 0.1",
                 "duplicate fault",
+            ),
+            // Adaptive policies: same strictness as static kinds.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\npolicy = \"zzz\"\nbudget_frac = 0.1",
+                "unknown fault policy",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\npolicy = \"target_loudest\"",
+                "needs budget_frac",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\npolicy = \"target_loudest\"\nbudget_frac = 1.5",
+                "outside [0, 1]",
+            ),
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\npolicy = \"rushing_spam\"\nbudget_frac = 0.1",
+                "rushing_spam needs window",
+            ),
+            // `window` only means something for rushing_spam.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\npolicy = \"target_loudest\"\nbudget_frac = 0.1\nwindow = 2",
+                "unknown key \"window\"",
+            ),
+            // A purely adaptive entry has no static fraction to sweep.
+            (
+                "protocols = [\"mis\"]\n[[topology]]\nfamily = \"path\"\nsizes = [4]\n[[faults]]\nfraction = 0.1\npolicy = \"target_loudest\"\nbudget_frac = 0.1",
+                "unknown key \"fraction\"",
             ),
         ] {
             let err = CampaignSpec::parse(bad).unwrap_err().to_string();

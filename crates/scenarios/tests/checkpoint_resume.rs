@@ -11,7 +11,7 @@
 
 use beep_scenarios::{
     run_campaign, run_campaign_resumable, CampaignSpec, RunOptions, ScenarioError,
-    CHECKPOINT_SCHEMA,
+    CHECKPOINT_SCHEMA, SCHEMA_VERSION,
 };
 use std::path::PathBuf;
 
@@ -19,6 +19,24 @@ const SMOKE: &str = include_str!("../../../scenarios/smoke.toml");
 
 fn smoke_spec() -> CampaignSpec {
     CampaignSpec::parse(SMOKE).expect("checked-in smoke spec parses")
+}
+
+/// A faulted + adaptive campaign over the fault-tolerant family: static
+/// plans, purely adaptive policies, and a composition, all of which must
+/// round-trip through the journal like any other cell.
+fn adaptive_spec() -> CampaignSpec {
+    CampaignSpec::parse(concat!(
+        "name = \"adaptive-resume\"\n",
+        "seeds = [1]\n",
+        "epsilons = [0.1]\n",
+        "protocols = [\"beep_ben_or\", \"beep_reliable_broadcast\"]\n",
+        "[[topology]]\nfamily = \"complete\"\nsizes = [8]\n",
+        "[[faults]]\nkind = \"crash\"\nfraction = 0.25\nround = 4\n",
+        "[[faults]]\npolicy = \"target_loudest\"\nbudget_frac = 0.125\n",
+        "[[faults]]\nkind = \"mute\"\nfraction = 0.125\n",
+        "policy = \"rushing_spam\"\nbudget_frac = 0.125\nwindow = 2\n",
+    ))
+    .expect("adaptive spec parses")
 }
 
 /// A per-test temp path (the test process cleans up after itself).
@@ -113,6 +131,34 @@ fn truncated_journal_resumes_to_the_same_bytes() {
             .to_pretty(),
         baseline
     );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn faulted_adaptive_campaign_interrupt_resume_is_byte_identical() {
+    let spec = adaptive_spec();
+    let baseline = oneshot_bytes(&spec);
+    // The v4 report carries the adaptive fault labels verbatim.
+    assert!(baseline.contains(&format!("\"version\": {SCHEMA_VERSION}")));
+    assert!(baseline.contains("\"faults\": \"loudest-f0.125\""));
+    assert!(baseline.contains("\"faults\": \"mute-f0.125+rushing-f0.125-w2\""));
+    let journal = temp_journal("adaptive");
+    let _ = std::fs::remove_file(&journal);
+
+    // Interrupt after 3 of the (fault-free + 3 faults) × 2 protocols = 8
+    // cells: adaptive cells land in the journal and must replay exactly.
+    let partial = run_campaign_resumable(&spec, &options(2, Some(3)), &journal)
+        .expect("partial run succeeds");
+    assert!(partial.report.is_none());
+    assert_eq!(partial.total, 8);
+    assert_eq!(partial.executed, 3);
+
+    let resumed =
+        run_campaign_resumable(&spec, &options(4, None), &journal).expect("resumed run succeeds");
+    assert_eq!(resumed.replayed, 3);
+    assert_eq!(resumed.executed, 5);
+    let report = resumed.report.expect("complete after resume");
+    assert_eq!(report.to_json(false).to_pretty(), baseline);
     let _ = std::fs::remove_file(&journal);
 }
 
