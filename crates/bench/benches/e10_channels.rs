@@ -113,6 +113,9 @@ fn bench_channel_models(c: &mut Criterion) {
     // The four noisy families benched above the noiseless baseline — the
     // CI bar checks this count so a silently-dropped model fails loudly.
     metrics.push(("models".into(), 4.0));
+    // Headline throughput on the noiseless baseline, for the trajectory.
+    #[allow(clippy::cast_precision_loss)]
+    metrics.push(("node_rounds_per_sec".into(), n as f64 * 1e9 / noiseless_ns));
     group.finish();
     // The JSON file is CI's perf contract — a failed write must fail the
     // bench, or the perf bar would validate stale cached metrics.

@@ -125,6 +125,9 @@ fn bench_adaptive_overlay(c: &mut Criterion) {
     // baseline — the CI bar checks this count so a silently-dropped
     // policy fails loudly.
     metrics.push(("policies".into(), 3.0));
+    // Headline throughput on the fault-free baseline, for the trajectory.
+    #[allow(clippy::cast_precision_loss)]
+    metrics.push(("node_rounds_per_sec".into(), n as f64 * 1e9 / nofault_ns));
     group.finish();
     // The JSON file is CI's perf contract — a failed write must fail the
     // bench, or the perf bar would validate stale cached metrics.

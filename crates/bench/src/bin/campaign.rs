@@ -16,8 +16,11 @@
 //!     --spec scenarios/smoke.toml --checkpoint smoke.ck.jsonl \
 //!     --out campaign_smoke.json
 //!
-//! # Validate an existing report against the schema (CI smoke):
-//! cargo run --release -p beep-bench --bin campaign -- --check report.json
+//! # Validate an existing report against the schema (CI smoke); add
+//! # --schema-version to print and assert the expected version from
+//! # beep-scenarios (the one source of truth — CI uses this instead of
+//! # grepping the report for a hardcoded number):
+//! cargo run --release -p beep-bench --bin campaign -- --check report.json --schema-version
 //! ```
 //!
 //! The human table always prints to stdout (suppress with `--quiet`);
@@ -28,9 +31,10 @@
 //! "interruption" the CI resume smoke uses.
 //!
 //! Conflicting flags are usage errors (exit 2), not silent drops:
-//! `--check` takes no other flags, and `--spec` excludes the inline
-//! axis flags (`--name`/`--topologies`/`--sizes`/`--epsilons`/
-//! `--protocols`/`--seeds`).
+//! `--check` takes no flags other than `--schema-version` (which in turn
+//! requires `--check`), and `--spec` excludes the inline axis flags
+//! (`--name`/`--topologies`/`--sizes`/`--epsilons`/`--protocols`/
+//! `--seeds`).
 
 use beep_scenarios::json::Json;
 use beep_scenarios::{
@@ -42,8 +46,10 @@ use std::path::Path;
 /// What the CLI was asked to do.
 #[derive(Debug)]
 enum Mode {
-    /// `--check PATH`: schema-validate an existing report.
-    Check(String),
+    /// `--check PATH`: schema-validate an existing report. With
+    /// `--schema-version`, also print and assert the expected version
+    /// from `beep-scenarios`.
+    Check { path: String, schema_version: bool },
     /// Everything else: run a campaign.
     Run(RunConfig),
 }
@@ -78,7 +84,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = parse_args(&args).unwrap_or_else(|e| die(&e));
     match mode {
-        Mode::Check(path) => check(&path),
+        Mode::Check {
+            path,
+            schema_version,
+        } => check(&path, schema_version),
         Mode::Run(config) => run(&config),
     }
 }
@@ -102,6 +111,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
     let mut epsilons: Option<Vec<f64>> = None;
     let mut protocols: Option<Vec<String>> = None;
     let mut seeds: Option<Vec<u64>> = None;
+    let mut schema_version = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -113,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
         match arg.as_str() {
             "--spec" => spec = Some(take("--spec")?),
             "--check" => check = Some(take("--check")?),
+            "--schema-version" => schema_version = true,
             "--out" => out = Some(take("--out")?),
             "--name" => name = Some(take("--name")?),
             "--threads" => {
@@ -156,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
     if let Some(path) = check {
         // `--check` validates an existing report; combining it with run
         // flags used to silently drop them — now it's a usage error.
+        // `--schema-version` is the one compatible flag.
         let run_flags = spec.is_some()
             || out.is_some()
             || threads_set
@@ -165,9 +177,17 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
             || max_cells.is_some()
             || inline_axes;
         if run_flags {
-            return Err("--check validates an existing report and takes no other flags".into());
+            return Err("--check validates an existing report and takes no flags \
+                 other than --schema-version"
+                .into());
         }
-        return Ok(Mode::Check(path));
+        return Ok(Mode::Check {
+            path,
+            schema_version,
+        });
+    }
+    if schema_version {
+        return Err("--schema-version asserts a report's schema and requires --check".into());
     }
     if spec.is_some() && inline_axes {
         // A spec file defines the whole matrix; inline axis flags used
@@ -278,8 +298,11 @@ fn run(config: &RunConfig) {
 }
 
 /// `--check`: parse + schema-validate an existing report, print its
-/// summary line, and exit 0 (valid) or 2 (invalid/empty).
-fn check(path: &str) {
+/// summary line, and exit 0 (valid) or 2 (invalid/empty). With
+/// `schema_version`, additionally print and assert the expected version
+/// from `beep-scenarios` — CI's replacement for grepping the report for
+/// a hardcoded version number.
+fn check(path: &str, schema_version: bool) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let json = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
@@ -293,6 +316,18 @@ fn check(path: &str) {
         .and_then(Json::as_str)
         .unwrap_or("<unnamed>");
     println!("{path}: valid {campaign:?} report, {cells} cells");
+    if schema_version {
+        // validate_report already rejected any mismatch; the explicit
+        // assert + print makes the contract visible in the CI log and
+        // keeps the expected number in exactly one place.
+        let version = json.get("version").and_then(Json::as_i64);
+        assert_eq!(
+            version,
+            Some(beep_scenarios::SCHEMA_VERSION),
+            "validate_report accepted a version it should reject"
+        );
+        println!("{path}: schema version {}", beep_scenarios::SCHEMA_VERSION);
+    }
 }
 
 fn inline_spec(
@@ -379,7 +414,33 @@ mod tests {
     #[test]
     fn check_alone_parses() {
         let mode = parse_args(&args(&["--check", "report.json"])).unwrap();
-        assert!(matches!(mode, Mode::Check(path) if path == "report.json"));
+        assert!(matches!(
+            mode,
+            Mode::Check {
+                path,
+                schema_version: false,
+            } if path == "report.json"
+        ));
+    }
+
+    #[test]
+    fn check_combines_with_schema_version() {
+        let mode = parse_args(&args(&["--check", "report.json", "--schema-version"])).unwrap();
+        assert!(matches!(
+            mode,
+            Mode::Check {
+                path,
+                schema_version: true,
+            } if path == "report.json"
+        ));
+    }
+
+    #[test]
+    fn schema_version_requires_check() {
+        let err = parse_args(&args(&["--schema-version"])).unwrap_err();
+        assert!(err.contains("--check"), "{err}");
+        let err = parse_args(&args(&["--spec", "s.toml", "--schema-version"])).unwrap_err();
+        assert!(err.contains("--check"), "{err}");
     }
 
     #[test]

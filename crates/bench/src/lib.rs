@@ -26,5 +26,6 @@
 pub mod experiments;
 pub mod perfjson;
 mod table;
+pub mod trajectory;
 
 pub use table::Table;

@@ -83,6 +83,16 @@ pub fn write_bench_json(bench: &str, metrics: &[(String, f64)]) -> std::io::Resu
 ///
 /// Returns a human-readable message on IO, parse, or schema failures.
 pub fn read_bench_json(path: &std::path::Path) -> Result<Vec<(String, f64)>, String> {
+    read_bench_file(path).map(|(_, metrics)| metrics)
+}
+
+/// Like [`read_bench_json`], but also returns the `bench` id recorded in
+/// the file (`e8`, `e9`, …) — the trajectory rows carry it.
+///
+/// # Errors
+///
+/// Returns a human-readable message on IO, parse, or schema failures.
+pub fn read_bench_file(path: &std::path::Path) -> Result<(String, Vec<(String, f64)>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     match json.get("schema").and_then(Json::as_str) {
@@ -103,6 +113,11 @@ pub fn read_bench_json(path: &std::path::Path) -> Result<Vec<(String, f64)>, Str
             ))
         }
     }
+    let bench = json
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{}: missing bench id", path.display()))?
+        .to_string();
     let metrics = json
         .get("metrics")
         .ok_or_else(|| format!("{}: missing metrics object", path.display()))?;
@@ -114,7 +129,8 @@ pub fn read_bench_json(path: &std::path::Path) -> Result<Vec<(String, f64)>, Str
                     .map(|x| (k.clone(), x))
                     .ok_or_else(|| format!("{}: metric {k:?} is not a number", path.display()))
             })
-            .collect(),
+            .collect::<Result<Vec<_>, _>>()
+            .map(|m| (bench, m)),
         _ => Err(format!("{}: metrics is not an object", path.display())),
     }
 }

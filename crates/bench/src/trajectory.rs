@@ -1,0 +1,224 @@
+//! The perf trajectory: `BENCH_TRAJECTORY.json`
+//! (`beep-bench-trajectory`, version 1).
+//!
+//! CI appends one row per headline metric per run and re-uploads the
+//! merged file as an artifact, so throughput history is queryable across
+//! commits without an external dashboard; on releases the file is
+//! committed. The `check_bench` binary does both halves: `--trajectory`
+//! appends rows, `--baseline` compares the current metrics file against a
+//! previous run's within a tolerance band.
+//!
+//! Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "beep-bench-trajectory",
+//!   "version": 1,
+//!   "rows": [
+//!     { "bench": "e8", "key": "node_rounds_per_sec_n100000",
+//!       "value": 2.1e10, "commit": "abc1234" }
+//!   ]
+//! }
+//! ```
+
+use beep_scenarios::json::Json;
+use std::path::Path;
+
+/// Schema identifier of the trajectory file.
+pub const SCHEMA_NAME: &str = "beep-bench-trajectory";
+/// Current schema version.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One appended measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Bench id the metric came from (`e8`, `e9`, …).
+    pub bench: String,
+    /// Metric key within that bench's `BENCH_*.json`.
+    pub key: String,
+    /// Measured value.
+    pub value: f64,
+    /// Commit the measurement was taken at (short SHA, or `local`).
+    pub commit: String,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str(self.bench.clone())),
+            ("key", Json::Str(self.key.clone())),
+            ("value", Json::Float(self.value)),
+            ("commit", Json::Str(self.commit.clone())),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Row, String> {
+        let field = |k: &str| {
+            json.get(k)
+                .ok_or_else(|| format!("trajectory row missing {k:?}"))
+        };
+        Ok(Row {
+            bench: field("bench")?
+                .as_str()
+                .ok_or("trajectory row: bench is not a string")?
+                .to_string(),
+            key: field("key")?
+                .as_str()
+                .ok_or("trajectory row: key is not a string")?
+                .to_string(),
+            value: field("value")?
+                .as_f64()
+                .ok_or("trajectory row: value is not a number")?,
+            commit: field("commit")?
+                .as_str()
+                .ok_or("trajectory row: commit is not a string")?
+                .to_string(),
+        })
+    }
+}
+
+/// Serializes rows to the schema above.
+#[must_use]
+pub fn trajectory_json(rows: &[Row]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA_NAME.into())),
+        ("version", Json::Int(SCHEMA_VERSION)),
+        ("rows", Json::Arr(rows.iter().map(Row::to_json).collect())),
+    ])
+}
+
+/// Reads a trajectory file; a missing file is an empty trajectory (the
+/// first run of a fresh clone has no history yet).
+///
+/// # Errors
+///
+/// Returns a human-readable message on parse or schema failures.
+pub fn read_trajectory(path: &Path) -> Result<Vec<Row>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    match json.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA_NAME => {}
+        other => {
+            return Err(format!(
+                "{}: schema is {other:?}, expected {SCHEMA_NAME:?}",
+                path.display()
+            ))
+        }
+    }
+    match json.get("version").and_then(Json::as_i64) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        other => {
+            return Err(format!(
+                "{}: version is {other:?}, expected {SCHEMA_VERSION}",
+                path.display()
+            ))
+        }
+    }
+    json.get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{}: missing rows array", path.display()))?
+        .iter()
+        .map(Row::from_json)
+        .collect()
+}
+
+/// Appends rows to a trajectory file, creating it if missing.
+///
+/// # Errors
+///
+/// Propagates read/parse errors from [`read_trajectory`] and filesystem
+/// errors on the write.
+pub fn append_rows(path: &Path, new_rows: &[Row]) -> Result<usize, String> {
+    let mut rows = read_trajectory(path)?;
+    rows.extend_from_slice(new_rows);
+    std::fs::write(path, trajectory_json(&rows).to_pretty())
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(rows.len())
+}
+
+/// Verdict of a tolerance-band comparison against a baseline value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the band (or improved).
+    Ok,
+    /// Regressed beyond the band; the message names the numbers.
+    Regressed(String),
+}
+
+/// Compares `current` against `baseline` for a higher-is-better metric:
+/// a drop of more than `tolerance` (a fraction, e.g. `0.3` allows −30%)
+/// regresses. Run-to-run variance on shared CI runners is real — the
+/// band, not equality, is the contract.
+#[must_use]
+pub fn compare(key: &str, current: f64, baseline: f64, tolerance: f64) -> Verdict {
+    let floor = baseline * (1.0 - tolerance);
+    if current >= floor {
+        Verdict::Ok
+    } else {
+        Verdict::Regressed(format!(
+            "{key}: {current:.3e} is below {floor:.3e} \
+             (baseline {baseline:.3e} − {:.0}% tolerance)",
+            tolerance * 100.0
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bench: &str, key: &str, value: f64) -> Row {
+        Row {
+            bench: bench.into(),
+            key: key.into(),
+            value,
+            commit: "abc1234".into(),
+        }
+    }
+
+    #[test]
+    fn rows_roundtrip_through_the_schema() {
+        let dir = std::env::temp_dir().join("beep-bench-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_TRAJECTORY.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_trajectory(&path).unwrap(), vec![]);
+        let first = vec![row("e8", "node_rounds_per_sec_n100000", 2.1e10)];
+        assert_eq!(append_rows(&path, &first).unwrap(), 1);
+        let second = vec![row("e9", "node_rounds_per_sec_n1000000", 4.0e9)];
+        assert_eq!(append_rows(&path, &second).unwrap(), 2);
+        let rows = read_trajectory(&path).unwrap();
+        assert_eq!(rows, vec![first[0].clone(), second[0].clone()]);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let dir = std::env::temp_dir().join("beep-bench-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_TRAJECTORY_bad.json");
+        std::fs::write(
+            &path,
+            "{\"schema\": \"other\", \"version\": 1, \"rows\": []}",
+        )
+        .unwrap();
+        assert!(read_trajectory(&path).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn tolerance_band_flags_only_real_regressions() {
+        assert_eq!(compare("k", 100.0, 100.0, 0.3), Verdict::Ok);
+        assert_eq!(compare("k", 150.0, 100.0, 0.3), Verdict::Ok); // improved
+        assert_eq!(compare("k", 71.0, 100.0, 0.3), Verdict::Ok); // inside band
+        assert!(matches!(
+            compare("k", 69.0, 100.0, 0.3),
+            Verdict::Regressed(_)
+        ));
+        assert!(matches!(
+            compare("k", 0.0, 100.0, 0.3),
+            Verdict::Regressed(_)
+        ));
+    }
+}

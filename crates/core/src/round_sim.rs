@@ -182,16 +182,18 @@ impl BroadcastSimulator {
     /// Transmits one frame per node (None = listen throughout), writing
     /// what every node heard, bit by bit, into `heard`.
     ///
-    /// Runs on the engine's sharded bit-parallel frame kernel via the
-    /// reuse-buffer variant; the explicit length keeps an all-silent phase
-    /// occupying its `phase_len()` rounds in the paper's accounting.
+    /// Runs on the engine's cache-blocked batched frame kernel via the
+    /// reuse-buffer variant (byte-identical to the round-by-round driver,
+    /// but the adjacency is touched once per block instead of once per
+    /// round); the explicit length keeps an all-silent phase occupying its
+    /// `phase_len()` rounds in the paper's accounting.
     fn run_phase(
         &self,
         net: &mut BeepNetwork,
         frames: &[Option<BitVec>],
         heard: &mut Vec<BitVec>,
     ) -> Result<(), SimError> {
-        net.run_frame_into(frames, self.codes.phase_len(), heard)?;
+        net.run_frames_batched_into(frames, self.codes.phase_len(), heard)?;
         Ok(())
     }
 

@@ -3,7 +3,7 @@
 use crate::channel::{apply_channel_sharded, ChannelCtx, ChannelModel, NoiseModel};
 use crate::error::NetError;
 use crate::faults::{AdversaryView, FaultPlan, RoundFaults};
-use crate::graph::Graph;
+use crate::graph::{AdjacencyRepr, Graph};
 use crate::node::{Action, BeepProtocol};
 use crate::noise::Noise;
 use crate::trace::{NetStats, Transcript};
@@ -34,11 +34,33 @@ const PARALLEL_WORK_BUDGET: usize = 1 << 16;
 /// per beeper). Cost-only — both strategies write the same bits.
 const GATHER_DENSITY_FACTOR: usize = 16;
 
+/// Rounds per cache block of [`BeepNetwork::run_frames_batched`]. Each
+/// block walks the adjacency once per shard for all its rounds, so a
+/// shard's working set (its output words × block rounds plus the beeper
+/// bitmaps) stays hot in L2 instead of being evicted between rounds.
+/// Purely a performance knob — the batched driver is byte-identical to
+/// round-by-round [`BeepNetwork::run_frame`] at every block size, because
+/// noise stays keyed by `(seed, round, shard)` and the fault overlay runs
+/// round-sequentially in the pre-pass.
+const FRAME_BLOCK_ROUNDS: usize = 32;
+
+/// The implicit topologies the zero-storage OR kernel computes on the fly
+/// (mirrors the implicit variants of [`AdjacencyRepr`]).
+#[derive(Debug, Clone, Copy)]
+enum ImplicitShape {
+    /// Complete graph: anyone beeping means everyone receives a 1.
+    Complete,
+    /// Wrap-around `rows × cols` torus.
+    Torus { rows: usize, cols: usize },
+    /// Boundary `rows × cols` grid.
+    Grid { rows: usize, cols: usize },
+}
+
 /// How [`BeepNetwork::run_round_bitset`] computes the neighborhood OR.
 #[derive(Debug)]
 enum AdjKernel {
     /// Iterate the set bits of the beeper bitmap and scatter each beeper's
-    /// CSR adjacency list into the received bitmap: `O(Σ deg(beeper))`.
+    /// adjacency list into the received bitmap: `O(Σ deg(beeper))`.
     Sparse,
     /// Dense rows selected but not yet materialized: a network that only
     /// ever runs the scalar path (or is constructed per bench iteration)
@@ -48,15 +70,31 @@ enum AdjKernel {
     /// Per-node neighbor bitmasks, OR'd a whole row (word-parallel) per
     /// beeper: `O(#beepers · n/64)` words. Wins on small or dense graphs.
     Dense(Vec<BitVec>),
+    /// Zero-storage kernel for implicit topologies: the neighborhood OR of
+    /// a whole output word is a handful of masked shifts of the beeper
+    /// words (`O(n/64)` per round regardless of beeper density), so the
+    /// adjacency is never touched because it never exists.
+    Implicit(ImplicitShape),
 }
 
 impl AdjKernel {
-    /// Auto-selects the kernel: dense rows when they fit the
-    /// [`DENSE_WORD_BUDGET`] *and* the graph is dense enough that a row OR
-    /// (`⌈n/64⌉` words) beats scattering an average adjacency list
-    /// (`2m/n` bit-writes), i.e. roughly when `128·m ≥ n²`. The rows
-    /// themselves are built lazily on first use.
+    /// Auto-selects the kernel. Implicit graphs get the zero-storage
+    /// shift kernel. Materialized graphs (CSR or delta-varint) get dense
+    /// rows when they fit the [`DENSE_WORD_BUDGET`] *and* the graph is
+    /// dense enough that a row OR (`⌈n/64⌉` words) beats scattering an
+    /// average adjacency list (`2m/n` bit-writes), i.e. roughly when
+    /// `128·m ≥ n²`. The rows themselves are built lazily on first use.
     fn auto(graph: &Graph) -> Self {
+        match graph.repr() {
+            AdjacencyRepr::Complete { .. } => return AdjKernel::Implicit(ImplicitShape::Complete),
+            AdjacencyRepr::Torus { rows, cols } => {
+                return AdjKernel::Implicit(ImplicitShape::Torus { rows, cols })
+            }
+            AdjacencyRepr::Grid { rows, cols } => {
+                return AdjKernel::Implicit(ImplicitShape::Grid { rows, cols })
+            }
+            AdjacencyRepr::Csr | AdjacencyRepr::DeltaCsr => {}
+        }
         let n = graph.node_count();
         let words_per_row = n.div_ceil(64);
         let fits = n.saturating_mul(words_per_row) <= DENSE_WORD_BUDGET;
@@ -72,10 +110,87 @@ impl AdjKernel {
         let n = graph.node_count();
         AdjKernel::Dense(
             (0..n)
-                .map(|v| BitVec::from_indices(n, graph.neighbors(v).iter().copied()))
+                .map(|v| {
+                    let mut row = BitVec::zeros(n);
+                    graph.for_each_neighbor(v, |u| row.set(u, true));
+                    row
+                })
                 .collect(),
         )
     }
+}
+
+/// `dst |= src` over whole words, manually unrolled into u64×8 lanes so
+/// the dense row OR issues wide independent OR chains instead of relying
+/// on the autovectorizer's judgement in a generic zip loop.
+#[inline]
+fn or_words_wide(dst: &mut [u64], src: &[u64]) {
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] |= sc[0];
+        dc[1] |= sc[1];
+        dc[2] |= sc[2];
+        dc[3] |= sc[3];
+        dc[4] |= sc[4];
+        dc[5] |= sc[5];
+        dc[6] |= sc[6];
+        dc[7] |= sc[7];
+    }
+    for (d1, s1) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *d1 |= *s1;
+    }
+}
+
+/// Bits `bit .. bit+64` of `src` as one word, with everything outside
+/// `[0, 64·src.len())` reading as zero. The implicit kernels express "the
+/// beeper bit of my neighbor `v ± k`" as `window(beepers, 64·w ± k)`.
+#[inline]
+fn window(src: &[u64], bit: i64) -> u64 {
+    let word = bit.div_euclid(64);
+    let sh = bit.rem_euclid(64) as u32;
+    let get = |w: i64| -> u64 {
+        if w < 0 || w >= src.len() as i64 {
+            0
+        } else {
+            src[w as usize]
+        }
+    };
+    if sh == 0 {
+        get(word)
+    } else {
+        (get(word) >> sh) | (get(word + 1) << (64 - sh))
+    }
+}
+
+/// Bits `b` of word `w` whose node `64·w + b` has `node % cols == residue`
+/// — the column-boundary masks of the grid/torus kernels. At most
+/// `⌈64/cols⌉` bits are set, so the stride loop is short.
+#[inline]
+fn stride_mask(w: usize, cols: usize, residue: usize) -> u64 {
+    let offset = (w * 64) % cols;
+    let mut b = (residue + cols - offset) % cols;
+    let mut mask = 0u64;
+    while b < 64 {
+        mask |= 1u64 << b;
+        b += cols;
+    }
+    mask
+}
+
+/// Bits `b` of word `w` whose node `64·w + b` lies in `[lo, hi)` — the
+/// first-row/last-row masks of the torus wrap terms.
+#[inline]
+fn range_mask(w: usize, lo: usize, hi: usize) -> u64 {
+    let wlo = w * 64;
+    let from = lo.saturating_sub(wlo).min(64);
+    let to = hi.saturating_sub(wlo).min(64);
+    if from >= to {
+        return 0;
+    }
+    let high = if to == 64 { !0 } else { (1u64 << to) - 1 };
+    let low = if from == 0 { 0 } else { (1u64 << from) - 1 };
+    high & !low
 }
 
 /// [`std::thread::available_parallelism`], queried once per process: the
@@ -95,6 +210,15 @@ struct ShardCtx<'a> {
     graph: &'a Graph,
     /// Dense adjacency rows when the dense kernel is active.
     rows: Option<&'a [BitVec]>,
+    /// The implicit topology when the zero-storage shift kernel is active.
+    shape: Option<ImplicitShape>,
+    /// Whether the graph is materialized CSR, unlocking the borrowed-slice
+    /// fast paths (`Graph::neighbors`); other representations go through
+    /// the generic `for_each_neighbor*` accessors.
+    csr: bool,
+    /// `beepers.count_ones()`, computed once per round (the complete-graph
+    /// kernel and the gather/scatter strategy choice both need it).
+    beep_count: usize,
     beepers: &'a BitVec,
     /// The set bits of `beepers`, materialized once per round: the dense
     /// and scatter kernels walk the beeper set once *per shard*, and
@@ -137,13 +261,14 @@ impl ShardCtx<'_> {
         out.copy_from_slice(&self.beepers.as_words()[w_lo..w_lo + out.len()]);
         if let Some(rows) = self.rows {
             // Dense kernel: OR each beeper's adjacency-bitmask row,
-            // restricted to this shard's words.
+            // restricted to this shard's words, in u64×8 unrolled lanes.
             for &u in self.beeper_list {
-                let row = &rows[u].as_words()[w_lo..w_lo + out.len()];
-                for (dst, src) in out.iter_mut().zip(row) {
-                    *dst |= src;
-                }
+                or_words_wide(out, &rows[u].as_words()[w_lo..w_lo + out.len()]);
             }
+        } else if let Some(shape) = self.shape {
+            // Implicit kernel: the neighborhood OR of a whole word is a
+            // handful of masked shifts — no adjacency exists to touch.
+            self.implicit_or(shape, w_lo, out);
         } else if self.gather {
             // Dense beeper set: scan each shard node's neighborhood with
             // early exit — at ≥ n/16 beepers a hit comes fast.
@@ -152,22 +277,122 @@ impl ShardCtx<'_> {
                 if out[(v - lo) / 64] & mask != 0 {
                     continue; // beeped itself: already receives a 1
                 }
-                if self.graph.neighbors(v).iter().any(|&u| self.beepers.get(u)) {
+                let hit = if self.csr {
+                    self.graph.neighbors(v).iter().any(|&u| self.beepers.get(u))
+                } else {
+                    self.graph.any_neighbor(v, |u| self.beepers.get(u))
+                };
+                if hit {
                     out[(v - lo) / 64] |= mask;
                 }
             }
-        } else {
+        } else if self.csr {
             // Sparse beeper set: scatter each beeper's CSR adjacency list,
-            // binary-searched down to this shard's node range.
+            // binary-searched down to this shard's node range. Consecutive
+            // neighbors usually share an output word (lists are sorted),
+            // so bits accumulate in a register and flush once per word
+            // instead of read-modify-writing memory per neighbor.
             for &u in self.beeper_list {
                 let adj = self.graph.neighbors(u);
                 let start = adj.partition_point(|&w| w < lo);
+                let mut cur = usize::MAX;
+                let mut acc = 0u64;
                 for &w in &adj[start..] {
                     if w >= hi {
                         break;
                     }
-                    out[(w - lo) / 64] |= 1u64 << (w % 64);
+                    let wi = (w - lo) / 64;
+                    if wi != cur {
+                        if acc != 0 {
+                            out[cur] |= acc;
+                        }
+                        cur = wi;
+                        acc = 0;
+                    }
+                    acc |= 1u64 << (w % 64);
                 }
+                if acc != 0 {
+                    out[cur] |= acc;
+                }
+            }
+        } else {
+            // Generic scatter for compressed adjacency: decode each
+            // beeper's list over this shard's range (ascending, early
+            // exit), with the same word-chunked accumulation.
+            for &u in self.beeper_list {
+                let mut cur = usize::MAX;
+                let mut acc = 0u64;
+                self.graph.for_each_neighbor_in_range(u, lo, hi, |w| {
+                    let wi = (w - lo) / 64;
+                    if wi != cur {
+                        if acc != 0 {
+                            out[cur] |= acc;
+                        }
+                        cur = wi;
+                        acc = 0;
+                    }
+                    acc |= 1u64 << (w % 64);
+                });
+                if acc != 0 {
+                    out[cur] |= acc;
+                }
+            }
+        }
+    }
+
+    /// The implicit-topology neighborhood OR for the words starting at
+    /// global word `w_lo`: each output word is assembled from masked
+    /// shifted windows of the beeper words. `out` already holds the
+    /// self-hearing beeper copy; this ORs the neighbor contributions on
+    /// top and re-zeros the padding bits of the final word.
+    fn implicit_or(&self, shape: ImplicitShape, w_lo: usize, out: &mut [u64]) {
+        let n = self.beepers.len();
+        let src = self.beepers.as_words();
+        match shape {
+            ImplicitShape::Complete => {
+                // Carrier sensing on K_n: any beeper at all is heard by
+                // every node (beeper or not).
+                if self.beep_count > 0 {
+                    out.fill(!0);
+                }
+            }
+            ImplicitShape::Torus { rows, cols } | ImplicitShape::Grid { rows, cols } => {
+                let wrap = matches!(shape, ImplicitShape::Torus { .. });
+                debug_assert_eq!(rows * cols, n);
+                let c = cols as i64;
+                for (idx, o) in out.iter_mut().enumerate() {
+                    let w = w_lo + idx;
+                    let base = (w * 64) as i64;
+                    // Vertical neighbors are a plain ±cols shift; nodes in
+                    // the first/last row read past the bitmap and get 0.
+                    let mut acc = window(src, base - c) | window(src, base + c);
+                    // Horizontal neighbors are a ±1 shift masked at the
+                    // column boundaries so rows don't bleed into each
+                    // other.
+                    let start_mask = stride_mask(w, cols, 0);
+                    let end_mask = stride_mask(w, cols, cols - 1);
+                    acc |= window(src, base - 1) & !start_mask;
+                    acc |= window(src, base + 1) & !end_mask;
+                    if wrap {
+                        // Torus wrap terms: column 0 ↔ column cols−1 and
+                        // first row ↔ last row.
+                        acc |= window(src, base + c - 1) & start_mask;
+                        acc |= window(src, base - (c - 1)) & end_mask;
+                        let nc = (n - cols) as i64;
+                        acc |= window(src, base + nc) & range_mask(w, 0, cols);
+                        acc |= window(src, base - nc) & range_mask(w, n - cols, n);
+                    }
+                    *o |= acc;
+                }
+            }
+        }
+        // The shifts above can set padding bits past `n` in the bitmap's
+        // final word; BitVec's word invariant (and the post-pass scatter)
+        // require them zero.
+        if !n.is_multiple_of(64) {
+            let last = n / 64;
+            if (w_lo..w_lo + out.len()).contains(&last) {
+                out[last - w_lo] &= (1u64 << (n % 64)) - 1;
             }
         }
     }
@@ -417,15 +642,31 @@ impl BeepNetwork {
 
     /// Overrides the auto-selected bitset kernel: `true` materializes the
     /// `n × n` adjacency bitmask rows (word-parallel row ORs per beeper),
-    /// `false` uses the sparse CSR scatter. A tuning knob — results are
+    /// `false` uses the sparse scatter. A tuning knob — results are
     /// identical either way; only [`run_round_bitset`](Self::run_round_bitset)
-    /// throughput changes.
+    /// throughput changes. On an implicit graph this *turns the implicit
+    /// shift kernel off* (its neighborhoods are enumerated through the
+    /// generic accessors instead), which is how the differential oracle
+    /// gets a second kernel to compare the shift kernel against; build a
+    /// fresh network to get the auto selection back.
     pub fn set_dense_adjacency(&mut self, dense: bool) {
         self.kernel = if dense {
             AdjKernel::DensePending
         } else {
             AdjKernel::Sparse
         };
+    }
+
+    /// A short stable label of the bitset kernel the next round will use:
+    /// `"sparse"`, `"dense"`, or `"implicit"`. Exposed for tests, logs,
+    /// and bench metadata; the kernel never affects results, only speed.
+    #[must_use]
+    pub fn kernel_label(&self) -> &'static str {
+        match &self.kernel {
+            AdjKernel::Sparse => "sparse",
+            AdjKernel::DensePending | AdjKernel::Dense(_) => "dense",
+            AdjKernel::Implicit(_) => "implicit",
+        }
     }
 
     /// Sets how many worker threads the sharded bitset kernel may use.
@@ -573,10 +814,7 @@ impl BeepNetwork {
         let graph = &self.graph;
         let clean_bit = |v: usize| match actions[v] {
             Action::Beep => true,
-            Action::Listen => graph
-                .neighbors(v)
-                .iter()
-                .any(|&u| actions[u] == Action::Beep),
+            Action::Listen => graph.any_neighbor(v, |u| actions[u] == Action::Beep),
         };
         let self_hearing_noisy = self.self_hearing_noisy;
         let iid = match &self.channel {
@@ -753,8 +991,14 @@ impl BeepNetwork {
             AdjKernel::Dense(rows) => Some(rows.as_slice()),
             _ => None,
         };
-        let gather = rows.is_none() && GATHER_DENSITY_FACTOR * beep_count >= n;
-        let beeper_list: Vec<usize> = if gather {
+        let shape = match &self.kernel {
+            AdjKernel::Implicit(shape) => Some(*shape),
+            _ => None,
+        };
+        let gather = rows.is_none() && shape.is_none() && GATHER_DENSITY_FACTOR * beep_count >= n;
+        // The implicit kernel reads the beeper words directly; only the
+        // dense-row and scatter kernels walk the materialized beeper list.
+        let beeper_list: Vec<usize> = if gather || shape.is_some() {
             Vec::new()
         } else {
             beepers.iter_ones().collect()
@@ -762,6 +1006,9 @@ impl BeepNetwork {
         let ctx = ShardCtx {
             graph: &self.graph,
             rows,
+            shape,
+            csr: matches!(self.graph.repr(), AdjacencyRepr::Csr),
+            beep_count,
             beepers,
             beeper_list: &beeper_list,
             protect: (!self.self_hearing_noisy).then_some(beepers),
@@ -956,6 +1203,269 @@ impl BeepNetwork {
             for v in received.iter_ones() {
                 heard[v].set(i, true);
             }
+        }
+        Ok(())
+    }
+
+    /// Fault-overlay step 1 for one round, applied in place to an owned
+    /// effective-beeper bitmap: static fault overrides, then the adaptive
+    /// decision (from the same pre-fan-out [`AdversaryView`] every kernel
+    /// builds), then its spam/mute edits. Returns the round's decision and
+    /// whether any node effectively beeped *before* adaptive additions
+    /// (what `last_activity` tracks). The batched frame driver runs this
+    /// round-sequentially so its transcripts match the per-round kernels
+    /// bit for bit.
+    fn overlay_step1(&self, effective: &mut BitVec, round: u64) -> (RoundFaults, bool) {
+        if self.faults.is_empty() {
+            return (RoundFaults::none(), effective.count_ones() > 0);
+        }
+        self.faults.apply_to_beepers(round, effective);
+        let pre_adaptive_active = effective.count_ones() > 0;
+        let decision = self.faults.decide(&AdversaryView {
+            seed: self.seed,
+            round,
+            beepers: effective,
+            beeps_per_node: &self.beeps_per_node,
+            last_activity: self.last_activity,
+        });
+        decision.apply_to_beepers(effective);
+        (decision, pre_adaptive_active)
+    }
+
+    /// [`run_frame_of_len`](Self::run_frame_of_len) through the
+    /// cache-blocked batched kernel: the whole transmit schedule is driven
+    /// in blocks of [`FRAME_BLOCK_ROUNDS`] rounds, and within a block each
+    /// shard computes *all* its rounds back to back. A shard's output
+    /// words and the block's beeper bitmaps stay hot in L2 across the
+    /// block, and — decisively for large sparse graphs — each shard
+    /// touches the adjacency once per block instead of once per round.
+    ///
+    /// Byte-identical to [`run_frame`](Self::run_frame): rounds are
+    /// prepared (fault overlay, adaptive decisions, stats, transcript)
+    /// sequentially in submission order before the block fans out, noise
+    /// stays keyed by `(seed, round, shard)`, and the block size is *not*
+    /// part of the determinism tuple. Pinned by the batched oracle tests
+    /// and golden FNV fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::ActionCount`] if `frames.len()` differs from the node
+    ///   count.
+    /// * [`NetError::FrameLength`] if a transmitted frame's length is not
+    ///   `rounds`.
+    pub fn run_frames_batched(
+        &mut self,
+        frames: &[Option<BitVec>],
+        rounds: usize,
+    ) -> Result<Vec<BitVec>, NetError> {
+        let mut heard = Vec::new();
+        self.run_frames_batched_into(frames, rounds, &mut heard)?;
+        Ok(heard)
+    }
+
+    /// [`run_frames_batched`](Self::run_frames_batched) writing into a
+    /// caller buffer, with the same reuse contract as
+    /// [`run_frame_into`](Self::run_frame_into).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::ActionCount`] if `frames.len()` differs from the node
+    ///   count.
+    /// * [`NetError::FrameLength`] if a transmitted frame's length is not
+    ///   `rounds`.
+    pub fn run_frames_batched_into(
+        &mut self,
+        frames: &[Option<BitVec>],
+        rounds: usize,
+        heard: &mut Vec<BitVec>,
+    ) -> Result<(), NetError> {
+        let n = self.graph.node_count();
+        if frames.len() != n {
+            return Err(NetError::ActionCount {
+                expected: n,
+                actual: frames.len(),
+            });
+        }
+        let mut transmitters: Vec<(usize, &BitVec)> = Vec::new();
+        for (v, frame) in frames.iter().enumerate() {
+            if let Some(f) = frame {
+                if f.len() != rounds {
+                    return Err(NetError::FrameLength {
+                        node: v,
+                        expected: rounds,
+                        actual: f.len(),
+                    });
+                }
+                transmitters.push((v, f));
+            }
+        }
+        heard.truncate(n);
+        for h in heard.iter_mut() {
+            if h.len() == rounds {
+                h.clear();
+            } else {
+                *h = BitVec::zeros(rounds);
+            }
+        }
+        heard.resize_with(n, || BitVec::zeros(rounds));
+        if matches!(self.kernel, AdjKernel::DensePending) {
+            self.kernel = AdjKernel::dense(&self.graph);
+        }
+        let shape = match &self.kernel {
+            AdjKernel::Implicit(shape) => Some(*shape),
+            _ => None,
+        };
+        let csr = matches!(self.graph.repr(), AdjacencyRepr::Csr);
+        // Shard layout: identical to the per-round kernel's — a pure
+        // function of (n, shard_count), so the (round, shard) noise cells
+        // line up exactly.
+        let words_len = n.div_ceil(64);
+        let per = words_len.div_ceil(self.shard_count).max(1);
+        let num_shards = words_len.div_ceil(per);
+        let mut slab: Vec<u64> = Vec::new();
+        let mut base = 0usize;
+        while base < rounds {
+            let block = FRAME_BLOCK_ROUNDS.min(rounds - base);
+            // Sequential pre-pass: assemble each round's effective beeper
+            // bitmap and run everything order-dependent (fault overlay,
+            // adaptive decisions, stats, energy, transcript, activity
+            // tracking) exactly as the round-by-round driver would.
+            let mut block_beepers: Vec<BitVec> = Vec::with_capacity(block);
+            let mut decisions: Vec<RoundFaults> = Vec::with_capacity(block);
+            let mut round_meta: Vec<(u64, u64, usize)> = Vec::with_capacity(block);
+            for i in 0..block {
+                let mut eff = BitVec::zeros(n);
+                for &(v, f) in &transmitters {
+                    if f.get(base + i) {
+                        eff.set(v, true);
+                    }
+                }
+                let round = self.stats.rounds as u64;
+                let (decision, pre_adaptive_active) = self.overlay_step1(&mut eff, round);
+                let beep_count = eff.count_ones();
+                if pre_adaptive_active {
+                    self.last_activity = Some(round);
+                }
+                self.stats.rounds += 1;
+                self.stats.beeps += beep_count as u64;
+                self.stats.listens += (n - beep_count) as u64;
+                for u in eff.iter_ones() {
+                    self.beeps_per_node[u] += 1;
+                }
+                if let Some(t) = &mut self.transcript {
+                    t.push(eff.clone());
+                }
+                round_meta.push((
+                    round,
+                    self.channel.round_state(self.seed, round),
+                    beep_count,
+                ));
+                decisions.push(decision);
+                block_beepers.push(eff);
+            }
+            let rows = match &self.kernel {
+                AdjKernel::Dense(rows) => Some(rows.as_slice()),
+                _ => None,
+            };
+            let beeper_lists: Vec<Vec<usize>> = block_beepers
+                .iter()
+                .enumerate()
+                .map(|(i, eff)| {
+                    let gather = rows.is_none()
+                        && shape.is_none()
+                        && GATHER_DENSITY_FACTOR * round_meta[i].2 >= n;
+                    if gather || shape.is_some() {
+                        Vec::new()
+                    } else {
+                        eff.iter_ones().collect()
+                    }
+                })
+                .collect();
+            let ctxs: Vec<ShardCtx> = (0..block)
+                .map(|i| ShardCtx {
+                    graph: &self.graph,
+                    rows,
+                    shape,
+                    csr,
+                    beep_count: round_meta[i].2,
+                    beepers: &block_beepers[i],
+                    beeper_list: &beeper_lists[i],
+                    protect: (!self.self_hearing_noisy).then_some(&block_beepers[i]),
+                    channel: &self.channel,
+                    seed: self.seed,
+                    round: round_meta[i].0,
+                    shard_count: self.shard_count,
+                    round_state: round_meta[i].1,
+                    gather: rows.is_none()
+                        && shape.is_none()
+                        && GATHER_DENSITY_FACTOR * round_meta[i].2 >= n,
+                })
+                .collect();
+            // Shard-major main pass over one flat slab: shard `s` owns a
+            // contiguous `len_s × block` run of words, so worker threads
+            // write disjoint slices and a shard's rounds are adjacent in
+            // memory. Per (shard, round) cell the computation is exactly
+            // `ShardCtx::compute` — the same OR, the same noise stream.
+            slab.clear();
+            slab.resize(words_len * block, 0);
+            let threads = self.effective_threads().min(num_shards.max(1));
+            let mut queues: Vec<Vec<(usize, &mut [u64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (s, shard_slab) in slab.chunks_mut(per * block).enumerate() {
+                queues[s % threads].push((s, shard_slab));
+            }
+            let run_queue = |queue: Vec<(usize, &mut [u64])>| {
+                for (s, shard_slab) in queue {
+                    let len_s = shard_slab.len() / block;
+                    let lo = s * per * 64;
+                    let hi = (lo + len_s * 64).min(n);
+                    for (i, seg) in shard_slab.chunks_mut(len_s).enumerate() {
+                        ctxs[i].compute(s, lo, hi, seg);
+                    }
+                }
+            };
+            if threads <= 1 {
+                for queue in queues {
+                    run_queue(queue);
+                }
+            } else {
+                let own = queues.pop().expect("threads >= 2 queues");
+                std::thread::scope(|scope| {
+                    for queue in queues {
+                        scope.spawn(|| run_queue(queue));
+                    }
+                    run_queue(own);
+                });
+            }
+            // Post-pass: scatter the slab into per-node heard strings and
+            // apply fault-overlay step 2 (crash deafness + adaptive
+            // deafening) per round — the same post-channel point as the
+            // per-round kernels.
+            for (s, shard_slab) in slab.chunks(per * block).enumerate() {
+                let len_s = shard_slab.len() / block;
+                let lo = s * per * 64;
+                for (i, seg) in shard_slab.chunks(len_s).enumerate() {
+                    for (wi, &word) in seg.iter().enumerate() {
+                        let word_base = lo + wi * 64;
+                        let mut bits = word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            heard[word_base + b].set(base + i, true);
+                        }
+                    }
+                }
+            }
+            for (i, decision) in decisions.iter().enumerate() {
+                let round = round_meta[i].0;
+                for v in self.faults.crashed(round) {
+                    heard[v].set(base + i, false);
+                }
+                for &v in decision.deafen() {
+                    heard[v].set(base + i, false);
+                }
+            }
+            base += block;
         }
         Ok(())
     }

@@ -1,22 +1,151 @@
-//! Undirected simple graphs in compressed sparse row form.
+//! Undirected simple graphs: materialized CSR, implicit structured
+//! topologies, and delta-varint compressed CSR.
+//!
+//! The engine touches every adjacency list every round, so the
+//! representation matters at scale. Three families coexist behind one
+//! [`Graph`] type:
+//!
+//! * **CSR** (`offsets` + flat `neighbors`) — the general-purpose form
+//!   every generator in [`crate::topology`] produces.
+//! * **Implicit** complete / torus / grid — neighborhoods computed on the
+//!   fly from the shape parameters, zero adjacency storage. This is what
+//!   makes n = 10M–100M fit in RAM: a 100M-node torus stores two `usize`s
+//!   where CSR would store 3.2 GB.
+//! * **Delta-varint CSR** — sorted adjacency lists stored as LEB128
+//!   varints of consecutive gaps, for scale-free graphs whose structure
+//!   can't be computed implicitly. Typically 3–5× smaller than CSR.
+//!
+//! All read paths below [`Graph::neighbors`] (which is CSR-only and kept
+//! for hot slice-based loops) are representation-generic; the engine
+//! dispatches on [`Graph::repr`].
 
 use crate::error::GraphError;
 
 /// Index of a node in a [`Graph`] (`0..n`).
 pub type NodeId = usize;
 
-/// An undirected simple graph over nodes `0..n`, stored in CSR form for
-/// cache-friendly neighborhood scans (the engine touches every adjacency
-/// list every round).
+/// Which adjacency representation a [`Graph`] uses (see [`Graph::repr`]).
+///
+/// The representation is a storage/performance property only: two graphs
+/// with the same edge set but different representations behave identically
+/// in every kernel (proven by the differential oracle in
+/// `tests/bitset_oracle.rs`), though `Graph`'s derived `PartialEq` is
+/// representational and will not equate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdjacencyRepr {
+    /// Materialized compressed sparse row (offsets + neighbor slice).
+    Csr,
+    /// Implicit complete graph `K_n`; no adjacency storage.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// Implicit 2-D torus (wrap-around grid), `rows × cols`, both ≥ 3.
+    Torus {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Implicit 2-D grid (no wrap-around), `rows × cols`.
+    Grid {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Delta-varint compressed CSR (LEB128 gap encoding of sorted lists).
+    DeltaCsr,
+}
+
+impl AdjacencyRepr {
+    /// A short stable label for metrics and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AdjacencyRepr::Csr => "csr",
+            AdjacencyRepr::Complete { .. } => "implicit-complete",
+            AdjacencyRepr::Torus { .. } => "implicit-torus",
+            AdjacencyRepr::Grid { .. } => "implicit-grid",
+            AdjacencyRepr::DeltaCsr => "delta-csr",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    Csr {
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+    },
+    Complete {
+        n: usize,
+    },
+    Torus {
+        rows: usize,
+        cols: usize,
+    },
+    Grid {
+        rows: usize,
+        cols: usize,
+    },
+    DeltaCsr {
+        n: usize,
+        m: usize,
+        max_degree: usize,
+        /// Byte offset of each node's varint run in `bytes` (`n + 1` entries).
+        offsets: Vec<u32>,
+        /// Per node: `varint(degree)`, then `varint(first)` and
+        /// `varint(gap)` for each subsequent neighbor (gaps ≥ 1 because
+        /// lists are sorted and deduplicated).
+        bytes: Vec<u8>,
+    },
+}
+
+/// Appends `value` to `bytes` as an LEB128 varint (7 data bits per byte,
+/// high bit = continuation).
+pub(crate) fn push_varint(bytes: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let b = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            bytes.push(b);
+            break;
+        }
+        bytes.push(b | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint at `*pos`, advancing `*pos` past it.
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// Stored either materialized (CSR), implicitly (complete/torus/grid shape
+/// parameters only), or delta-varint compressed — see [`AdjacencyRepr`]
+/// and the module docs. `PartialEq` is representational: it compares
+/// storage, not edge sets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    offsets: Vec<usize>,
-    neighbors: Vec<NodeId>,
+    repr: Repr,
 }
 
 impl Graph {
-    /// Builds a graph from an edge list. Duplicate edges collapse; edge
-    /// direction is irrelevant.
+    /// Builds a CSR graph from an edge list. Duplicate edges collapse;
+    /// edge direction is irrelevant.
     ///
     /// # Errors
     ///
@@ -46,72 +175,446 @@ impl Graph {
             neighbors.extend_from_slice(list);
             offsets.push(neighbors.len());
         }
-        Ok(Graph { offsets, neighbors })
+        Ok(Graph {
+            repr: Repr::Csr { offsets, neighbors },
+        })
+    }
+
+    /// An implicit complete graph `K_n`: every pair of distinct nodes is
+    /// adjacent, with zero adjacency storage.
+    #[must_use]
+    pub fn implicit_complete(n: usize) -> Self {
+        Graph {
+            repr: Repr::Complete { n },
+        }
+    }
+
+    /// An implicit `rows × cols` torus (wrap-around grid, exactly
+    /// 4-regular). Node `r·cols + c` is adjacent to its four orthogonal
+    /// neighbors with both coordinates taken modulo the dimensions —
+    /// the same edge set as [`crate::topology::torus`], with zero
+    /// adjacency storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidTopology`] if either dimension is
+    /// below 3 (wrap-around would create multi-edges or self-loops).
+    pub fn implicit_torus(rows: usize, cols: usize) -> Result<Self, GraphError> {
+        if rows < 3 || cols < 3 {
+            return Err(GraphError::InvalidTopology {
+                detail: format!("implicit torus needs both dimensions >= 3, got {rows}x{cols}"),
+            });
+        }
+        Ok(Graph {
+            repr: Repr::Torus { rows, cols },
+        })
+    }
+
+    /// An implicit `rows × cols` grid (no wrap-around): the same edge set
+    /// as [`crate::topology::grid`], with zero adjacency storage.
+    #[must_use]
+    pub fn implicit_grid(rows: usize, cols: usize) -> Self {
+        Graph {
+            repr: Repr::Grid { rows, cols },
+        }
+    }
+
+    /// Re-encodes this graph as delta-varint compressed CSR: each sorted
+    /// adjacency list becomes `varint(degree)`, `varint(first neighbor)`,
+    /// then varints of consecutive gaps. Neighbor scans decode on the fly
+    /// (ascending, with early exit), trading a few cycles per neighbor for
+    /// a 3–5× smaller adjacency on scale-free graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidTopology`] if the encoded stream would
+    /// exceed `u32` byte offsets (≈4 GiB); such graphs should stay CSR.
+    pub fn to_delta_csr(&self) -> Result<Self, GraphError> {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut bytes = Vec::new();
+        let mut max_degree = 0usize;
+        let mut m2 = 0usize; // directed edge count (2m)
+        offsets.push(0u32);
+        let mut list = Vec::new();
+        for v in 0..n {
+            list.clear();
+            self.for_each_neighbor(v, |u| list.push(u));
+            let deg = list.len();
+            max_degree = max_degree.max(deg);
+            m2 += deg;
+            push_varint(&mut bytes, deg as u64);
+            let mut prev = 0u64;
+            for (i, &u) in list.iter().enumerate() {
+                let u = u as u64;
+                if i == 0 {
+                    push_varint(&mut bytes, u);
+                } else {
+                    push_varint(&mut bytes, u - prev);
+                }
+                prev = u;
+            }
+            let end = u32::try_from(bytes.len()).map_err(|_| GraphError::InvalidTopology {
+                detail: "delta-varint CSR stream exceeds u32 offsets (~4 GiB); keep CSR"
+                    .to_string(),
+            })?;
+            offsets.push(end);
+        }
+        Ok(Graph {
+            repr: Repr::DeltaCsr {
+                n,
+                m: m2 / 2,
+                max_degree,
+                offsets,
+                bytes,
+            },
+        })
+    }
+
+    /// Materializes this graph as plain CSR (a no-op clone if it already
+    /// is). Useful for comparing an implicit or compressed graph against
+    /// the general-purpose representation.
+    #[must_use]
+    pub fn materialize(&self) -> Self {
+        if matches!(self.repr, Repr::Csr { .. }) {
+            return self.clone();
+        }
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for v in 0..n {
+            self.for_each_neighbor(v, |u| neighbors.push(u));
+            offsets.push(neighbors.len());
+        }
+        Graph {
+            repr: Repr::Csr { offsets, neighbors },
+        }
+    }
+
+    /// Which adjacency representation this graph uses.
+    #[must_use]
+    pub fn repr(&self) -> AdjacencyRepr {
+        match &self.repr {
+            Repr::Csr { .. } => AdjacencyRepr::Csr,
+            Repr::Complete { n } => AdjacencyRepr::Complete { n: *n },
+            Repr::Torus { rows, cols } => AdjacencyRepr::Torus {
+                rows: *rows,
+                cols: *cols,
+            },
+            Repr::Grid { rows, cols } => AdjacencyRepr::Grid {
+                rows: *rows,
+                cols: *cols,
+            },
+            Repr::DeltaCsr { .. } => AdjacencyRepr::DeltaCsr,
+        }
+    }
+
+    /// Bytes of adjacency storage (offsets + neighbor data; zero for
+    /// implicit shapes). The number the compressed modes exist to shrink.
+    #[must_use]
+    pub fn adjacency_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Csr { offsets, neighbors } => {
+                offsets.len() * size_of::<usize>() + neighbors.len() * size_of::<NodeId>()
+            }
+            Repr::Complete { .. } | Repr::Torus { .. } | Repr::Grid { .. } => 0,
+            Repr::DeltaCsr { offsets, bytes, .. } => offsets.len() * size_of::<u32>() + bytes.len(),
+        }
     }
 
     /// The number of nodes `n`.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        match &self.repr {
+            Repr::Csr { offsets, .. } => offsets.len() - 1,
+            Repr::Complete { n } => *n,
+            Repr::Torus { rows, cols } | Repr::Grid { rows, cols } => rows * cols,
+            Repr::DeltaCsr { n, .. } => *n,
+        }
     }
 
     /// The number of undirected edges `m`.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.neighbors.len() / 2
+        match &self.repr {
+            Repr::Csr { neighbors, .. } => neighbors.len() / 2,
+            Repr::Complete { n } => n * n.saturating_sub(1) / 2,
+            Repr::Torus { rows, cols } => 2 * rows * cols,
+            Repr::Grid { rows, cols } => {
+                if *rows == 0 || *cols == 0 {
+                    0
+                } else {
+                    rows * (cols - 1) + cols * (rows - 1)
+                }
+            }
+            Repr::DeltaCsr { m, .. } => *m,
+        }
     }
 
-    /// The neighbors of `v`, sorted ascending.
+    /// The neighbors of `v` as a borrowed sorted slice. **CSR only** —
+    /// implicit and delta-compressed graphs have no slice to borrow; use
+    /// [`Graph::for_each_neighbor`] or [`Graph::collect_neighbors`] for
+    /// representation-generic access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`, or if the graph is not materialized CSR.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        match &self.repr {
+            Repr::Csr { offsets, neighbors } => &neighbors[offsets[v]..offsets[v + 1]],
+            other => panic!(
+                "Graph::neighbors needs materialized CSR, not {:?} — use for_each_neighbor \
+                 or materialize()",
+                match other {
+                    Repr::Complete { .. } => "implicit-complete",
+                    Repr::Torus { .. } => "implicit-torus",
+                    Repr::Grid { .. } => "implicit-grid",
+                    Repr::DeltaCsr { .. } => "delta-csr",
+                    Repr::Csr { .. } => unreachable!(),
+                }
+            ),
+        }
+    }
+
+    /// Calls `f` for every neighbor of `v`, ascending. Works for every
+    /// representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn for_each_neighbor<F: FnMut(NodeId)>(&self, v: NodeId, mut f: F) {
+        match &self.repr {
+            Repr::Csr { offsets, neighbors } => {
+                for &u in &neighbors[offsets[v]..offsets[v + 1]] {
+                    f(u);
+                }
+            }
+            Repr::Complete { n } => {
+                assert!(v < *n);
+                for u in 0..*n {
+                    if u != v {
+                        f(u);
+                    }
+                }
+            }
+            Repr::Torus { rows, cols } => {
+                assert!(v < rows * cols);
+                let (r, c) = (v / cols, v % cols);
+                let mut nbrs = [
+                    ((r + rows - 1) % rows) * cols + c,
+                    (r * cols) + (c + cols - 1) % cols,
+                    (r * cols) + (c + 1) % cols,
+                    ((r + 1) % rows) * cols + c,
+                ];
+                nbrs.sort_unstable();
+                for u in nbrs {
+                    f(u);
+                }
+            }
+            Repr::Grid { rows, cols } => {
+                assert!(v < rows * cols);
+                let (r, c) = (v / cols, v % cols);
+                if r > 0 {
+                    f(v - cols);
+                }
+                if c > 0 {
+                    f(v - 1);
+                }
+                if c + 1 < *cols {
+                    f(v + 1);
+                }
+                if r + 1 < *rows {
+                    f(v + cols);
+                }
+            }
+            Repr::DeltaCsr { offsets, bytes, .. } => {
+                let mut pos = offsets[v] as usize;
+                let deg = read_varint(bytes, &mut pos) as usize;
+                let mut u = 0u64;
+                for i in 0..deg {
+                    let step = read_varint(bytes, &mut pos);
+                    u = if i == 0 { step } else { u + step };
+                    f(u as usize);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every neighbor `u` of `v` with `lo <= u < hi`,
+    /// ascending. Decoding stops as soon as a neighbor `>= hi` is seen
+    /// (lists are sorted in every representation), which is what makes
+    /// sharded scatter affordable on compressed graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn for_each_neighbor_in_range<F: FnMut(NodeId)>(
+        &self,
+        v: NodeId,
+        lo: NodeId,
+        hi: NodeId,
+        mut f: F,
+    ) {
+        match &self.repr {
+            Repr::Csr { offsets, neighbors } => {
+                let adj = &neighbors[offsets[v]..offsets[v + 1]];
+                let start = adj.partition_point(|&u| u < lo);
+                for &u in &adj[start..] {
+                    if u >= hi {
+                        break;
+                    }
+                    f(u);
+                }
+            }
+            Repr::Complete { n } => {
+                assert!(v < *n);
+                for u in lo..hi.min(*n) {
+                    if u != v {
+                        f(u);
+                    }
+                }
+            }
+            _ => {
+                self.for_each_neighbor(v, |u| {
+                    if u >= lo && u < hi {
+                        f(u);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Whether any neighbor of `v` satisfies `pred` (short-circuiting).
+    /// Works for every representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn any_neighbor<F: FnMut(NodeId) -> bool>(&self, v: NodeId, mut pred: F) -> bool {
+        match &self.repr {
+            Repr::Csr { offsets, neighbors } => neighbors[offsets[v]..offsets[v + 1]]
+                .iter()
+                .any(|&u| pred(u)),
+            Repr::Complete { n } => {
+                assert!(v < *n);
+                (0..*n).any(|u| u != v && pred(u))
+            }
+            _ => {
+                let mut hit = false;
+                self.for_each_neighbor(v, |u| hit = hit || pred(u));
+                hit
+            }
+        }
+    }
+
+    /// The neighbors of `v` as an owned sorted vector. Works for every
+    /// representation (unlike the borrowed [`Graph::neighbors`]).
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
     #[must_use]
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    pub fn collect_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.for_each_neighbor(v, |u| out.push(u));
+        out
     }
 
-    /// The degree of `v`.
+    /// The degree of `v`. O(1) in every representation.
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
     #[must_use]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v + 1] - self.offsets[v]
+        match &self.repr {
+            Repr::Csr { offsets, .. } => offsets[v + 1] - offsets[v],
+            Repr::Complete { n } => {
+                assert!(v < *n);
+                n - 1
+            }
+            Repr::Torus { rows, cols } => {
+                assert!(v < rows * cols);
+                4
+            }
+            Repr::Grid { rows, cols } => {
+                assert!(v < rows * cols);
+                let (r, c) = (v / cols, v % cols);
+                usize::from(r > 0)
+                    + usize::from(c > 0)
+                    + usize::from(c + 1 < *cols)
+                    + usize::from(r + 1 < *rows)
+            }
+            Repr::DeltaCsr { offsets, bytes, .. } => {
+                let mut pos = offsets[v] as usize;
+                read_varint(bytes, &mut pos) as usize
+            }
+        }
     }
 
     /// The maximum degree `Δ` (0 for an empty or edgeless graph). This is
-    /// the parameter every bound in the paper is expressed in.
+    /// the parameter every bound in the paper is expressed in. O(1) for
+    /// implicit and delta-compressed graphs.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count())
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        match &self.repr {
+            Repr::Csr { .. } => (0..self.node_count())
+                .map(|v| self.degree(v))
+                .max()
+                .unwrap_or(0),
+            Repr::Complete { n } => n.saturating_sub(1),
+            Repr::Torus { .. } => 4,
+            Repr::Grid { rows, cols } => {
+                if *rows == 0 || *cols == 0 {
+                    0
+                } else {
+                    (if *rows > 2 { 2 } else { rows - 1 }) + (if *cols > 2 { 2 } else { cols - 1 })
+                }
+            }
+            Repr::DeltaCsr { max_degree, .. } => *max_degree,
+        }
     }
 
-    /// Whether `{u, v}` is an edge (binary search over the sorted adjacency
-    /// list).
+    /// Whether `{u, v}` is an edge. O(1) for implicit shapes, a decode
+    /// scan (CSR: binary search) otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `u >= n`.
     #[must_use]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.neighbors(u).binary_search(&v).is_ok()
+        match &self.repr {
+            Repr::Csr { offsets, neighbors } => neighbors[offsets[u]..offsets[u + 1]]
+                .binary_search(&v)
+                .is_ok(),
+            Repr::Complete { n } => {
+                assert!(u < *n);
+                v < *n && u != v
+            }
+            _ => {
+                if v >= self.node_count() {
+                    assert!(u < self.node_count());
+                    return false;
+                }
+                self.any_neighbor(u, |w| w == v)
+            }
+        }
     }
 
     /// All edges as `(min, max)` pairs, each once, lexicographic order.
+    /// Materializes the full list — intended for tests and small graphs,
+    /// not the 10M+-node implicit shapes.
     #[must_use]
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
         let mut out = Vec::with_capacity(self.edge_count());
         for u in 0..self.node_count() {
-            for &v in self.neighbors(u) {
+            self.for_each_neighbor(u, |v| {
                 if u < v {
                     out.push((u, v));
                 }
-            }
+            });
         }
         out
     }
@@ -129,12 +632,12 @@ impl Graph {
         let mut queue = std::collections::VecDeque::from([source]);
         while let Some(u) = queue.pop_front() {
             let du = dist[u].expect("queued nodes have distances");
-            for &v in self.neighbors(u) {
+            self.for_each_neighbor(u, |v| {
                 if dist[v].is_none() {
                     dist[v] = Some(du + 1);
                     queue.push_back(v);
                 }
-            }
+            });
         }
         dist
     }
@@ -238,5 +741,129 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert_eq!(g.diameter(), None);
         assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        let mut bytes = Vec::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ];
+        for &v in &values {
+            push_varint(&mut bytes, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&bytes, &mut pos), v);
+        }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn implicit_complete_matches_csr() {
+        for n in [0usize, 1, 2, 5, 9] {
+            let imp = Graph::implicit_complete(n);
+            assert_eq!(imp.node_count(), n);
+            assert_eq!(imp.edge_count(), n * n.saturating_sub(1) / 2);
+            assert_eq!(imp.max_degree(), n.saturating_sub(1));
+            let mat = imp.materialize();
+            assert_eq!(mat.repr(), AdjacencyRepr::Csr);
+            for v in 0..n {
+                assert_eq!(imp.collect_neighbors(v), mat.neighbors(v));
+                assert_eq!(imp.degree(v), mat.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_torus_matches_generator() {
+        for (r, c) in [(3, 3), (3, 4), (4, 3), (5, 7)] {
+            let imp = Graph::implicit_torus(r, c).unwrap();
+            let gen = crate::topology::torus(r, c).unwrap();
+            assert_eq!(imp.node_count(), gen.node_count());
+            assert_eq!(imp.edge_count(), gen.edge_count());
+            assert_eq!(imp.edges(), gen.edges());
+            for v in 0..imp.node_count() {
+                assert_eq!(imp.collect_neighbors(v), gen.neighbors(v));
+                assert_eq!(imp.degree(v), 4);
+            }
+        }
+        assert!(Graph::implicit_torus(2, 5).is_err());
+        assert!(Graph::implicit_torus(3, 2).is_err());
+    }
+
+    #[test]
+    fn implicit_grid_matches_generator() {
+        for (r, c) in [(1, 1), (1, 6), (4, 1), (2, 2), (3, 5), (6, 4)] {
+            let imp = Graph::implicit_grid(r, c);
+            let gen = crate::topology::grid(r, c).unwrap();
+            assert_eq!(imp.node_count(), gen.node_count());
+            assert_eq!(imp.edge_count(), gen.edge_count());
+            assert_eq!(imp.edges(), gen.edges());
+            assert_eq!(imp.max_degree(), gen.max_degree());
+            for v in 0..imp.node_count() {
+                assert_eq!(imp.collect_neighbors(v), gen.neighbors(v));
+                assert_eq!(imp.degree(v), gen.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_csr_roundtrips_and_compresses() {
+        let g = triangle_plus_tail();
+        let dc = g.to_delta_csr().unwrap();
+        assert_eq!(dc.repr(), AdjacencyRepr::DeltaCsr);
+        assert_eq!(dc.node_count(), g.node_count());
+        assert_eq!(dc.edge_count(), g.edge_count());
+        assert_eq!(dc.max_degree(), g.max_degree());
+        assert_eq!(dc.edges(), g.edges());
+        for v in 0..g.node_count() {
+            assert_eq!(dc.collect_neighbors(v), g.neighbors(v));
+            assert_eq!(dc.degree(v), g.degree(v));
+        }
+        assert_eq!(dc.materialize(), g);
+        assert!(dc.adjacency_bytes() < g.adjacency_bytes());
+        assert!(dc.has_edge(0, 1));
+        assert!(!dc.has_edge(0, 3));
+        assert!(!dc.has_edge(0, 99));
+    }
+
+    #[test]
+    fn range_scans_agree_with_full_scans() {
+        let g = crate::topology::torus(4, 5).unwrap();
+        for graph in [
+            g.clone(),
+            g.to_delta_csr().unwrap(),
+            Graph::implicit_torus(4, 5).unwrap(),
+            Graph::implicit_complete(20),
+        ] {
+            for v in 0..graph.node_count() {
+                for (lo, hi) in [(0, 20), (0, 7), (7, 13), (13, 20), (5, 5)] {
+                    let mut ranged = Vec::new();
+                    graph.for_each_neighbor_in_range(v, lo, hi, |u| ranged.push(u));
+                    let expect: Vec<_> = graph
+                        .collect_neighbors(v)
+                        .into_iter()
+                        .filter(|&u| u >= lo && u < hi)
+                        .collect();
+                    assert_eq!(ranged, expect, "v={v} lo={lo} hi={hi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "materialized CSR")]
+    fn neighbors_panics_on_implicit() {
+        let g = Graph::implicit_complete(4);
+        let _ = g.neighbors(0);
     }
 }

@@ -53,6 +53,36 @@ fn all_topologies() -> Vec<(String, Graph)> {
             "random_tree(16)".into(),
             topology::random_tree(16, &mut rng).unwrap(),
         ),
+        // Compressed/implicit adjacency representations: same edge sets as
+        // generator-built CSR graphs, zero (or delta-varint) storage. Every
+        // oracle in this file sweeps them alongside the materialized forms.
+        ("torus(4,5)".into(), topology::torus(4, 5).unwrap()),
+        (
+            "implicit_torus(4,5)".into(),
+            topology::implicit_torus(4, 5).unwrap(),
+        ),
+        (
+            "implicit_grid(3,5)".into(),
+            topology::implicit_grid(3, 5).unwrap(),
+        ),
+        (
+            "implicit_complete(9)".into(),
+            topology::implicit_complete(9).unwrap(),
+        ),
+        (
+            "delta_csr(pa(15,2))".into(),
+            topology::preferential_attachment(15, 2, &mut rng)
+                .unwrap()
+                .to_delta_csr()
+                .unwrap(),
+        ),
+        (
+            "delta_csr(gnp(15,0.3))".into(),
+            topology::gnp(15, 0.3, &mut rng)
+                .unwrap()
+                .to_delta_csr()
+                .unwrap(),
+        ),
     ]
 }
 
@@ -73,10 +103,16 @@ fn bitset_kernel_is_bit_identical_to_scalar_on_every_topology() {
     let mut rng = StdRng::seed_from_u64(7);
     for (name, graph) in all_topologies() {
         let n = graph.node_count();
-        for dense in [false, true] {
+        // `None` keeps the auto-selected kernel (the implicit shift kernel
+        // on implicit graphs); the overrides force the generic sparse and
+        // dense-row kernels, so every representation is checked under
+        // every kernel it can run.
+        for mode in [None, Some(false), Some(true)] {
             let mut scalar = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
             let mut bitset = BeepNetwork::new(graph.clone(), Noise::Noiseless, 1);
-            bitset.set_dense_adjacency(dense);
+            if let Some(dense) = mode {
+                bitset.set_dense_adjacency(dense);
+            }
             scalar.record_transcript();
             bitset.record_transcript();
             for round in 0..12 {
@@ -88,7 +124,8 @@ fn bitset_kernel_is_bit_identical_to_scalar_on_every_topology() {
                 assert_eq!(
                     via_scalar,
                     via_bitset.iter_bits().collect::<Vec<bool>>(),
-                    "{name} (dense={dense}) round {round}"
+                    "{name} (kernel={}) round {round}",
+                    bitset.kernel_label()
                 );
             }
             // Bookkeeping must agree too: stats, per-node energy,
@@ -850,6 +887,171 @@ fn faulted_noisy_transcripts_are_thread_and_shard_invariant() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn implicit_and_compressed_reprs_reproduce_materialized_noisy_transcripts() {
+    // The adjacency representation is NOT part of the determinism tuple:
+    // an implicit or delta-compressed graph with the same edge set as a
+    // materialized CSR graph must produce byte-identical noisy transcripts
+    // at every thread and shard count, because channel noise is keyed by
+    // (seed, round, shard) and the OR is representation-independent.
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let pairs: Vec<(String, Graph, Graph)> = vec![
+        (
+            "torus(5,7)".into(),
+            topology::torus(5, 7).unwrap(),
+            topology::implicit_torus(5, 7).unwrap(),
+        ),
+        (
+            "grid(4,9)".into(),
+            topology::grid(4, 9).unwrap(),
+            topology::implicit_grid(4, 9).unwrap(),
+        ),
+        (
+            "complete(11)".into(),
+            topology::complete(11).unwrap(),
+            topology::implicit_complete(11).unwrap(),
+        ),
+        (
+            "pa(20,3)".into(),
+            topology::preferential_attachment(20, 3, &mut rng).unwrap(),
+            topology::preferential_attachment(20, 3, &mut StdRng::seed_from_u64(0xC0DE))
+                .unwrap()
+                .to_delta_csr()
+                .unwrap(),
+        ),
+    ];
+    // (The PA pair re-seeds its RNG so both builds sample the same graph.)
+    let mut rng = StdRng::seed_from_u64(0x51AB);
+    for (name, csr, compressed) in pairs {
+        let n = csr.node_count();
+        let beeper_sets: Vec<BitVec> = (0..10)
+            .map(|round| {
+                let density = [0.0, 0.1, 0.5, 1.0][round % 4];
+                beeper_bitmap(&random_actions(n, density, &mut rng))
+            })
+            .collect();
+        for shards in SHARD_COUNTS {
+            for &threads in &THREAD_COUNTS {
+                let run = |graph: &Graph| {
+                    let mut net = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.25), 7);
+                    net.set_shard_count(shards);
+                    net.set_parallelism(threads);
+                    beeper_sets
+                        .iter()
+                        .map(|b| net.run_round_bitset(b).unwrap())
+                        .collect::<Vec<BitVec>>()
+                };
+                assert_eq!(
+                    run(&csr),
+                    run(&compressed),
+                    "{name} threads={threads} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_frames_match_run_frame_on_every_topology() {
+    // run_frames_batched ≡ run_frame, bit for bit, noisy, across every
+    // topology (incl. implicit/compressed reprs), threads {1, 2, 4, 8} ×
+    // shards {1, 2, 8}. The schedule is longer than one cache block so the
+    // equivalence crosses a block boundary.
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let len = 40; // > FRAME_BLOCK_ROUNDS: at least two blocks
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 3 != 1).then(|| BitVec::random_uniform(len, &mut rng)))
+            .collect();
+        for shards in SHARD_COUNTS {
+            for &threads in &THREAD_COUNTS {
+                let mut reference = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.2), 41);
+                reference.set_shard_count(shards);
+                reference.set_parallelism(threads);
+                reference.record_transcript();
+                let mut batched = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.2), 41);
+                batched.set_shard_count(shards);
+                batched.set_parallelism(threads);
+                batched.record_transcript();
+                let mut expected = Vec::new();
+                reference
+                    .run_frame_into(&frames, len, &mut expected)
+                    .unwrap();
+                let heard = batched.run_frames_batched(&frames, len).unwrap();
+                assert_eq!(heard, expected, "{name} threads={threads} shards={shards}");
+                assert_eq!(reference.stats(), batched.stats(), "{name} stats");
+                assert_eq!(
+                    reference.beeps_by_node(),
+                    batched.beeps_by_node(),
+                    "{name} energy"
+                );
+                assert_eq!(
+                    reference.transcript(),
+                    batched.transcript(),
+                    "{name} transcript"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_frames_match_run_frame_under_faults_and_adaptive_adversaries() {
+    // The batched driver's sequential pre-pass must reproduce the fault
+    // overlay exactly: static crashes mid-schedule, adaptive decisions
+    // fed by the rounds the same block already prepared, crash deafness
+    // applied per slot.
+    let mut rng = StdRng::seed_from_u64(0xBA7D);
+    let channel: ChannelModel = GilbertElliott::try_new(0.05, 0.3, 0.25, 0.4)
+        .unwrap()
+        .into();
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let len = 40;
+        let plan = FaultPlan::realize(n, 0.2, FaultKind::Crash { round: 17 }, 0xB1)
+            .unwrap()
+            .with_policy(AdaptivePolicy::TargetLoudest { budget: n / 8 + 1 });
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 2 == 0).then(|| BitVec::random_uniform(len, &mut rng)))
+            .collect();
+        let mut reference = BeepNetwork::new(graph.clone(), channel.clone(), 43);
+        reference.set_fault_plan(plan.clone()).unwrap();
+        let mut batched = BeepNetwork::new(graph.clone(), channel.clone(), 43);
+        batched.set_fault_plan(plan).unwrap();
+        batched.set_parallelism(4);
+        let expected = reference.run_frame_of_len(&frames, len).unwrap();
+        let heard = batched.run_frames_batched(&frames, len).unwrap();
+        assert_eq!(heard, expected, "{name}");
+        assert_eq!(reference.stats(), batched.stats(), "{name} stats");
+        assert_eq!(
+            reference.beeps_by_node(),
+            batched.beeps_by_node(),
+            "{name} energy"
+        );
+    }
+}
+
+#[test]
+fn batched_single_round_schedule_is_byte_identical_to_run_frame() {
+    // Satellite regression: a 1-round schedule through run_frames_batched
+    // is byte-identical to run_frame — the degenerate block still goes
+    // through pre-pass/slab/post-pass and must change nothing.
+    let mut rng = StdRng::seed_from_u64(0x0B01);
+    for (name, graph) in all_topologies() {
+        let n = graph.node_count();
+        let frames: Vec<Option<BitVec>> = (0..n)
+            .map(|v| (v % 2 == 0).then(|| BitVec::random_uniform(1, &mut rng)))
+            .collect();
+        let mut reference = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.3), 47);
+        let mut batched = BeepNetwork::new(graph.clone(), Noise::bernoulli(0.3), 47);
+        let expected = reference.run_frame(&frames).unwrap();
+        let heard = batched.run_frames_batched(&frames, 1).unwrap();
+        assert_eq!(heard, expected, "{name}");
+        assert_eq!(reference.stats(), batched.stats(), "{name} stats");
     }
 }
 

@@ -22,7 +22,8 @@
 use beep_bits::BitVec;
 use beep_net::{
     noise_stream_seed, protocol_coin, topology, AdaptivePolicy, AdversarialErasure, BeepNetwork,
-    ChannelModel, FaultKind, FaultPlan, GilbertElliott, Noise, PerNodeEps, PROTOCOL_COIN_STREAM,
+    ChannelModel, FaultKind, FaultPlan, GilbertElliott, Graph, Noise, PerNodeEps,
+    PROTOCOL_COIN_STREAM,
 };
 
 /// FNV-1a over the words of a sequence of received frames — a stable,
@@ -500,6 +501,118 @@ fn empty_fault_plan_leaves_the_golden_stream_untouched() {
         .map(|_| net.run_round_bitset(&beepers).unwrap())
         .collect();
     assert_eq!(transcript_fingerprint(&frames), 0xF20B_61B1_63CB_81F1);
+}
+
+/// Like [`noisy_transcript`], but on a torus built by the given
+/// constructor (512 = 8 × 64 nodes), so the implicit shift kernel and the
+/// materialized CSR kernel can be pinned against the same stream.
+fn torus_transcript(
+    graph: Graph,
+    seed: u64,
+    eps: f64,
+    shards: usize,
+    rounds: usize,
+) -> Vec<BitVec> {
+    let n = graph.node_count();
+    let mut net = BeepNetwork::new(graph, Noise::bernoulli(eps), seed);
+    net.set_shard_count(shards);
+    let beepers = BitVec::from_fn(n, |v| v % 37 == 0);
+    (0..rounds)
+        .map(|_| net.run_round_bitset(&beepers).unwrap())
+        .collect()
+}
+
+#[test]
+fn golden_implicit_torus_transcripts_per_seed_eps_shards() {
+    // The adjacency representation is NOT part of the stream key: the
+    // implicit shift kernel on `implicit_torus` must reproduce the exact
+    // pinned fingerprints of the materialized CSR torus, per
+    // (seed, ε, shard_count) cell. A change to the wide-word OR lanes, the
+    // wrap masks, or the tail masking fails here.
+    let mut computed = Vec::new();
+    for &(seed, eps, shards) in &[(1u64, 0.1f64, 1usize), (1, 0.1, 8), (9, 0.3, 2)] {
+        let implicit = torus_transcript(
+            topology::implicit_torus(8, 64).unwrap(),
+            seed,
+            eps,
+            shards,
+            8,
+        );
+        let materialized = torus_transcript(topology::torus(8, 64).unwrap(), seed, eps, shards, 8);
+        assert_eq!(
+            implicit, materialized,
+            "implicit vs csr seed={seed} eps={eps} shards={shards}"
+        );
+        let fp = transcript_fingerprint(&implicit);
+        println!("implicit torus seed={seed} eps={eps} shards={shards}: {fp:#018X}");
+        computed.push(fp);
+    }
+    assert_eq!(
+        computed,
+        vec![
+            0x6299_4147_3091_564F,
+            0xC001_B994_3269_9EF9,
+            0x50E9_8667_924A_E85C,
+        ]
+    );
+}
+
+/// Transposes per-node heard frames (the `run_frame*` output shape) into
+/// the per-round bitmaps the golden fingerprints are computed over.
+fn per_round_bitmaps(heard: &[BitVec], rounds: usize) -> Vec<BitVec> {
+    (0..rounds)
+        .map(|r| BitVec::from_fn(heard.len(), |v| heard[v].get(r)))
+        .collect()
+}
+
+#[test]
+fn batched_frames_reproduce_the_golden_per_round_stream() {
+    // Frame batching is NOT part of the stream key either: driving the
+    // same 8-round schedule through `run_frames_batched` must reproduce
+    // the original fault-free golden fingerprint byte-for-byte.
+    let mut net = BeepNetwork::new(topology::cycle(512).unwrap(), Noise::bernoulli(0.1), 1);
+    net.set_shard_count(8);
+    let frames: Vec<Option<BitVec>> = (0..512)
+        .map(|v| Some(BitVec::from_fn(8, |_| v % 37 == 0)))
+        .collect();
+    let heard = net.run_frames_batched(&frames, 8).unwrap();
+    assert_eq!(
+        transcript_fingerprint(&per_round_bitmaps(&heard, 8)),
+        0xF20B_61B1_63CB_81F1
+    );
+}
+
+#[test]
+fn golden_batched_implicit_transcript_crosses_a_block_boundary() {
+    // One pin covering both new paths at once: a 40-round schedule (two
+    // cache blocks) through `run_frames_batched` on the implicit torus.
+    // The per-round loop on the materialized torus must produce the same
+    // bytes, and the fingerprint is pinned so a change to the block
+    // pre-pass ordering or the slab scatter fails loudly.
+    let rounds = 40;
+    let frames: Vec<Option<BitVec>> = (0..512)
+        .map(|v| Some(BitVec::from_fn(rounds, |r| (v + r) % 37 == 0)))
+        .collect();
+    let mut batched = BeepNetwork::new(
+        topology::implicit_torus(8, 64).unwrap(),
+        Noise::bernoulli(0.1),
+        1,
+    );
+    batched.set_shard_count(8);
+    let heard = batched.run_frames_batched(&frames, rounds).unwrap();
+
+    let mut reference = BeepNetwork::new(topology::torus(8, 64).unwrap(), Noise::bernoulli(0.1), 1);
+    reference.set_shard_count(8);
+    let expected: Vec<BitVec> = (0..rounds)
+        .map(|r| {
+            let beepers = BitVec::from_fn(512, |v| (v + r) % 37 == 0);
+            reference.run_round_bitset(&beepers).unwrap()
+        })
+        .collect();
+    assert_eq!(per_round_bitmaps(&heard, rounds), expected);
+    let fp = transcript_fingerprint(&expected);
+    println!("batched implicit torus 40 rounds: {fp:#018X}");
+    assert_eq!(fp, 0x8ABB_5AE8_D342_DCB2);
 }
 
 #[test]
